@@ -1,0 +1,122 @@
+//! Virtual and physical addresses for virtualized logical qubits.
+//!
+//! The paper's addressing scheme: a *stack* is a 2D patch of transmons
+//! (plus their attached cavities); each cavity has `k` resonant modes.
+//! A logical qubit's **virtual address** is the pair `(stack, mode)`: the
+//! same mode index `z` across all cavities of the stack. Its **physical
+//! address** is the stack itself — the transmon patch it is loaded into
+//! for syndrome extraction or logical operations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Coordinates of a stack (transmon patch) on the 2D grid of patches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StackCoord {
+    /// Patch column.
+    pub x: u32,
+    /// Patch row.
+    pub y: u32,
+}
+
+impl StackCoord {
+    /// Creates a stack coordinate.
+    pub fn new(x: u32, y: u32) -> Self {
+        StackCoord { x, y }
+    }
+
+    /// Manhattan distance between two stacks (the move-cost metric: a
+    /// lattice-surgery move costs one timestep regardless of distance, but
+    /// path length determines which patches are occupied in transit).
+    pub fn manhattan_distance(self, other: StackCoord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for StackCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A cavity-mode index within a stack (`0..k`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModeIndex(pub u8);
+
+impl fmt::Display for ModeIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mode {}", self.0)
+    }
+}
+
+/// Virtual address of a logical qubit: which stack, which mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtAddr {
+    /// Stack holding the qubit.
+    pub stack: StackCoord,
+    /// Cavity mode within the stack.
+    pub mode: ModeIndex,
+}
+
+impl VirtAddr {
+    /// Creates a virtual address.
+    pub fn new(stack: StackCoord, mode: ModeIndex) -> Self {
+        VirtAddr { stack, mode }
+    }
+
+    /// Returns `true` if two addresses share a stack (and can therefore
+    /// interact via the fast transversal CNOT without moving).
+    pub fn same_stack(self, other: VirtAddr) -> bool {
+        self.stack == other.stack
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.stack, self.mode)
+    }
+}
+
+/// Physical address: the transmon patch a logical qubit is loaded into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysAddr(pub StackCoord);
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "patch {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = StackCoord::new(0, 0);
+        let b = StackCoord::new(3, 4);
+        assert_eq!(a.manhattan_distance(b), 7);
+        assert_eq!(b.manhattan_distance(a), 7);
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn same_stack_detection() {
+        let s = StackCoord::new(1, 2);
+        let a = VirtAddr::new(s, ModeIndex(0));
+        let b = VirtAddr::new(s, ModeIndex(7));
+        let c = VirtAddr::new(StackCoord::new(1, 3), ModeIndex(0));
+        assert!(a.same_stack(b));
+        assert!(!a.same_stack(c));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        let a = VirtAddr::new(StackCoord::new(0, 0), ModeIndex(1));
+        let b = VirtAddr::new(StackCoord::new(0, 1), ModeIndex(0));
+        assert!(a < b);
+        assert_eq!(a.to_string(), "(0, 0):mode 1");
+        assert_eq!(PhysAddr(StackCoord::new(2, 2)).to_string(), "patch (2, 2)");
+    }
+}

@@ -1,0 +1,208 @@
+//! Transmon and cavity counting for each surface-code embedding.
+//!
+//! These closed-form counts back the paper's headline hardware-savings
+//! claims and Table II:
+//!
+//! * a **Baseline 2D** rotated surface-code patch of distance `d` uses
+//!   `d^2` data plus `d^2 - 1` ancilla transmons; a `w x h` tiling of
+//!   patches shares ancilla columns for a total of `2 w h d^2 - 1`
+//!   transmons;
+//! * a **Natural** stack serves `k` logical qubits with `2 d^2 - 1`
+//!   transmons and `d^2` cavities (ancilla transmons have no cavities);
+//! * a **Compact** stack serves `k` logical qubits with `d^2 + d - 1`
+//!   transmons and `d^2` cavities (ancilla merge into data transmons,
+//!   except `d - 1` orphaned boundary ancillas).
+//!
+//! The smallest Compact instance (`d = 3`) is the paper's "11 transmons
+//! and 9 attached cavities" proof-of-concept.
+
+use serde::{Deserialize, Serialize};
+
+/// Which embedding of the surface code onto hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Embedding {
+    /// Conventional 2D transmon grid (no cavities).
+    Baseline2D,
+    /// 2.5D embedding where only data transmons carry cavities and
+    /// dedicated ancilla transmons remain (paper §III-A).
+    Natural,
+    /// 2.5D embedding where ancillas merge into data transmons
+    /// (paper §III-C), halving the transmon count again.
+    Compact,
+}
+
+impl Embedding {
+    /// All embeddings, in paper order.
+    pub const ALL: [Embedding; 3] = [Embedding::Baseline2D, Embedding::Natural, Embedding::Compact];
+}
+
+impl std::fmt::Display for Embedding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Embedding::Baseline2D => "baseline-2d",
+            Embedding::Natural => "natural",
+            Embedding::Compact => "compact",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Hardware cost of one patch/stack of a given embedding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchCost {
+    /// Number of transmon qubits.
+    pub transmons: usize,
+    /// Number of attached cavities.
+    pub cavities: usize,
+    /// Logical qubits served (1 for baseline, `k` for stacks).
+    pub logical_qubits: usize,
+}
+
+impl PatchCost {
+    /// Total physical qubit count with `k`-mode cavities: transmons plus
+    /// `k` storage qubits per cavity (the convention of Table II).
+    pub fn total_qubits(&self, k: usize) -> usize {
+        self.transmons + self.cavities * k
+    }
+}
+
+/// Cost of a single patch (one stack) for the given embedding and code
+/// distance.
+///
+/// # Panics
+///
+/// Panics if `d` is even or zero (rotated surface codes need odd `d`).
+///
+/// # Examples
+///
+/// ```
+/// use vlq_arch::geometry::{patch_cost, Embedding};
+///
+/// // The paper's smallest Compact instance: 11 transmons, 9 cavities.
+/// let c = patch_cost(Embedding::Compact, 3, 10);
+/// assert_eq!(c.transmons, 11);
+/// assert_eq!(c.cavities, 9);
+/// assert_eq!(c.logical_qubits, 10);
+/// ```
+pub fn patch_cost(embedding: Embedding, d: usize, k: usize) -> PatchCost {
+    assert!(d % 2 == 1 && d > 0, "code distance must be odd and positive");
+    match embedding {
+        Embedding::Baseline2D => PatchCost {
+            transmons: 2 * d * d - 1,
+            cavities: 0,
+            logical_qubits: 1,
+        },
+        Embedding::Natural => PatchCost {
+            transmons: 2 * d * d - 1,
+            cavities: d * d,
+            logical_qubits: k,
+        },
+        Embedding::Compact => PatchCost {
+            transmons: d * d + d - 1,
+            cavities: d * d,
+            logical_qubits: k,
+        },
+    }
+}
+
+/// Transmon count for a `w x h` tiling of baseline patches with shared
+/// ancilla boundaries: `2 (w d) (h d) - 1`.
+///
+/// This is the formula behind Table II's Fast (5x6 patches = 1499) and
+/// Small (11 patches = 549) lattice costs.
+pub fn baseline_tiling_transmons(patches_w: usize, patches_h: usize, d: usize) -> usize {
+    assert!(d % 2 == 1 && d > 0, "code distance must be odd and positive");
+    2 * (patches_w * d) * (patches_h * d) - 1
+}
+
+/// The paper's headline transmon-savings factor of an embedding relative
+/// to the baseline, per logical qubit at equal distance.
+///
+/// Natural saves ~`k`x (each stack holds `k` logical qubits in the same
+/// transmons); Compact roughly doubles that.
+pub fn transmon_savings_vs_baseline(embedding: Embedding, d: usize, k: usize) -> f64 {
+    let base = patch_cost(Embedding::Baseline2D, d, k);
+    let this = patch_cost(embedding, d, k);
+    let per_logical_base = base.transmons as f64 / base.logical_qubits as f64;
+    let per_logical_this = this.transmons as f64 / this.logical_qubits as f64;
+    per_logical_base / per_logical_this
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_counts() {
+        // d=3: 9 data + 8 ancilla = 17 transmons.
+        let c = patch_cost(Embedding::Baseline2D, 3, 10);
+        assert_eq!(c.transmons, 17);
+        assert_eq!(c.cavities, 0);
+        assert_eq!(c.logical_qubits, 1);
+        // d=5: 25 + 24 = 49.
+        assert_eq!(patch_cost(Embedding::Baseline2D, 5, 10).transmons, 49);
+    }
+
+    #[test]
+    fn natural_counts_match_table2() {
+        // Table II, VQubits (natural), d=5: 49 transmons, 25 cavities,
+        // 299 total qubits with k=10.
+        let c = patch_cost(Embedding::Natural, 5, 10);
+        assert_eq!(c.transmons, 49);
+        assert_eq!(c.cavities, 25);
+        assert_eq!(c.total_qubits(10), 299);
+    }
+
+    #[test]
+    fn compact_counts_match_table2() {
+        // Table II, VQubits (compact), d=5: 29 transmons, 25 cavities,
+        // 279 total.
+        let c = patch_cost(Embedding::Compact, 5, 10);
+        assert_eq!(c.transmons, 29);
+        assert_eq!(c.cavities, 25);
+        assert_eq!(c.total_qubits(10), 279);
+    }
+
+    #[test]
+    fn smallest_compact_instance_is_11_and_9() {
+        // Abstract/intro claim: "requiring only 11 transmons and 9
+        // attached cavities in total" for ~10 logical qubits.
+        let c = patch_cost(Embedding::Compact, 3, 10);
+        assert_eq!((c.transmons, c.cavities), (11, 9));
+    }
+
+    #[test]
+    fn fast_and_small_lattice_transmons() {
+        // Table II: Fast Lattice 1499 transmons (30 patches as 5x6), Small
+        // Lattice 549 (11 patches in a row), at d=5.
+        assert_eq!(baseline_tiling_transmons(5, 6, 5), 1499);
+        assert_eq!(baseline_tiling_transmons(11, 1, 5), 549);
+    }
+
+    #[test]
+    fn savings_factors() {
+        // Natural saves ~k times the transmons per logical qubit.
+        let s_nat = transmon_savings_vs_baseline(Embedding::Natural, 5, 10);
+        assert!((s_nat - 10.0).abs() < 1e-9);
+        // Compact saves about twice as much again (paper: "another 2x").
+        let s_comp = transmon_savings_vs_baseline(Embedding::Compact, 5, 10);
+        assert!(s_comp / s_nat > 1.6 && s_comp / s_nat < 2.0, "ratio {}", s_comp / s_nat);
+        // The paper's "approximately 10x ... with another 2x" at k = 10.
+        assert!(s_comp > 16.0, "compact savings {s_comp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_distance() {
+        let _ = patch_cost(Embedding::Compact, 4, 10);
+    }
+
+    #[test]
+    fn cost_scales_with_k_only_in_modes() {
+        let c5 = patch_cost(Embedding::Natural, 5, 5);
+        let c20 = patch_cost(Embedding::Natural, 5, 20);
+        assert_eq!(c5.transmons, c20.transmons);
+        assert_eq!(c5.cavities, c20.cavities);
+        assert_eq!(c20.total_qubits(20) - c5.total_qubits(5), 25 * 15);
+    }
+}

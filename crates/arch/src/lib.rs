@@ -1,0 +1,26 @@
+//! The 2.5D transmon + cavity hardware model of the VLQ paper.
+//!
+//! This crate captures the *hardware side* of the architecture:
+//!
+//! * [`params`] — Table I device parameters and the derived error-rate
+//!   model (how every gate/idle error scales with the single headline
+//!   physical error rate `p`).
+//! * [`address`] — virtual and physical addresses for logical qubits:
+//!   a logical qubit lives at `(stack, mode)`; a stack is a 2D patch of
+//!   transmons whose attached cavities hold `k` modes each.
+//! * [`geometry`] — transmon/cavity counting formulas for the Baseline,
+//!   Natural, and Compact embeddings (the paper's 10x / 20x hardware
+//!   savings and the Table II costs).
+//! * [`graph`] — a small undirected interaction-graph type used to check
+//!   embeddings against hardware connectivity constraints (the paper's
+//!   "4-way grid connectivity" argument for Compact).
+
+pub mod address;
+pub mod geometry;
+pub mod graph;
+pub mod params;
+
+pub use address::{ModeIndex, PhysAddr, StackCoord, VirtAddr};
+pub use geometry::{Embedding, PatchCost};
+pub use graph::InteractionGraph;
+pub use params::{ErrorRates, HardwareParams};

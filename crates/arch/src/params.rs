@@ -1,0 +1,252 @@
+//! Hardware timing and error-rate parameters (paper Table I).
+//!
+//! All durations are in seconds. The paper gives coherence times and gate
+//! durations for two device families: plain transmon grids (the baseline)
+//! and transmons with attached memory cavities (the 2.5D architecture).
+//!
+//! For the threshold experiments the paper derives *every* error rate
+//! from one scale: `p`, the probability of an SC-SC (transmon-transmon)
+//! two-qubit gate error, varying "all gate errors and coherence times
+//! together". [`ErrorRates::from_scale`] implements that convention; the
+//! precise per-knob mapping is documented on the method (and recorded in
+//! DESIGN.md since Table I does not pin it down completely).
+
+use serde::{Deserialize, Serialize};
+
+/// Device timing parameters (Table I of the paper), in seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HardwareParams {
+    /// Transmon relaxation time `T1,t` (paper: 100 us).
+    pub t1_transmon: f64,
+    /// Cavity-mode relaxation time `T1,c` (paper: 1 ms; infinite for the
+    /// baseline device which has no cavities).
+    pub t1_cavity: f64,
+    /// Transmon-transmon two-qubit gate duration (paper: 200 ns).
+    pub t_gate_2q_tt: f64,
+    /// Single-qubit gate duration (paper: 50 ns).
+    pub t_gate_1q: f64,
+    /// Transmon-mode two-qubit gate duration (paper: 200 ns).
+    pub t_gate_2q_tm: f64,
+    /// Load/store (transmon-mediated iSWAP) duration (paper: 150 ns).
+    pub t_load_store: f64,
+    /// Measurement duration. Table I omits it; we assume 300 ns
+    /// (documented in DESIGN.md) and expose it for sensitivity sweeps.
+    pub t_measure: f64,
+    /// Reset duration. The paper assumes fast, clean active reset; 0 here.
+    pub t_reset: f64,
+}
+
+impl HardwareParams {
+    /// Table I parameters for the baseline transmon-only device.
+    pub fn baseline() -> Self {
+        HardwareParams {
+            t1_transmon: 100e-6,
+            t1_cavity: f64::INFINITY,
+            t_gate_2q_tt: 200e-9,
+            t_gate_1q: 50e-9,
+            t_gate_2q_tm: f64::NAN, // no cavities on the baseline device
+            t_load_store: f64::NAN,
+            t_measure: 300e-9,
+            t_reset: 0.0,
+        }
+    }
+
+    /// Table I parameters for the transmon + memory-cavity device.
+    pub fn with_memory() -> Self {
+        HardwareParams {
+            t1_transmon: 100e-6,
+            t1_cavity: 1e-3,
+            t_gate_2q_tt: 200e-9,
+            t_gate_1q: 50e-9,
+            t_gate_2q_tm: 200e-9,
+            t_load_store: 150e-9,
+            t_measure: 300e-9,
+            t_reset: 0.0,
+        }
+    }
+
+    /// Duration of one syndrome-extraction round on the baseline layout:
+    /// ancilla H layers (2 single-qubit layers), four CNOT layers, and
+    /// measurement + reset.
+    pub fn baseline_round_duration(&self) -> f64 {
+        2.0 * self.t_gate_1q + 4.0 * self.t_gate_2q_tt + self.t_measure + self.t_reset
+    }
+}
+
+impl Default for HardwareParams {
+    fn default() -> Self {
+        HardwareParams::with_memory()
+    }
+}
+
+/// Pauli error probabilities for each operation class.
+///
+/// `Idle` errors are *not* listed here: they are computed per-instruction
+/// from durations and the [`HardwareParams`] coherence times (scaled by
+/// [`ErrorRates::t1_scale`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRates {
+    /// SC-SC (transmon-transmon) two-qubit gate error — the headline `p`.
+    pub p_2q_tt: f64,
+    /// SC-mode (transmon-cavity) two-qubit gate error.
+    pub p_2q_tm: f64,
+    /// Load/store (iSWAP) error.
+    pub p_load_store: f64,
+    /// Single-qubit gate error.
+    pub p_1q: f64,
+    /// Measurement readout flip probability.
+    pub p_measure: f64,
+    /// Reset error (prepares the wrong computational state).
+    pub p_reset: f64,
+    /// Multiplier applied to both T1 times when computing idle errors:
+    /// `T1_eff = T1 * t1_scale`. Scaling coherence *down* as gate errors
+    /// go *up* implements the paper's "vary all gate errors and coherence
+    /// times together".
+    pub t1_scale: f64,
+}
+
+/// The operating point at which Table I coherence times are taken to
+/// hold: the paper's "typical operating point below threshold".
+pub const REFERENCE_ERROR_RATE: f64 = 2e-3;
+
+impl ErrorRates {
+    /// Derives all error rates from the single physical error scale `p`
+    /// (the SC-SC two-qubit gate error), following the paper's
+    /// methodology:
+    ///
+    /// * all two-qubit-class errors (SC-SC, SC-mode, load/store) equal `p`,
+    /// * single-qubit gates are 10x better (`p/10`, the usual transmon
+    ///   calibration ratio),
+    /// * measurement flips with probability `p`,
+    /// * reset errors are absorbed into the paper's "efficient reset"
+    ///   assumption (0),
+    /// * coherence times scale inversely with `p` so that at
+    ///   `p = REFERENCE_ERROR_RATE` they equal Table I.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlq_arch::params::{ErrorRates, REFERENCE_ERROR_RATE};
+    ///
+    /// let r = ErrorRates::from_scale(REFERENCE_ERROR_RATE);
+    /// assert_eq!(r.p_2q_tt, 2e-3);
+    /// assert_eq!(r.p_1q, 2e-4);
+    /// assert!((r.t1_scale - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn from_scale(p: f64) -> Self {
+        assert!(p >= 0.0 && p < 1.0, "error scale must be a probability");
+        ErrorRates {
+            p_2q_tt: p,
+            p_2q_tm: p,
+            p_load_store: p,
+            p_1q: p / 10.0,
+            p_measure: p,
+            p_reset: 0.0,
+            t1_scale: if p > 0.0 { REFERENCE_ERROR_RATE / p } else { f64::INFINITY },
+        }
+    }
+
+    /// All-zero error rates (noiseless execution; useful in tests).
+    pub fn noiseless() -> Self {
+        ErrorRates {
+            p_2q_tt: 0.0,
+            p_2q_tm: 0.0,
+            p_load_store: 0.0,
+            p_1q: 0.0,
+            p_measure: 0.0,
+            p_reset: 0.0,
+            t1_scale: f64::INFINITY,
+        }
+    }
+
+    /// Effective transmon T1 after scaling.
+    pub fn effective_t1_transmon(&self, hw: &HardwareParams) -> f64 {
+        hw.t1_transmon * self.t1_scale
+    }
+
+    /// Effective cavity T1 after scaling.
+    pub fn effective_t1_cavity(&self, hw: &HardwareParams) -> f64 {
+        hw.t1_cavity * self.t1_scale
+    }
+}
+
+impl Default for ErrorRates {
+    fn default() -> Self {
+        ErrorRates::from_scale(REFERENCE_ERROR_RATE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let b = HardwareParams::baseline();
+        assert_eq!(b.t1_transmon, 100e-6);
+        assert!(b.t1_cavity.is_infinite());
+        assert_eq!(b.t_gate_2q_tt, 200e-9);
+        assert_eq!(b.t_gate_1q, 50e-9);
+
+        let m = HardwareParams::with_memory();
+        assert_eq!(m.t1_cavity, 1e-3);
+        assert_eq!(m.t_gate_2q_tm, 200e-9);
+        assert_eq!(m.t_load_store, 150e-9);
+    }
+
+    #[test]
+    fn cavity_t1_is_10x_transmon() {
+        // The paper: "qubits stored in the cavity... longer coherence
+        // times by about one order of magnitude".
+        let m = HardwareParams::with_memory();
+        assert!((m.t1_cavity / m.t1_transmon - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_duration_is_sum_of_layers() {
+        let b = HardwareParams::baseline();
+        let expected = 2.0 * 50e-9 + 4.0 * 200e-9 + 300e-9;
+        assert!((b.baseline_round_duration() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_derivation() {
+        let r = ErrorRates::from_scale(4e-3);
+        assert_eq!(r.p_2q_tt, 4e-3);
+        assert_eq!(r.p_2q_tm, 4e-3);
+        assert_eq!(r.p_load_store, 4e-3);
+        assert_eq!(r.p_1q, 4e-4);
+        assert_eq!(r.p_measure, 4e-3);
+        // Doubling p halves coherence.
+        assert!((r.t1_scale - 0.5).abs() < 1e-12);
+        let hw = HardwareParams::with_memory();
+        assert!((r.effective_t1_cavity(&hw) - 0.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_is_all_zero() {
+        let r = ErrorRates::noiseless();
+        assert_eq!(r.p_2q_tt, 0.0);
+        assert_eq!(r.p_1q, 0.0);
+        assert!(r.t1_scale.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn from_scale_rejects_bad_input() {
+        let _ = ErrorRates::from_scale(1.5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = ErrorRates::from_scale(1e-3);
+        let json = serde_json_like(&r);
+        assert!(json.contains("p_2q_tt"));
+    }
+
+    // We avoid depending on serde_json; a Debug representation is enough
+    // to confirm the derives compile and fields are visible.
+    fn serde_json_like(r: &ErrorRates) -> String {
+        format!("{r:?}")
+    }
+}

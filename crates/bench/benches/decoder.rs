@@ -1,0 +1,72 @@
+//! Decoder micro-benchmarks: Blossom MWPM vs Union-Find on realistic
+//! defect sets (the A1 ablation's speed axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vlq_arch::HardwareParams;
+use vlq_circuit::noise::NoiseModel;
+use vlq_decoder::{Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
+use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+
+fn graph_for(d: usize) -> DecodingGraph {
+    let spec = MemorySpec::standard(Setup::Baseline, d, 1, Basis::Z);
+    let mc = memory_circuit(spec, &HardwareParams::baseline());
+    let noisy = NoiseModel::baseline_at_scale(5e-3).apply(&mc.circuit);
+    DecodingGraph::build(&noisy, &mc.z_detectors)
+}
+
+fn random_defects(g: &DecodingGraph, count: usize, rng: &mut SmallRng) -> Vec<usize> {
+    let mut defects = Vec::new();
+    while defects.len() < count.min(g.num_nodes()) {
+        let d = rng.random_range(0..g.num_nodes());
+        if !defects.contains(&d) {
+            defects.push(d);
+        }
+    }
+    defects.sort_unstable();
+    defects
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    for d in [3usize, 5, 7] {
+        let g = graph_for(d);
+        let mwpm = MwpmDecoder::new(&g);
+        let uf = UnionFindDecoder::new(&g);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let defect_sets: Vec<Vec<usize>> =
+            (0..32).map(|_| random_defects(&g, 6, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("mwpm", d), &d, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let r = mwpm.decode(&defect_sets[i % defect_sets.len()]);
+                i += 1;
+                r
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("union-find", d), &d, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let r = uf.decode(&defect_sets[i % defect_sets.len()]);
+                i += 1;
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph-build");
+    group.sample_size(10);
+    for d in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("baseline", d), &d, |b, &d| {
+            b.iter(|| graph_for(d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders, bench_graph_build);
+criterion_main!(benches);

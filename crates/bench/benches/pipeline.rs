@@ -1,0 +1,49 @@
+//! End-to-end pipeline benchmark: one full shot batch + decode per setup
+//! (what a Figure 11 data point costs), plus the ablation comparing
+//! all-at-once to interleaved extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vlq_qec::{run_memory_experiment, DecoderKind, ExperimentConfig};
+use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+
+fn bench_full_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold-point");
+    group.sample_size(10);
+    for setup in Setup::ALL {
+        let spec = MemorySpec::standard(setup, 3, 10, Basis::Z);
+        group.bench_with_input(
+            BenchmarkId::new("shots-1024", format!("{setup}")),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let cfg = ExperimentConfig::new(*spec, 5e-3)
+                        .with_shots(1024)
+                        .with_threads(1);
+                    run_memory_experiment(&cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decoder_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decoder-ablation");
+    group.sample_size(10);
+    for decoder in [DecoderKind::Mwpm, DecoderKind::UnionFind] {
+        let spec = MemorySpec::standard(Setup::CompactInterleaved, 5, 10, Basis::Z);
+        group.bench_function(format!("{decoder:?}"), |b| {
+            b.iter(|| {
+                let cfg = ExperimentConfig::new(spec, 5e-3)
+                    .with_shots(512)
+                    .with_decoder(decoder)
+                    .with_threads(1);
+                run_memory_experiment(&cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_point, bench_decoder_ablation);
+criterion_main!(benches);

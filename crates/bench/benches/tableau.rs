@@ -1,0 +1,51 @@
+//! Stabilizer-tableau benchmarks: gate application and schedule
+//! validation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vlq_arch::HardwareParams;
+use vlq_circuit::exec::validate_with_tableau;
+use vlq_sim::{CliffordGate, Tableau};
+use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+
+fn bench_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau-gates");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("cnot-chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = Tableau::new(n);
+                t.apply(CliffordGate::H(0));
+                for i in 1..n {
+                    t.apply(CliffordGate::Cnot(i - 1, i));
+                }
+                t
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau-validate");
+    group.sample_size(10);
+    for setup in [Setup::Baseline, Setup::CompactInterleaved] {
+        let spec = MemorySpec::standard(setup, 3, 4, Basis::Z);
+        let hw = if setup.uses_memory() {
+            HardwareParams::with_memory()
+        } else {
+            HardwareParams::baseline()
+        };
+        let mc = memory_circuit(spec, &hw);
+        group.bench_function(format!("{setup}-d3"), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                validate_with_tableau(&mc.circuit, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerates Figure 12: sensitivity of the Compact, Interleaved logical
+//! error rate to each error source at the p = 2e-3 operating point.
+//!
+//! Usage:
+//!   cargo run --release -p vlq-bench --bin fig12 -- \
+//!     [--panel name|all] [--trials N] [--dmax D] [--extended]
+//!
+//! Panels: sc-sc-error, load-store-error, sc-mode-error, cavity-t1,
+//! transmon-t1, load-store-duration, cavity-size.
+
+use vlq_bench::{sci, Args};
+use vlq_qec::{sensitivity_sweep, DecoderKind, Knob};
+use vlq_surface::schedule::Setup;
+
+fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
+    match knob {
+        Knob::ScScError | Knob::LoadStoreError | Knob::ScModeError => {
+            vec![1e-5, 1e-4, 1e-3, 2e-3, 5e-3, 1e-2]
+        }
+        Knob::CavityT1 => vec![1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+        Knob::TransmonT1 => vec![1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+        Knob::LoadStoreDuration => vec![1e-7, 1e-6, 1e-5, 1e-4],
+        Knob::CavitySize => {
+            if extended {
+                // C3: push past the paper's plotted range to find where
+                // cavity decoherence starts dominating (paper: k ~ 150).
+                vec![5.0, 10.0, 20.0, 30.0, 60.0, 100.0, 150.0, 250.0]
+            } else {
+                vec![5.0, 10.0, 20.0, 30.0]
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let trials: u64 = args.get("trials", 10_000);
+    let dmax: usize = args.get("dmax", 5);
+    let seed: u64 = args.get("seed", 2020);
+    let extended = args.has("extended");
+    let panel = args.get_str("panel", "all");
+    let distances: Vec<usize> = [3usize, 5, 7, 9, 11]
+        .into_iter()
+        .filter(|&d| d <= dmax)
+        .collect();
+
+    println!(
+        "Figure 12: Compact-Interleaved sensitivity at operating point p=2e-3 ({trials} trials/point)"
+    );
+    for knob in Knob::ALL {
+        if panel != "all" && knob.to_string() != panel {
+            continue;
+        }
+        let values = values_for(knob, extended);
+        println!(
+            "\n-- panel: {knob} (reference value {}) --",
+            sci(knob.reference_value())
+        );
+        let points = sensitivity_sweep(
+            Setup::CompactInterleaved,
+            knob,
+            &values,
+            &distances,
+            trials,
+            seed,
+            DecoderKind::Mwpm,
+        );
+        print!("{:>12}", "value \\ d");
+        for &d in &distances {
+            print!("{d:>12}");
+        }
+        println!();
+        for &v in &values {
+            print!("{:>12}", sci(v));
+            for &d in &distances {
+                let pt = points
+                    .iter()
+                    .find(|pt| pt.d == d && pt.value == v)
+                    .expect("point");
+                print!("{:>12}", sci(pt.estimate.rate()));
+            }
+            println!();
+        }
+    }
+}

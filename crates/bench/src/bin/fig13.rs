@@ -1,0 +1,56 @@
+//! Regenerates Figure 13: (a) T-state generation rate with 100 patches;
+//! (b) patches of space needed for one T state per timestep. Also prints
+//! the exact 15-to-1 distillation quality curve (our extension).
+
+use vlq_bench::Args;
+use vlq_magic::distill::distillation_stats;
+use vlq_magic::factory::{FactoryProtocol, ProtocolKind};
+
+fn main() {
+    let args = Args::parse();
+    let patches: f64 = args.get("patches", 100.0);
+
+    println!("Figure 13(a): T-state production rate with {patches} patches");
+    println!("{:<22} {:>14} {:>16}", "Protocol", "T per step", "vs Small Lattice");
+    let small_rate = FactoryProtocol::new(ProtocolKind::SmallLattice).rate_with_patches(patches);
+    for kind in [
+        ProtocolKind::FastLattice,
+        ProtocolKind::SmallLattice,
+        ProtocolKind::VQubitsNatural,
+    ] {
+        let p = FactoryProtocol::new(kind);
+        let rate = p.rate_with_patches(patches);
+        println!(
+            "{:<22} {:>14.4} {:>15.2}x",
+            kind.to_string(),
+            rate,
+            rate / small_rate
+        );
+    }
+    println!("(paper: VQubits = 1.22x Small Lattice, 1.82x Fast Lattice)");
+
+    println!("\nFigure 13(b): space to produce 1 T state per timestep");
+    println!("{:<22} {:>10}", "Protocol", "# patches");
+    for kind in [
+        ProtocolKind::FastLattice,
+        ProtocolKind::SmallLattice,
+        ProtocolKind::VQubitsNatural,
+    ] {
+        let p = FactoryProtocol::new(kind);
+        println!("{:<22} {:>10.0}", kind.to_string(), p.patches_for_one_t_per_step());
+    }
+    println!("(paper: Fast 180, Small 121, VQubits 99)");
+
+    println!("\nExtension: exact 15-to-1 distillation quality (GF(2) enumeration)");
+    println!("{:<10} {:>12} {:>12} {:>10}", "p_in", "p_out", "35*p^3", "accept");
+    for p in [1e-4, 1e-3, 5e-3, 1e-2, 2e-2] {
+        let s = distillation_stats(p);
+        println!(
+            "{:<10.0e} {:>12.3e} {:>12.3e} {:>9.4}",
+            p,
+            s.p_out,
+            35.0 * p.powi(3),
+            s.acceptance
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md's experiment index). They print aligned
+//! text tables to stdout so results can be diffed against
+//! EXPERIMENTS.md.
+
+/// Tiny argument parser: `--key value` pairs and flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: std::collections::HashMap<String, String>,
+    flags: std::collections::HashSet<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let mut pairs = std::collections::HashMap::new();
+        let mut flags = std::collections::HashSet::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    pairs.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { pairs, flags }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String lookup.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.pairs
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Flag presence.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+}
+
+/// Formats a probability in compact scientific notation.
+pub fn sci(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(0.0123), "1.23e-2");
+    }
+}

@@ -1,0 +1,498 @@
+//! Circuit executors.
+//!
+//! Three ways to run a [`Circuit`]:
+//!
+//! * [`sample_batch`] — Monte-Carlo: runs 64-shot-per-word Pauli-frame
+//!   batches and reduces measurements to detection events and observable
+//!   flips.
+//! * [`propagate_fault`] — deterministic: injects one fault at a given
+//!   site and reports exactly which detectors/observables flip (used to
+//!   build matching graphs).
+//! * [`validate_with_tableau`] — runs the *ideal* part of the circuit on
+//!   the stabilizer simulator and checks that every detector is
+//!   deterministic (XOR = 0) and every observable is deterministic; this
+//!   is the gate every generated schedule must pass.
+
+use rand::Rng;
+use vlq_pauli::Pauli;
+use vlq_sim::tableau::MeasureOutcome;
+use vlq_sim::{FrameBatch, SingleFrame, Tableau};
+
+use crate::ir::{Circuit, Instruction};
+
+/// The result of sampling a batch of shots.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Number of shot lanes.
+    pub n_lanes: usize,
+    /// Detection events: `detectors[d]` holds one bit per lane (packed).
+    pub detectors: Vec<Vec<u64>>,
+    /// Observable flips: `observables[o]` holds one bit per lane.
+    pub observables: Vec<Vec<u64>>,
+}
+
+impl BatchResult {
+    /// Reads detector `d` for `lane`.
+    pub fn detector_bit(&self, d: usize, lane: usize) -> bool {
+        self.detectors[d][lane / 64] >> (lane % 64) & 1 == 1
+    }
+
+    /// Reads observable `o` for `lane`.
+    pub fn observable_bit(&self, o: usize, lane: usize) -> bool {
+        self.observables[o][lane / 64] >> (lane % 64) & 1 == 1
+    }
+
+    /// The defect list (flipped detectors) of one lane.
+    pub fn defects_of_lane(&self, lane: usize) -> Vec<usize> {
+        (0..self.detectors.len())
+            .filter(|&d| self.detector_bit(d, lane))
+            .collect()
+    }
+}
+
+/// Runs `n_lanes` Monte-Carlo shots of a noisy circuit.
+///
+/// Noise instructions must already be present (see
+/// [`crate::noise::NoiseModel::apply`]); `Idle` markers are ignored if
+/// they survived (they carry no sampled noise).
+pub fn sample_batch<R: Rng + ?Sized>(circuit: &Circuit, n_lanes: usize, rng: &mut R) -> BatchResult {
+    let words = n_lanes.div_ceil(64).max(1);
+    let mut frames = FrameBatch::new(circuit.num_qubits, n_lanes);
+    let mut records: Vec<Vec<u64>> = Vec::with_capacity(circuit.num_measurements());
+    for inst in &circuit.instructions {
+        match *inst {
+            Instruction::Gate { gate, .. } => frames.apply(gate),
+            Instruction::Measure { qubit, flip_prob } => {
+                let mut rec = frames.measure_z(qubit);
+                if flip_prob > 0.0 {
+                    FrameBatch::apply_record_noise(&mut rec, n_lanes, flip_prob, rng);
+                }
+                records.push(rec);
+                // Measurement projection gauge: randomize the frame's Z
+                // component on the measured qubit (harmless for our
+                // measure-then-reset ancillas, required in general).
+                for w in 0..words {
+                    let mask: u64 = rng.random();
+                    // Apply Z to lanes with mask bit set.
+                    for lane_bit in 0..64 {
+                        if mask >> lane_bit & 1 == 1 {
+                            let lane = w * 64 + lane_bit;
+                            if lane < n_lanes {
+                                frames.set_pauli(qubit, lane, Pauli::Z);
+                            }
+                        }
+                    }
+                }
+            }
+            Instruction::Reset { qubit } => frames.reset_qubit(qubit),
+            Instruction::Idle { .. } => {}
+            Instruction::Noise1 { qubit, p } => frames.apply_1q_noise(qubit, p, rng),
+            Instruction::Noise2 { a, b, p } => frames.apply_2q_noise(a, b, p, rng),
+        }
+    }
+    reduce_records(circuit, n_lanes, &records)
+}
+
+fn reduce_records(circuit: &Circuit, n_lanes: usize, records: &[Vec<u64>]) -> BatchResult {
+    let words = n_lanes.div_ceil(64).max(1);
+    let mut detectors = Vec::with_capacity(circuit.detectors.len());
+    for det in &circuit.detectors {
+        let mut acc = vec![0u64; words];
+        for &m in &det.measurements {
+            for (a, b) in acc.iter_mut().zip(&records[m]) {
+                *a ^= b;
+            }
+        }
+        detectors.push(acc);
+    }
+    let mut observables = Vec::with_capacity(circuit.observables.len());
+    for obs in &circuit.observables {
+        let mut acc = vec![0u64; words];
+        for &m in obs {
+            for (a, b) in acc.iter_mut().zip(&records[m]) {
+                *a ^= b;
+            }
+        }
+        observables.push(acc);
+    }
+    BatchResult {
+        n_lanes,
+        detectors,
+        observables,
+    }
+}
+
+/// A place in the circuit where a fault can occur.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A Pauli error on one qubit immediately after instruction `at`.
+    Pauli1 {
+        /// Instruction index.
+        at: usize,
+        /// Affected qubit.
+        qubit: usize,
+        /// Injected Pauli.
+        pauli: Pauli,
+    },
+    /// A two-qubit Pauli error after instruction `at`.
+    Pauli2 {
+        /// Instruction index.
+        at: usize,
+        /// First qubit and its Pauli.
+        a: (usize, Pauli),
+        /// Second qubit and its Pauli.
+        b: (usize, Pauli),
+    },
+    /// A recorded-measurement flip of instruction `at`.
+    MeasureFlip {
+        /// Instruction index (must be a `Measure`).
+        at: usize,
+    },
+}
+
+/// The deterministic effect of one fault.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultEffect {
+    /// Flipped detector indices (sorted).
+    pub detectors: Vec<usize>,
+    /// Flipped observable indices (sorted).
+    pub observables: Vec<usize>,
+}
+
+/// Propagates a single fault through the circuit and reports which
+/// detectors and observables flip.
+///
+/// # Panics
+///
+/// Panics if the site's instruction index is out of range or a
+/// `MeasureFlip` site does not point at a measurement.
+pub fn propagate_fault(circuit: &Circuit, site: FaultSite) -> FaultEffect {
+    let start = match site {
+        FaultSite::Pauli1 { at, .. } | FaultSite::Pauli2 { at, .. } | FaultSite::MeasureFlip { at } => at,
+    };
+    assert!(start < circuit.instructions.len(), "fault site out of range");
+
+    // Measurement indices are global; count how many precede `start`.
+    let mut meas_index = circuit.instructions[..start]
+        .iter()
+        .filter(|i| matches!(i, Instruction::Measure { .. }))
+        .count();
+
+    let mut frame = SingleFrame::new(circuit.num_qubits);
+    let mut flipped_measurements: Vec<usize> = Vec::new();
+
+    // Inject the fault. Pauli faults apply *after* instruction `start`
+    // executes; a MeasureFlip flips that measurement's record.
+    match site {
+        FaultSite::Pauli1 { qubit, pauli, .. } => {
+            run_instruction(circuit, start, &mut frame, &mut meas_index, &mut flipped_measurements);
+            frame.mul_pauli(qubit, pauli);
+        }
+        FaultSite::Pauli2 { a, b, .. } => {
+            run_instruction(circuit, start, &mut frame, &mut meas_index, &mut flipped_measurements);
+            frame.mul_pauli(a.0, a.1);
+            frame.mul_pauli(b.0, b.1);
+        }
+        FaultSite::MeasureFlip { at } => {
+            assert!(
+                matches!(circuit.instructions[at], Instruction::Measure { .. }),
+                "MeasureFlip site must point at a measurement"
+            );
+            flipped_measurements.push(meas_index);
+            meas_index += 1;
+            // The frame itself is untouched; skip the instruction.
+        }
+    }
+
+    for idx in (start + 1)..circuit.instructions.len() {
+        run_instruction(circuit, idx, &mut frame, &mut meas_index, &mut flipped_measurements);
+    }
+
+    // Map flipped measurements to flipped detectors/observables.
+    let mut effect = FaultEffect::default();
+    for (d, det) in circuit.detectors.iter().enumerate() {
+        let parity = det
+            .measurements
+            .iter()
+            .filter(|m| flipped_measurements.contains(m))
+            .count()
+            % 2;
+        if parity == 1 {
+            effect.detectors.push(d);
+        }
+    }
+    for (o, obs) in circuit.observables.iter().enumerate() {
+        let parity = obs.iter().filter(|m| flipped_measurements.contains(m)).count() % 2;
+        if parity == 1 {
+            effect.observables.push(o);
+        }
+    }
+    effect
+}
+
+fn run_instruction(
+    circuit: &Circuit,
+    idx: usize,
+    frame: &mut SingleFrame,
+    meas_index: &mut usize,
+    flipped: &mut Vec<usize>,
+) {
+    match circuit.instructions[idx] {
+        Instruction::Gate { gate, .. } => frame.apply(gate),
+        Instruction::Measure { qubit, .. } => {
+            if frame.x_bit(qubit) {
+                flipped.push(*meas_index);
+            }
+            *meas_index += 1;
+        }
+        Instruction::Reset { qubit } => frame.reset_qubit(qubit),
+        Instruction::Idle { .. } | Instruction::Noise1 { .. } | Instruction::Noise2 { .. } => {}
+    }
+}
+
+/// Outcome of tableau validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Number of measurements whose ideal outcome was random.
+    pub random_measurements: usize,
+    /// Detector indices that came out nonzero (must be empty to pass).
+    pub violated_detectors: Vec<usize>,
+    /// Observable values (index, bit); all must be deterministic-0 for
+    /// memory experiments that prepare the +1 logical eigenstate.
+    pub observable_bits: Vec<bool>,
+}
+
+impl ValidationReport {
+    /// Passing = every detector deterministic-zero.
+    pub fn passed(&self) -> bool {
+        self.violated_detectors.is_empty()
+    }
+}
+
+/// Runs the ideal part of the circuit on the stabilizer simulator with
+/// randomized outcomes for genuinely random measurements, then checks
+/// every detector XORs to zero.
+///
+/// Any detector that fails here would mis-anchor the decoder, so schedule
+/// generators call this before a circuit is eligible for Monte Carlo.
+pub fn validate_with_tableau<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> ValidationReport {
+    let mut tableau = Tableau::new(circuit.num_qubits);
+    let mut record: Vec<bool> = Vec::with_capacity(circuit.num_measurements());
+    let mut random_measurements = 0usize;
+    for inst in &circuit.instructions {
+        match *inst {
+            Instruction::Gate { gate, .. } => tableau.apply(gate),
+            Instruction::Measure { qubit, .. } => {
+                let out = tableau.measure_z(qubit, || rng.random::<bool>());
+                if matches!(out, MeasureOutcome::Random(_)) {
+                    random_measurements += 1;
+                }
+                record.push(out.bit());
+            }
+            Instruction::Reset { qubit } => tableau.reset_z(qubit, || rng.random::<bool>()),
+            Instruction::Idle { .. } | Instruction::Noise1 { .. } | Instruction::Noise2 { .. } => {}
+        }
+    }
+    let violated_detectors = circuit
+        .detectors
+        .iter()
+        .enumerate()
+        .filter(|(_, det)| {
+            det.measurements
+                .iter()
+                .fold(false, |acc, &m| acc ^ record[m])
+        })
+        .map(|(d, _)| d)
+        .collect();
+    let observable_bits = circuit
+        .observables
+        .iter()
+        .map(|obs| obs.iter().fold(false, |acc, &m| acc ^ record[m]))
+        .collect();
+    ValidationReport {
+        random_measurements,
+        violated_detectors,
+        observable_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GateClass;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vlq_sim::CliffordGate;
+
+    /// A 3-qubit repetition-code memory circuit: two rounds of ZZ parity
+    /// checks via two ancillas, then data readout.
+    fn repetition_circuit(rounds: usize) -> Circuit {
+        // Qubits: data 0,1,2; ancilla 3 (checks 0-1), 4 (checks 1-2).
+        let mut c = Circuit::new(5);
+        let mut prev: Option<(usize, usize)> = None;
+        for r in 0..rounds {
+            for &a in &[3usize, 4] {
+                c.reset(a);
+            }
+            c.gate(CliffordGate::Cnot(0, 3), GateClass::TwoQubitTT);
+            c.gate(CliffordGate::Cnot(1, 3), GateClass::TwoQubitTT);
+            c.gate(CliffordGate::Cnot(1, 4), GateClass::TwoQubitTT);
+            c.gate(CliffordGate::Cnot(2, 4), GateClass::TwoQubitTT);
+            let m3 = c.measure(3);
+            let m4 = c.measure(4);
+            match prev {
+                None => {
+                    c.detector(vec![m3], (0, 0, r as i32));
+                    c.detector(vec![m4], (1, 0, r as i32));
+                }
+                Some((p3, p4)) => {
+                    c.detector(vec![m3, p3], (0, 0, r as i32));
+                    c.detector(vec![m4, p4], (1, 0, r as i32));
+                }
+            }
+            prev = Some((m3, m4));
+        }
+        let d0 = c.measure(0);
+        let d1 = c.measure(1);
+        let d2 = c.measure(2);
+        let (p3, p4) = prev.unwrap();
+        c.detector(vec![d0, d1, p3], (0, 0, rounds as i32));
+        c.detector(vec![d1, d2, p4], (1, 0, rounds as i32));
+        c.observable(vec![d0]);
+        c.check().unwrap();
+        c
+    }
+
+    #[test]
+    fn tableau_validation_passes_for_repetition_code() {
+        let c = repetition_circuit(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let report = validate_with_tableau(&c, &mut rng);
+        assert!(report.passed(), "violations: {:?}", report.violated_detectors);
+        assert_eq!(report.observable_bits, vec![false]);
+    }
+
+    #[test]
+    fn tableau_validation_catches_bad_detector() {
+        let mut c = Circuit::new(1);
+        c.gate(CliffordGate::X(0), GateClass::OneQubit);
+        let m = c.measure(0);
+        c.detector(vec![m], (0, 0, 0)); // outcome is 1, not 0 -> violated
+        let mut rng = SmallRng::seed_from_u64(2);
+        let report = validate_with_tableau(&c, &mut rng);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn noiseless_sampling_has_no_events() {
+        let c = repetition_circuit(2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let res = sample_batch(&c, 256, &mut rng);
+        for d in 0..c.detectors.len() {
+            for lane in 0..256 {
+                assert!(!res.detector_bit(d, lane));
+            }
+        }
+        for lane in 0..256 {
+            assert!(!res.observable_bit(0, lane));
+        }
+    }
+
+    #[test]
+    fn injected_noise_triggers_detectors() {
+        let mut c = repetition_circuit(2);
+        // Certain random Pauli on data 0 before everything: X and Y lanes
+        // (2/3 of them) fire the round-0 detector AND flip the observable;
+        // Z lanes are invisible to a Z-parity code.
+        c.instructions.insert(0, Instruction::Noise1 { qubit: 0, p: 1.0 });
+        let mut rng = SmallRng::seed_from_u64(4);
+        let lanes = 64 * 64;
+        let res = sample_batch(&c, lanes, &mut rng);
+        let mut fired = 0usize;
+        for lane in 0..lanes {
+            assert_eq!(
+                res.detector_bit(0, lane),
+                res.observable_bit(0, lane),
+                "detector and observable must agree lane {lane}"
+            );
+            if res.detector_bit(0, lane) {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / lanes as f64;
+        assert!((rate - 2.0 / 3.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn fault_propagation_data_error() {
+        let c = repetition_circuit(2);
+        // X on data qubit 1 right after the first instruction (reset of
+        // ancilla 3, index 0): flips detectors of both adjacent checks in
+        // round 0 — but NOT the observable (observable is data 0).
+        let eff = propagate_fault(
+            &c,
+            FaultSite::Pauli1 {
+                at: 0,
+                qubit: 1,
+                pauli: Pauli::X,
+            },
+        );
+        assert_eq!(eff.detectors, vec![0, 1]);
+        assert!(eff.observables.is_empty());
+    }
+
+    #[test]
+    fn fault_propagation_measure_flip() {
+        let c = repetition_circuit(3);
+        // Find the first measurement instruction; flipping it flips the
+        // round-0 and round-1 detectors of that ancilla.
+        let at = c
+            .instructions
+            .iter()
+            .position(|i| matches!(i, Instruction::Measure { .. }))
+            .unwrap();
+        let eff = propagate_fault(&c, FaultSite::MeasureFlip { at });
+        assert_eq!(eff.detectors.len(), 2);
+        assert!(eff.observables.is_empty());
+    }
+
+    #[test]
+    fn fault_propagation_observable_flip() {
+        let c = repetition_circuit(1);
+        // X on data 0 before round 0: the round-0 check fires; the final
+        // detector XORs the (flipped) data readout with the (flipped)
+        // round-0 syndrome and cancels. Net: one defect at the time
+        // boundary plus a logical flip — exactly what matches to the
+        // boundary in decoding.
+        let eff = propagate_fault(
+            &c,
+            FaultSite::Pauli1 {
+                at: 0,
+                qubit: 0,
+                pauli: Pauli::X,
+            },
+        );
+        assert_eq!(eff.observables, vec![0]);
+        assert_eq!(eff.detectors, vec![0]);
+    }
+
+    #[test]
+    fn monte_carlo_rate_matches_analytic_single_qubit() {
+        // One qubit, one noise site with p = 0.3, measured: the observable
+        // flip rate must be ~ 2p/3 (X or Y flips the Z measurement).
+        let mut c = Circuit::new(1);
+        c.instructions.push(Instruction::Noise1 { qubit: 0, p: 0.3 });
+        let m = c.measure(0);
+        c.observable(vec![m]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let lanes = 64 * 4000;
+        let res = sample_batch(&c, lanes, &mut rng);
+        let flips = (0..lanes).filter(|&l| res.observable_bit(0, l)).count();
+        let rate = flips as f64 / lanes as f64;
+        let expected = 0.2;
+        assert!(
+            (rate - expected).abs() < 0.01,
+            "rate {rate} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Circuit intermediate representation.
+//!
+//! A [`Circuit`] is a flat instruction list over physical qubits
+//! (transmons *and* cavity modes both get qubit indices), plus the
+//! *detector* and *observable* annotations that turn measurement records
+//! into decodable detection events — the same structure popularized by
+//! stim's detector error models.
+//!
+//! Schedules (in `vlq-surface`) build ideal circuits containing gates,
+//! measurements, resets, and explicit `Idle` markers carrying durations;
+//! the [`crate::noise`] pass then rewrites idles into Pauli channels and
+//! attaches gate/measurement noise according to the hardware model.
+
+use vlq_sim::CliffordGate;
+
+/// Classification of a gate for noise purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateClass {
+    /// Single-qubit gate on a transmon.
+    OneQubit,
+    /// Transmon-transmon two-qubit gate (SC-SC).
+    TwoQubitTT,
+    /// Transmon-cavity-mode two-qubit gate (SC-mode).
+    TwoQubitTM,
+    /// Load/store: transmon-mediated iSWAP between transmon and mode.
+    LoadStore,
+}
+
+/// Storage medium a qubit idles in (which T1 applies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Medium {
+    /// Idling in a transmon.
+    Transmon,
+    /// Idling in a cavity mode.
+    Cavity,
+}
+
+/// What kind of physical site a qubit index refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QubitKind {
+    /// A computational transmon.
+    Transmon,
+    /// A resonant-cavity mode (storage only; operations are mediated by
+    /// its transmon).
+    CavityMode,
+}
+
+/// Debug/visualization metadata for a qubit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QubitMeta {
+    /// Site kind.
+    pub kind: QubitKind,
+    /// `(x, y, z)` coordinate; `z = 0` is the transmon layer, `z = m + 1`
+    /// is cavity mode `m`.
+    pub pos: (i32, i32, i32),
+}
+
+impl Default for QubitMeta {
+    fn default() -> Self {
+        QubitMeta {
+            kind: QubitKind::Transmon,
+            pos: (0, 0, 0),
+        }
+    }
+}
+
+/// One circuit instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instruction {
+    /// An ideal Clifford gate with its noise class.
+    Gate {
+        /// The gate.
+        gate: CliffordGate,
+        /// Noise classification.
+        class: GateClass,
+    },
+    /// Z-basis measurement, appending one record entry. `flip_prob` is
+    /// the classical readout-flip probability (0 until the noise pass).
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Readout flip probability.
+        flip_prob: f64,
+    },
+    /// Reset to `|0>`.
+    Reset {
+        /// Reset qubit.
+        qubit: usize,
+    },
+    /// Idle marker: the qubit waits `duration` seconds in `medium`.
+    /// Replaced by a Pauli channel in the noise pass.
+    Idle {
+        /// Idling qubit.
+        qubit: usize,
+        /// Idle duration in seconds.
+        duration: f64,
+        /// Which coherence time applies.
+        medium: Medium,
+    },
+    /// Uniform single-qubit Pauli channel: X, Y, or Z each with `p / 3`.
+    Noise1 {
+        /// Affected qubit.
+        qubit: usize,
+        /// Total error probability.
+        p: f64,
+    },
+    /// Uniform two-qubit Pauli channel: each of the 15 non-identity pairs
+    /// with `p / 15`.
+    Noise2 {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+        /// Total error probability.
+        p: f64,
+    },
+}
+
+/// A detector: a set of measurement-record indices whose XOR is
+/// deterministic (zero) in the noiseless reference run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Detector {
+    /// Indices into the measurement record.
+    pub measurements: Vec<usize>,
+    /// Diagnostic coordinate `(x, y, time)`.
+    pub coord: (i32, i32, i32),
+}
+
+/// A complete circuit with detector/observable annotations.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    /// Number of qubits (transmons + cavity modes).
+    pub num_qubits: usize,
+    /// Flat instruction list.
+    pub instructions: Vec<Instruction>,
+    /// Detector definitions.
+    pub detectors: Vec<Detector>,
+    /// Logical observables: sets of measurement indices whose XOR gives
+    /// the logical outcome.
+    pub observables: Vec<Vec<usize>>,
+    /// Optional per-qubit metadata (empty or `num_qubits` long).
+    pub qubit_meta: Vec<QubitMeta>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of measurements in the circuit.
+    pub fn num_measurements(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Measure { .. }))
+            .count()
+    }
+
+    /// Appends a gate.
+    pub fn gate(&mut self, gate: CliffordGate, class: GateClass) -> &mut Self {
+        self.check_gate(gate);
+        self.instructions.push(Instruction::Gate { gate, class });
+        self
+    }
+
+    /// Appends a measurement and returns its record index.
+    pub fn measure(&mut self, qubit: usize) -> usize {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        let idx = self.num_measurements();
+        self.instructions.push(Instruction::Measure {
+            qubit,
+            flip_prob: 0.0,
+        });
+        idx
+    }
+
+    /// Appends a reset.
+    pub fn reset(&mut self, qubit: usize) -> &mut Self {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        self.instructions.push(Instruction::Reset { qubit });
+        self
+    }
+
+    /// Appends an idle marker.
+    pub fn idle(&mut self, qubit: usize, duration: f64, medium: Medium) -> &mut Self {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        assert!(duration >= 0.0, "idle duration must be non-negative");
+        if duration > 0.0 {
+            self.instructions.push(Instruction::Idle {
+                qubit,
+                duration,
+                medium,
+            });
+        }
+        self
+    }
+
+    /// Declares a detector over the given measurement indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index refers to a measurement that does not exist
+    /// yet.
+    pub fn detector(&mut self, measurements: Vec<usize>, coord: (i32, i32, i32)) -> usize {
+        let n = self.num_measurements();
+        for &m in &measurements {
+            assert!(m < n, "detector references future measurement {m}");
+        }
+        self.detectors.push(Detector {
+            measurements,
+            coord,
+        });
+        self.detectors.len() - 1
+    }
+
+    /// Declares a logical observable over measurement indices; returns its
+    /// index.
+    pub fn observable(&mut self, measurements: Vec<usize>) -> usize {
+        let n = self.num_measurements();
+        for &m in &measurements {
+            assert!(m < n, "observable references future measurement {m}");
+        }
+        self.observables.push(measurements);
+        self.observables.len() - 1
+    }
+
+    fn check_gate(&self, gate: CliffordGate) {
+        let (a, b) = gate.qubits();
+        assert!(a < self.num_qubits, "qubit {a} out of range");
+        if let Some(b) = b {
+            assert!(b < self.num_qubits, "qubit {b} out of range");
+            assert_ne!(a, b, "two-qubit gate on identical qubits");
+        }
+    }
+
+    /// Counts instructions of each broad kind `(gates, measures, resets,
+    /// idles, noise)`.
+    pub fn instruction_census(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for i in &self.instructions {
+            match i {
+                Instruction::Gate { .. } => c.0 += 1,
+                Instruction::Measure { .. } => c.1 += 1,
+                Instruction::Reset { .. } => c.2 += 1,
+                Instruction::Idle { .. } => c.3 += 1,
+                Instruction::Noise1 { .. } | Instruction::Noise2 { .. } => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    /// Validates structural invariants (indices in range, detectors refer
+    /// to real measurements).
+    pub fn check(&self) -> Result<(), String> {
+        let n_meas = self.num_measurements();
+        for d in &self.detectors {
+            if d.measurements.is_empty() {
+                return Err("empty detector".into());
+            }
+            for &m in &d.measurements {
+                if m >= n_meas {
+                    return Err(format!("detector measurement {m} out of range"));
+                }
+            }
+        }
+        for o in &self.observables {
+            for &m in o {
+                if m >= n_meas {
+                    return Err(format!("observable measurement {m} out of range"));
+                }
+            }
+        }
+        if !self.qubit_meta.is_empty() && self.qubit_meta.len() != self.num_qubits {
+            return Err("qubit_meta length mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_circuit() {
+        let mut c = Circuit::new(3);
+        c.gate(CliffordGate::H(0), GateClass::OneQubit);
+        c.gate(CliffordGate::Cnot(0, 1), GateClass::TwoQubitTT);
+        let m0 = c.measure(0);
+        let m1 = c.measure(1);
+        assert_eq!((m0, m1), (0, 1));
+        c.detector(vec![m0, m1], (0, 0, 0));
+        c.observable(vec![m0]);
+        c.check().unwrap();
+        assert_eq!(c.num_measurements(), 2);
+        let (g, m, r, i, n) = c.instruction_census();
+        assert_eq!((g, m, r, i, n), (2, 2, 0, 0, 0));
+    }
+
+    #[test]
+    fn idle_zero_duration_elided() {
+        let mut c = Circuit::new(1);
+        c.idle(0, 0.0, Medium::Cavity);
+        assert!(c.instructions.is_empty());
+        c.idle(0, 1e-6, Medium::Cavity);
+        assert_eq!(c.instructions.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gate_bounds_checked() {
+        let mut c = Circuit::new(2);
+        c.gate(CliffordGate::H(2), GateClass::OneQubit);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn two_qubit_gate_distinct() {
+        let mut c = Circuit::new(2);
+        c.gate(CliffordGate::Cnot(1, 1), GateClass::TwoQubitTT);
+    }
+
+    #[test]
+    #[should_panic(expected = "future measurement")]
+    fn detector_cannot_reference_future() {
+        let mut c = Circuit::new(1);
+        c.detector(vec![0], (0, 0, 0));
+    }
+}

@@ -1,0 +1,412 @@
+//! Matching-graph construction by exhaustive single-fault enumeration.
+//!
+//! Every noise instruction of a noisy circuit defines a set of
+//! elementary faults (3 Paulis for a 1-qubit channel, 15 for a 2-qubit
+//! channel, one flip per measurement). Each fault is propagated
+//! deterministically ([`vlq_circuit::exec::propagate_fault`]) to find
+//! the detectors and observables it flips. Within one decoding sector
+//! (Z-plaquette or X-plaquette detectors), a fault flips at most two
+//! detectors for graphlike noise; faults that flip more are decomposed
+//! into known graphlike edges, as modern detector-error-model tooling
+//! does.
+
+use std::collections::HashMap;
+
+use vlq_circuit::exec::{propagate_fault, FaultSite};
+use vlq_circuit::ir::{Circuit, Instruction};
+use vlq_math::stats::{log_odds_weight, xor_probability};
+use vlq_pauli::Pauli;
+
+/// Virtual boundary node id inside [`DecodingGraph`].
+pub const BOUNDARY: usize = usize::MAX;
+
+/// One edge of the decoding graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphEdge {
+    /// Total probability that some fault flips exactly this detector
+    /// pair (XOR-accumulated).
+    pub probability: f64,
+    /// Matching weight `ln((1-p)/p)`.
+    pub weight: f64,
+    /// Whether traversing this edge flips the logical observable.
+    pub flips_observable: bool,
+}
+
+/// A per-sector decoding graph over `num_nodes` detectors plus a virtual
+/// boundary.
+#[derive(Clone, Debug)]
+pub struct DecodingGraph {
+    num_nodes: usize,
+    /// Edge map keyed by `(a, b)` with `a < b` (`b` may be [`BOUNDARY`]).
+    edges: HashMap<(usize, usize), GraphEdge>,
+    /// Count of faults that produced more than two sector detectors and
+    /// needed decomposition.
+    pub decomposed_faults: usize,
+    /// Probability mass of faults that flipped the observable with *no*
+    /// sector detectors (should be ~0 for a sound circuit).
+    pub undetectable_logical_mass: f64,
+}
+
+impl DecodingGraph {
+    /// Number of detector nodes (excluding the boundary).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges (including boundary edges).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Looks up an edge.
+    pub fn edge(&self, a: usize, b: usize) -> Option<&GraphEdge> {
+        self.edges.get(&ordered(a, b))
+    }
+
+    /// Iterates over `((a, b), edge)` pairs; `b` may be [`BOUNDARY`].
+    pub fn iter_edges(&self) -> impl Iterator<Item = (&(usize, usize), &GraphEdge)> {
+        self.edges.iter()
+    }
+
+    /// Adjacency list form: `adj[node] = [(neighbor-or-BOUNDARY, weight,
+    /// flips_observable)]`.
+    pub fn adjacency(&self) -> Vec<Vec<(usize, f64, bool)>> {
+        let mut adj = vec![Vec::new(); self.num_nodes];
+        for (&(a, b), e) in &self.edges {
+            if b == BOUNDARY {
+                adj[a].push((BOUNDARY, e.weight, e.flips_observable));
+            } else {
+                adj[a].push((b, e.weight, e.flips_observable));
+                adj[b].push((a, e.weight, e.flips_observable));
+            }
+        }
+        adj
+    }
+
+    fn accumulate(&mut self, a: usize, b: usize, p: f64, obs: bool) {
+        let key = ordered(a, b);
+        let entry = self.edges.entry(key).or_insert(GraphEdge {
+            probability: 0.0,
+            weight: f64::INFINITY,
+            flips_observable: obs,
+        });
+        // Keep the observable parity of the dominant contribution; in a
+        // sound surface-code circuit all contributions to one edge agree.
+        entry.probability = xor_probability(entry.probability, p);
+        entry.weight = log_odds_weight(entry.probability);
+    }
+
+    /// Builds the decoding graph for the *guard* sector of a noisy
+    /// circuit (the sector whose errors flip the memory observable):
+    /// observable flips are attributed to the edges.
+    pub fn build(circuit: &Circuit, sector_detectors: &[usize]) -> Self {
+        Self::build_with_attribution(circuit, sector_detectors, true)
+    }
+
+    /// Builds the decoding graph for a non-guard sector: the observable
+    /// is attributed to the other sector's components, so every edge here
+    /// carries `flips_observable = false`.
+    pub fn build_non_guard(circuit: &Circuit, sector_detectors: &[usize]) -> Self {
+        Self::build_with_attribution(circuit, sector_detectors, false)
+    }
+
+    /// Builds the decoding graph for a sector of a noisy circuit.
+    ///
+    /// `sector_detectors` lists the global detector indices that belong
+    /// to the sector, in the order that defines the graph's node ids.
+    ///
+    /// A single fault (e.g. a Y error) can flip detectors in both
+    /// sectors; its observable flip belongs to the component in the
+    /// guard sector (for a Z memory, only the X-error component can flip
+    /// the logical Z). `attribute_observable` selects whether this graph
+    /// receives those attributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault flips more than two sector detectors and cannot
+    /// be decomposed into existing graphlike edges.
+    pub fn build_with_attribution(
+        circuit: &Circuit,
+        sector_detectors: &[usize],
+        attribute_observable: bool,
+    ) -> Self {
+        let mut sector_index: HashMap<usize, usize> = HashMap::new();
+        for (i, &d) in sector_detectors.iter().enumerate() {
+            sector_index.insert(d, i);
+        }
+        let mut graph = DecodingGraph {
+            num_nodes: sector_detectors.len(),
+            edges: HashMap::new(),
+            decomposed_faults: 0,
+            undetectable_logical_mass: 0.0,
+        };
+        // Collect (sector detector list, obs flip, probability) per fault;
+        // multi-detector faults wait for the second pass.
+        let mut pending: Vec<(Vec<usize>, bool, f64)> = Vec::new();
+        for_each_fault(circuit, |site, p| {
+            if p <= 0.0 {
+                return;
+            }
+            let effect = propagate_fault(circuit, site);
+            let dets: Vec<usize> = effect
+                .detectors
+                .iter()
+                .filter_map(|d| sector_index.get(d).copied())
+                .collect();
+            let obs = attribute_observable && effect.observables.contains(&0);
+            match dets.len() {
+                0 => {
+                    if obs {
+                        graph.undetectable_logical_mass += p;
+                    }
+                }
+                1 => graph.accumulate(dets[0], BOUNDARY, p, obs),
+                2 => graph.accumulate(dets[0], dets[1], p, obs),
+                _ => pending.push((dets, obs, p)),
+            }
+        });
+        // Second pass: decompose multi-detector faults into existing
+        // graphlike edges (pairs or boundary singletons) whose combined
+        // observable parity matches.
+        for (dets, obs, p) in pending {
+            graph.decomposed_faults += 1;
+            let parts = decompose(&graph, &dets, obs).unwrap_or_else(|| {
+                panic!(
+                    "fault with detectors {dets:?} (obs {obs}) cannot be \
+                     decomposed into graphlike edges"
+                )
+            });
+            for (a, b, part_obs) in parts {
+                graph.accumulate(a, b, p, part_obs);
+            }
+        }
+        graph
+    }
+}
+
+fn ordered(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Enumerates every elementary fault of a noisy circuit.
+pub fn for_each_fault(circuit: &Circuit, mut visit: impl FnMut(FaultSite, f64)) {
+    for (at, inst) in circuit.instructions.iter().enumerate() {
+        match *inst {
+            Instruction::Noise1 { qubit, p } => {
+                for pauli in Pauli::ERRORS {
+                    visit(FaultSite::Pauli1 { at, qubit, pauli }, p / 3.0);
+                }
+            }
+            Instruction::Noise2 { a, b, p } => {
+                for pa in Pauli::ALL {
+                    for pb in Pauli::ALL {
+                        if pa == Pauli::I && pb == Pauli::I {
+                            continue;
+                        }
+                        visit(
+                            FaultSite::Pauli2 {
+                                at,
+                                a: (a, pa),
+                                b: (b, pb),
+                            },
+                            p / 15.0,
+                        );
+                    }
+                }
+            }
+            Instruction::Measure { flip_prob, .. } => {
+                if flip_prob > 0.0 {
+                    visit(FaultSite::MeasureFlip { at }, flip_prob);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Tries to split a multi-detector fault into existing edges. Searches
+/// pairings of the (<= 4 in practice) detectors, allowing boundary
+/// singletons, such that every part is an existing edge and the XOR of
+/// part observable-parities equals the fault's.
+fn decompose(
+    graph: &DecodingGraph,
+    dets: &[usize],
+    obs: bool,
+) -> Option<Vec<(usize, usize, bool)>> {
+    fn search(
+        graph: &DecodingGraph,
+        remaining: &mut Vec<usize>,
+        acc: &mut Vec<(usize, usize, bool)>,
+        out: &mut Option<Vec<(usize, usize, bool)>>,
+        target_obs: bool,
+    ) {
+        if out.is_some() {
+            return;
+        }
+        if remaining.is_empty() {
+            let parity = acc.iter().fold(false, |x, e| x ^ e.2);
+            if parity == target_obs {
+                *out = Some(acc.clone());
+            }
+            return;
+        }
+        let first = remaining[0];
+        // Pair `first` with another remaining detector.
+        for i in 1..remaining.len() {
+            let other = remaining[i];
+            if let Some(e) = graph.edge(first, other) {
+                let mut rest: Vec<usize> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&d| d != first && d != other)
+                    .collect();
+                acc.push((first, other, e.flips_observable));
+                search(graph, &mut rest, acc, out, target_obs);
+                acc.pop();
+            }
+        }
+        // Or send it to the boundary.
+        if let Some(e) = graph.edge(first, BOUNDARY) {
+            let mut rest: Vec<usize> = remaining[1..].to_vec();
+            acc.push((first, BOUNDARY, e.flips_observable));
+            search(graph, &mut rest, acc, out, target_obs);
+            acc.pop();
+        }
+    }
+    let mut remaining = dets.to_vec();
+    let mut acc = Vec::new();
+    let mut out = None;
+    search(graph, &mut remaining, &mut acc, &mut out, obs);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlq_arch::params::{ErrorRates, HardwareParams};
+    use vlq_circuit::noise::NoiseModel;
+    use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+
+    fn noisy_baseline(d: usize, p: f64) -> (Circuit, Vec<usize>, Vec<usize>) {
+        let spec = MemorySpec::standard(Setup::Baseline, d, 1, Basis::Z);
+        let mc = memory_circuit(spec, &HardwareParams::baseline());
+        let noisy = NoiseModel::baseline_at_scale(p).apply(&mc.circuit);
+        (noisy, mc.z_detectors, mc.x_detectors)
+    }
+
+    #[test]
+    fn baseline_graph_structure() {
+        let (noisy, z_dets, _) = noisy_baseline(3, 1e-3);
+        let g = DecodingGraph::build(&noisy, &z_dets);
+        assert_eq!(g.num_nodes(), z_dets.len());
+        assert!(g.num_edges() > z_dets.len(), "graph should be connected-ish");
+        // No undetectable logical errors in a sound circuit.
+        assert!(g.undetectable_logical_mass == 0.0);
+        // Boundary edges must exist (side plaquettes see single-detector
+        // faults).
+        let has_boundary = g.iter_edges().any(|(&(_, b), _)| b == BOUNDARY);
+        assert!(has_boundary);
+    }
+
+    #[test]
+    fn all_weights_positive_and_finite() {
+        let (noisy, z_dets, _) = noisy_baseline(3, 2e-3);
+        let g = DecodingGraph::build(&noisy, &z_dets);
+        for (_, e) in g.iter_edges() {
+            assert!(e.probability > 0.0 && e.probability < 0.5);
+            assert!(e.weight.is_finite() && e.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn observable_edges_touch_logical_support() {
+        // Some edges must flip the observable (the logical-Z column data
+        // errors), and some must not.
+        let (noisy, z_dets, _) = noisy_baseline(3, 1e-3);
+        let g = DecodingGraph::build(&noisy, &z_dets);
+        let flipping = g.iter_edges().filter(|(_, e)| e.flips_observable).count();
+        let silent = g.iter_edges().filter(|(_, e)| !e.flips_observable).count();
+        assert!(flipping > 0);
+        assert!(silent > 0);
+    }
+
+    #[test]
+    fn x_sector_never_flips_z_observable() {
+        // In a Z-basis memory, the logical flip belongs to the guard
+        // (Z-plaquette) sector; the X-sector graph carries none.
+        let (noisy, _, x_dets) = noisy_baseline(3, 1e-3);
+        let g = DecodingGraph::build_non_guard(&noisy, &x_dets);
+        for (_, e) in g.iter_edges() {
+            assert!(!e.flips_observable);
+        }
+        // Y faults on logical-support data make the naive attribution
+        // differ: with guard attribution on the X sector, some edges
+        // would claim the observable.
+        let g_wrong = DecodingGraph::build(&noisy, &x_dets);
+        assert!(g_wrong.iter_edges().any(|(_, e)| e.flips_observable));
+    }
+
+    #[test]
+    fn memory_setups_produce_sound_graphs() {
+        for setup in [Setup::NaturalInterleaved, Setup::CompactInterleaved] {
+            let spec = MemorySpec::standard(setup, 3, 3, Basis::Z);
+            let mc = memory_circuit(spec, &HardwareParams::with_memory());
+            let noisy = NoiseModel::memory_at_scale(2e-3).apply(&mc.circuit);
+            let g = DecodingGraph::build(&noisy, &mc.z_detectors);
+            assert_eq!(
+                g.undetectable_logical_mass, 0.0,
+                "{setup}: undetectable logical faults"
+            );
+            for (_, e) in g.iter_edges() {
+                assert!(e.weight.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn higher_noise_means_lower_weights() {
+        let (noisy_lo, z_lo, _) = noisy_baseline(3, 1e-3);
+        let (noisy_hi, z_hi, _) = noisy_baseline(3, 8e-3);
+        let g_lo = DecodingGraph::build(&noisy_lo, &z_lo);
+        let g_hi = DecodingGraph::build(&noisy_hi, &z_hi);
+        // Compare a common edge.
+        let (&key, e_lo) = g_lo.iter_edges().next().unwrap();
+        let e_hi = g_hi.edge(key.0, key.1).expect("same structure");
+        assert!(e_hi.weight < e_lo.weight);
+    }
+
+    #[test]
+    fn fault_enumeration_counts() {
+        let mut c = Circuit::new(2);
+        c.instructions.push(Instruction::Noise1 { qubit: 0, p: 0.1 });
+        c.instructions.push(Instruction::Noise2 { a: 0, b: 1, p: 0.1 });
+        let m = c.measure(0);
+        // Give the measurement a flip probability manually.
+        if let Instruction::Measure { flip_prob, .. } = &mut c.instructions[2] {
+            *flip_prob = 0.05;
+        }
+        let _ = m;
+        let mut count = 0;
+        let mut total_p = 0.0;
+        for_each_fault(&c, |_, p| {
+            count += 1;
+            total_p += p;
+        });
+        assert_eq!(count, 3 + 15 + 1);
+        assert!((total_p - (0.1 + 0.1 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_circuit_has_empty_graph() {
+        let spec = MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z);
+        let mc = memory_circuit(spec, &HardwareParams::baseline());
+        let model = NoiseModel::new(HardwareParams::baseline(), ErrorRates::noiseless());
+        let noisy = model.apply(&mc.circuit);
+        let g = DecodingGraph::build(&noisy, &mc.z_detectors);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Decoders for the VLQ reproduction.
+//!
+//! The decoding pipeline mirrors the modern detector-error-model
+//! approach:
+//!
+//! 1. [`graph`] builds a per-sector matching graph by exhaustively
+//!    propagating every possible single fault of the noisy circuit and
+//!    recording which detectors (and logical observables) it flips,
+//!    with edge weights `ln((1-p)/p)`.
+//! 2. [`mwpm`] decodes a defect set by Dijkstra distances on that graph
+//!    followed by exact minimum-weight perfect matching ([`blossom`]) —
+//!    the paper's "usual maximum likelihood [matching] decoder".
+//! 3. [`unionfind`] offers the weighted Union-Find decoder as a faster
+//!    alternative (used in the decoder ablation bench).
+
+pub mod blossom;
+pub mod graph;
+pub mod mwpm;
+pub mod unionfind;
+
+pub use graph::{DecodingGraph, GraphEdge};
+pub use mwpm::MwpmDecoder;
+pub use unionfind::UnionFindDecoder;
+
+/// Common interface for sector decoders: given the defect list (indices
+/// into the sector's detector set), predict whether the logical
+/// observable flipped.
+pub trait Decoder {
+    /// Predicts the observable flip for a defect set.
+    fn decode(&self, defects: &[usize]) -> bool;
+}

@@ -1,0 +1,354 @@
+//! Weighted Union-Find decoder (Delfosse-Nickerson style).
+//!
+//! Clusters grow outward from defects in weight units; odd clusters keep
+//! growing until they merge with another odd cluster or touch the
+//! boundary. Once every cluster is neutral, defects are paired *within*
+//! their cluster by shortest paths, which determines the predicted
+//! logical flip. Union-Find trades a little accuracy for near-linear
+//! decoding time; the `decoder` Criterion bench and the `fig11
+//! --decoder uf` ablation quantify the trade against exact MWPM.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{DecodingGraph, BOUNDARY};
+use crate::Decoder;
+
+/// The Union-Find decoder.
+#[derive(Clone, Debug)]
+pub struct UnionFindDecoder {
+    adjacency: Vec<Vec<(usize, f64, bool)>>,
+    num_nodes: usize,
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+    /// Defect-count parity per root.
+    parity: Vec<bool>,
+    /// Whether the cluster has absorbed the boundary.
+    boundary: Vec<bool>,
+}
+
+impl Dsu {
+    fn new(n: usize, defects: &[usize]) -> Self {
+        let mut parity = vec![false; n + 1];
+        for &d in defects {
+            parity[d] = true;
+        }
+        Dsu {
+            parent: (0..=n).collect(),
+            parity,
+            boundary: (0..=n).map(|i| i == n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        self.parent[rb] = ra;
+        let p = self.parity[ra] ^ self.parity[rb];
+        self.parity[ra] = p;
+        let bd = self.boundary[ra] || self.boundary[rb];
+        self.boundary[ra] = bd;
+    }
+
+    fn is_neutral(&mut self, x: usize) -> bool {
+        let r = self.find(x);
+        !self.parity[r] || self.boundary[r]
+    }
+}
+
+impl UnionFindDecoder {
+    /// Builds a decoder for a sector graph.
+    pub fn new(graph: &DecodingGraph) -> Self {
+        UnionFindDecoder {
+            adjacency: graph.adjacency(),
+            num_nodes: graph.num_nodes(),
+        }
+    }
+
+    /// Grows clusters until all are neutral; returns the union-find
+    /// structure and, for every node reached, the defect it was reached
+    /// from with path parity (a growth forest).
+    fn grow(&self, defects: &[usize]) -> (Dsu, Vec<Vec<(usize, f64, bool)>>) {
+        let n = self.num_nodes;
+        let boundary_node = n;
+        let mut dsu = Dsu::new(n, defects);
+        // Multi-source Dijkstra-style growth: each defect grows a region;
+        // when two regions meet (edge fully covered from both sides, here
+        // approximated by first contact), the clusters merge.
+        let mut owner = vec![usize::MAX; n + 1]; // which defect reached it
+        let mut dist = vec![f64::INFINITY; n + 1];
+        let mut parity = vec![false; n + 1]; // obs parity from owner
+        let mut heap: BinaryHeap<GrowItem> = BinaryHeap::new();
+        for &d in defects {
+            owner[d] = d;
+            dist[d] = 0.0;
+            heap.push(GrowItem {
+                dist: 0.0,
+                node: d,
+                src: d,
+            });
+        }
+        // Edges (in adjacency order) actually used to connect regions:
+        // recorded for the pairing pass.
+        let mut contacts: Vec<Vec<(usize, f64, bool)>> = vec![Vec::new(); n + 1];
+        while let Some(GrowItem { dist: dcur, node, src }) = heap.pop() {
+            if owner[node] != src && owner[node] != usize::MAX {
+                continue;
+            }
+            if node == boundary_node {
+                continue;
+            }
+            for &(nb, w, obs) in &self.adjacency[node] {
+                let nbi = if nb == BOUNDARY { boundary_node } else { nb };
+                let nd = dcur + w;
+                if owner[nbi] == usize::MAX {
+                    owner[nbi] = src;
+                    dist[nbi] = nd;
+                    parity[nbi] = parity[node] ^ obs;
+                    dsu.union(src, nbi);
+                    if nbi != boundary_node {
+                        heap.push(GrowItem {
+                            dist: nd,
+                            node: nbi,
+                            src,
+                        });
+                    }
+                } else if dsu.find(owner[nbi]) != dsu.find(src) {
+                    // Two regions touch: merge their clusters and record
+                    // the contact (total path defect->defect parity).
+                    let contact_parity = parity[node] ^ obs ^ parity[nbi];
+                    let contact_dist = nd + dist[nbi];
+                    let other = owner[nbi];
+                    dsu.union(src, other);
+                    contacts[src].push((other, contact_dist, contact_parity));
+                    contacts[other].push((src, contact_dist, contact_parity));
+                }
+            }
+            // Stop early if every defect's cluster is neutral.
+            if defects.iter().all(|&d| dsu.is_neutral(d)) {
+                break;
+            }
+        }
+        // Boundary contacts: a region that reached the boundary records a
+        // contact to the virtual boundary defect (usize::MAX marker kept
+        // implicit via dsu.boundary).
+        let mut boundary_contact: Vec<Option<(f64, bool)>> = vec![None; n + 1];
+        if owner[boundary_node] != usize::MAX {
+            boundary_contact[owner[boundary_node]] =
+                Some((dist[boundary_node], parity[boundary_node]));
+        }
+        // Fold boundary contact info into contacts of that defect.
+        for (d, bc) in boundary_contact.iter().enumerate() {
+            if let Some((bd, bp)) = bc {
+                contacts[d].push((boundary_node, *bd, *bp));
+            }
+        }
+        (dsu, contacts)
+    }
+
+    /// Predicts the logical flip by pairing defects within clusters along
+    /// the recorded contact forest.
+    fn pair_and_predict(&self, defects: &[usize], dsu: &mut Dsu, contacts: &[Vec<(usize, f64, bool)>]) -> bool {
+        let boundary_node = self.num_nodes;
+        // Group defects by cluster root.
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for &d in defects {
+            by_root.entry(dsu.find(d)).or_default().push(d);
+        }
+        let mut flip = false;
+        for (_, members) in by_root {
+            // Pair members greedily along contact edges (spanning-tree
+            // peeling): repeatedly take the cheapest contact between two
+            // unpaired members; leftovers go to the boundary contact.
+            let mut unpaired: std::collections::HashSet<usize> = members.iter().copied().collect();
+            let mut pairs: Vec<(usize, usize, f64, bool)> = Vec::new();
+            for &m in &members {
+                for &(other, d, p) in &contacts[m] {
+                    if other != boundary_node && m < other {
+                        pairs.push((m, other, d, p));
+                    }
+                }
+            }
+            pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal));
+            for (a, b, _, p) in pairs {
+                if unpaired.contains(&a) && unpaired.contains(&b) {
+                    unpaired.remove(&a);
+                    unpaired.remove(&b);
+                    flip ^= p;
+                }
+            }
+            // Remaining defects: send to boundary via their recorded (or
+            // nearest) boundary parity.
+            for m in unpaired {
+                if let Some(&(_, _, p)) = contacts[m]
+                    .iter()
+                    .find(|(other, _, _)| *other == boundary_node)
+                {
+                    flip ^= p;
+                } else {
+                    // Fall back to a direct Dijkstra to the boundary.
+                    flip ^= self.boundary_parity(m);
+                }
+            }
+        }
+        flip
+    }
+
+    /// Dijkstra fallback: observable parity of the shortest path from a
+    /// node to the boundary.
+    fn boundary_parity(&self, src: usize) -> bool {
+        let n = self.num_nodes;
+        let mut dist = vec![f64::INFINITY; n + 1];
+        let mut parity = vec![false; n + 1];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(GrowItem {
+            dist: 0.0,
+            node: src,
+            src,
+        });
+        while let Some(GrowItem { dist: d, node, .. }) = heap.pop() {
+            if node == n {
+                return parity[n];
+            }
+            if d > dist[node] {
+                continue;
+            }
+            for &(nb, w, obs) in &self.adjacency[node] {
+                let nbi = if nb == BOUNDARY { n } else { nb };
+                if d + w < dist[nbi] {
+                    dist[nbi] = d + w;
+                    parity[nbi] = parity[node] ^ obs;
+                    heap.push(GrowItem {
+                        dist: d + w,
+                        node: nbi,
+                        src,
+                    });
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Decoder for UnionFindDecoder {
+    fn decode(&self, defects: &[usize]) -> bool {
+        if defects.is_empty() {
+            return false;
+        }
+        let (mut dsu, contacts) = self.grow(defects);
+        self.pair_and_predict(defects, &mut dsu, &contacts)
+    }
+}
+
+struct GrowItem {
+    dist: f64,
+    node: usize,
+    src: usize,
+}
+
+impl PartialEq for GrowItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for GrowItem {}
+impl PartialOrd for GrowItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GrowItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DecodingGraph;
+    use crate::mwpm::MwpmDecoder;
+    use vlq_arch::params::HardwareParams;
+    use vlq_circuit::noise::NoiseModel;
+    use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+
+    fn graph_for(d: usize, p: f64) -> DecodingGraph {
+        let spec = MemorySpec::standard(Setup::Baseline, d, 1, Basis::Z);
+        let mc = memory_circuit(spec, &HardwareParams::baseline());
+        let noisy = NoiseModel::baseline_at_scale(p).apply(&mc.circuit);
+        DecodingGraph::build(&noisy, &mc.z_detectors)
+    }
+
+    #[test]
+    fn empty_defects_no_flip() {
+        let g = graph_for(3, 1e-3);
+        let dec = UnionFindDecoder::new(&g);
+        assert!(!dec.decode(&[]));
+    }
+
+    #[test]
+    fn agrees_with_mwpm_on_single_faults() {
+        let g = graph_for(3, 1e-3);
+        let uf = UnionFindDecoder::new(&g);
+        let mw = MwpmDecoder::new(&g);
+        for (&(a, b), _) in g.iter_edges() {
+            let defects: Vec<usize> = if b == crate::graph::BOUNDARY {
+                vec![a]
+            } else {
+                vec![a, b]
+            };
+            assert_eq!(
+                uf.decode(&defects),
+                mw.decode(&defects),
+                "disagree on edge ({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn mostly_agrees_with_mwpm_on_random_sparse_defects() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let g = graph_for(5, 2e-3);
+        let uf = UnionFindDecoder::new(&g);
+        let mw = MwpmDecoder::new(&g);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut agree = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            // Sparse random defect sets (2-4 defects).
+            let k = rng.random_range(1..3usize) * 2;
+            let mut defects: Vec<usize> = Vec::new();
+            while defects.len() < k {
+                let d = rng.random_range(0..g.num_nodes());
+                if !defects.contains(&d) {
+                    defects.push(d);
+                }
+            }
+            if uf.decode(&defects) == mw.decode(&defects) {
+                agree += 1;
+            }
+        }
+        // UF is approximate, but on sparse defects it should agree with
+        // MWPM the vast majority of the time.
+        assert!(agree * 10 >= trials * 8, "agreement {agree}/{trials}");
+    }
+}

@@ -1,0 +1,171 @@
+//! The 15-to-1 T-state distillation protocol (Bravyi-Haah), analyzed
+//! exactly.
+//!
+//! Fifteen noisy `|T>` states are injected into the 15-qubit quantum
+//! Reed-Muller code; the X-stabilizers are measured and the output is
+//! kept only when all four are trivial. Faulty inputs act as Z errors on
+//! the code qubits, so the entire protocol reduces to GF(2) linear
+//! algebra over the input error pattern — no sampling needed:
+//!
+//! * a pattern `e` passes post-selection iff `A e = 0` where `A` is the
+//!   4x15 X-stabilizer matrix (`RM(1,4)*`),
+//! * a passing pattern flips the output T state iff it has odd overlap
+//!   with the logical operator (all-ones).
+//!
+//! Enumerating all 2^15 patterns gives the exact acceptance probability
+//! and output error rate; the famous `35 p^3` coefficient is the number
+//! of weight-3 codewords of the punctured Reed-Muller code.
+
+use vlq_math::gf2::BitVec;
+use vlq_math::rm::QuantumReedMuller15;
+
+/// Exact statistics of one 15-to-1 distillation round at input error
+/// probability `p` per T state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistillationStats {
+    /// Input T-state error probability.
+    pub p_in: f64,
+    /// Probability the round passes post-selection.
+    pub acceptance: f64,
+    /// Output error probability, conditioned on acceptance.
+    pub p_out: f64,
+}
+
+impl DistillationStats {
+    /// Expected number of input T states consumed per accepted output.
+    pub fn expected_inputs_per_output(&self) -> f64 {
+        15.0 / self.acceptance
+    }
+}
+
+/// Computes exact 15-to-1 statistics by enumerating all error patterns.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_magic::distill::distillation_stats;
+///
+/// let s = distillation_stats(1e-3);
+/// // p_out ~ 35 p^3 at small p.
+/// let predicted = 35.0 * 1e-9;
+/// assert!((s.p_out - predicted).abs() / predicted < 0.05);
+/// ```
+pub fn distillation_stats(p: f64) -> DistillationStats {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let code = QuantumReedMuller15::new();
+    let a = &code.x_stabilizers;
+    let n = 15usize;
+    let mut accept_mass = 0.0f64;
+    let mut error_mass = 0.0f64;
+    for pattern in 0u32..(1 << n) {
+        let weight = pattern.count_ones() as usize;
+        let prob = p.powi(weight as i32) * (1.0 - p).powi((n - weight) as i32);
+        if prob == 0.0 {
+            continue;
+        }
+        let e = BitVec::from_bits((0..n).map(|i| pattern >> i & 1 == 1));
+        if a.mul_vec(&e).is_zero() {
+            accept_mass += prob;
+            if weight % 2 == 1 {
+                // Odd overlap with the all-ones logical: output flipped.
+                error_mass += prob;
+            }
+        }
+    }
+    DistillationStats {
+        p_in: p,
+        acceptance: accept_mass,
+        p_out: if accept_mass > 0.0 {
+            error_mass / accept_mass
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The number of weight-3 undetected patterns — the leading coefficient
+/// of the output error (`p_out ≈ UNDETECTED_WEIGHT3 * p^3`).
+pub const UNDETECTED_WEIGHT3: usize = 35;
+
+/// Number of distillation levels needed to reach a target output error
+/// starting from `p_in`, using exact per-level statistics.
+///
+/// Returns `None` if 10 levels do not suffice (the input is above the
+/// distillation threshold of the protocol).
+pub fn levels_to_reach(p_in: f64, target: f64) -> Option<usize> {
+    let mut p = p_in;
+    for level in 0..=10 {
+        if p <= target {
+            return Some(level);
+        }
+        let next = distillation_stats(p).p_out;
+        if next >= p {
+            return None; // above distillation threshold
+        }
+        p = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_law_at_small_p() {
+        for &p in &[1e-4, 1e-3, 5e-3] {
+            let s = distillation_stats(p);
+            let predicted = 35.0 * p.powi(3);
+            let ratio = s.p_out / predicted;
+            assert!(
+                (ratio - 1.0).abs() < 0.2,
+                "p={p}: p_out {} vs 35p^3 {predicted}",
+                s.p_out
+            );
+        }
+    }
+
+    #[test]
+    fn acceptance_near_one_minus_15p() {
+        // To first order the round rejects when any single error trips a
+        // stabilizer; weight-1 patterns always do (the X-stabilizers have
+        // full support coverage), so acceptance ~ (1-p)^15 + O(p^2)...
+        let p = 1e-3;
+        let s = distillation_stats(p);
+        let first_order = 1.0 - 15.0 * p;
+        assert!((s.acceptance - first_order).abs() < 5e-4, "{}", s.acceptance);
+    }
+
+    #[test]
+    fn zero_and_extreme_inputs() {
+        let s = distillation_stats(0.0);
+        assert_eq!(s.acceptance, 1.0);
+        assert_eq!(s.p_out, 0.0);
+        // Wildly noisy input: acceptance collapses toward 2^-4 (random
+        // syndrome) and the output is useless.
+        let s = distillation_stats(0.5);
+        assert!((s.acceptance - 1.0 / 16.0).abs() < 1e-12);
+        assert!((s.p_out - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distillation_improves_below_threshold() {
+        let s = distillation_stats(0.01);
+        assert!(s.p_out < 0.01 / 10.0, "one round should gain >10x");
+        assert!(s.expected_inputs_per_output() > 15.0);
+    }
+
+    #[test]
+    fn levels_to_reach_counts() {
+        // From 1e-2, one round reaches ~3.5e-5, two rounds ~1.5e-12.
+        assert_eq!(levels_to_reach(1e-2, 1e-2), Some(0));
+        assert_eq!(levels_to_reach(1e-2, 1e-4), Some(1));
+        assert_eq!(levels_to_reach(1e-2, 1e-10), Some(2));
+        // Far above threshold it never converges.
+        assert_eq!(levels_to_reach(0.4, 1e-10), None);
+    }
+}

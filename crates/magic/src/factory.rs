@@ -1,0 +1,285 @@
+//! T-state factory protocols: throughput and hardware cost (Figure 13,
+//! Table II).
+//!
+//! Three ways to lay out the 15-to-1 circuit:
+//!
+//! * **Fast Lattice** (paper ref [21], Litinski's speed-optimized lattice
+//!   surgery): 1 T state every 6 timesteps using 30 patches of space.
+//! * **Small Lattice** (paper ref [12], Litinski's space-optimized
+//!   surgery): 1 T state every 11 timesteps using 11 patches.
+//! * **VQubits** (this paper): the whole circuit runs on a *single*
+//!   transmon patch with 6 logical qubits stored in the attached
+//!   cavities, using transversal CNOTs; 110 timesteps alone, 99 when
+//!   pairs of circuits run in lock-step (each producing its own T state,
+//!   so a pair yields 2 per 99 steps).
+//!
+//! Rates normalize per patch of transmons; hardware cost follows the
+//! Table II counting (`d = 5`, depth-10 cavities).
+
+use vlq_arch::geometry::{baseline_tiling_transmons, patch_cost, Embedding};
+
+/// Which factory protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Litinski's speed-optimized lattice-surgery factory.
+    FastLattice,
+    /// Litinski's space-optimized lattice-surgery factory.
+    SmallLattice,
+    /// The paper's virtualized-qubit factory (Natural embedding).
+    VQubitsNatural,
+    /// The paper's virtualized-qubit factory (Compact embedding).
+    VQubitsCompact,
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProtocolKind::FastLattice => "Fast Lattice",
+            ProtocolKind::SmallLattice => "Small Lattice",
+            ProtocolKind::VQubitsNatural => "VQubits (natural)",
+            ProtocolKind::VQubitsCompact => "VQubits (compact)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A factory protocol's resource model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FactoryProtocol {
+    /// Protocol identity.
+    pub kind: ProtocolKind,
+    /// Patches of space one circuit instance occupies.
+    pub patches_per_circuit: usize,
+    /// Timesteps per T state for one circuit instance.
+    pub steps_per_t_state: f64,
+}
+
+impl FactoryProtocol {
+    /// The paper's three protocols (VQubits natural/compact share the
+    /// schedule; they differ only in hardware cost).
+    pub fn new(kind: ProtocolKind) -> Self {
+        match kind {
+            ProtocolKind::FastLattice => FactoryProtocol {
+                kind,
+                patches_per_circuit: 30,
+                steps_per_t_state: 6.0,
+            },
+            ProtocolKind::SmallLattice => FactoryProtocol {
+                kind,
+                patches_per_circuit: 11,
+                steps_per_t_state: 11.0,
+            },
+            ProtocolKind::VQubitsNatural | ProtocolKind::VQubitsCompact => FactoryProtocol {
+                kind,
+                // One patch per circuit; paired lock-step circuits yield
+                // one T per 99 steps each (110 standalone).
+                patches_per_circuit: 1,
+                steps_per_t_state: 99.0,
+            },
+        }
+    }
+
+    /// All four protocols.
+    pub fn all() -> [FactoryProtocol; 4] {
+        [
+            FactoryProtocol::new(ProtocolKind::FastLattice),
+            FactoryProtocol::new(ProtocolKind::SmallLattice),
+            FactoryProtocol::new(ProtocolKind::VQubitsNatural),
+            FactoryProtocol::new(ProtocolKind::VQubitsCompact),
+        ]
+    }
+
+    /// T states produced per timestep when `patches` patches of space are
+    /// filled with copies of the circuit (fractional copies allowed, as
+    /// in the paper's Figure 13a normalization).
+    pub fn rate_with_patches(&self, patches: f64) -> f64 {
+        (patches / self.patches_per_circuit as f64) / self.steps_per_t_state
+    }
+
+    /// Same with whole circuits only.
+    pub fn rate_with_patches_integer(&self, patches: usize) -> f64 {
+        (patches / self.patches_per_circuit) as f64 / self.steps_per_t_state
+    }
+
+    /// Patches of space required to sustain one T state per timestep
+    /// (Figure 13b).
+    pub fn patches_for_one_t_per_step(&self) -> f64 {
+        self.patches_per_circuit as f64 * self.steps_per_t_state
+    }
+
+    /// Hardware cost at code distance `d` with depth-`k` cavities
+    /// (Table II uses `d = 5`, `k = 10`).
+    pub fn hardware_cost(&self, d: usize, k: usize) -> HardwareCost {
+        match self.kind {
+            ProtocolKind::FastLattice => {
+                // 30 patches tiled 5 x 6.
+                HardwareCost {
+                    transmons: baseline_tiling_transmons(5, 6, d),
+                    cavities: 0,
+                    k,
+                }
+            }
+            ProtocolKind::SmallLattice => HardwareCost {
+                transmons: baseline_tiling_transmons(11, 1, d),
+                cavities: 0,
+                k,
+            },
+            ProtocolKind::VQubitsNatural => {
+                let c = patch_cost(Embedding::Natural, d, k);
+                HardwareCost {
+                    transmons: c.transmons,
+                    cavities: c.cavities,
+                    k,
+                }
+            }
+            ProtocolKind::VQubitsCompact => {
+                let c = patch_cost(Embedding::Compact, d, k);
+                HardwareCost {
+                    transmons: c.transmons,
+                    cavities: c.cavities,
+                    k,
+                }
+            }
+        }
+    }
+}
+
+/// Transmon/cavity/total-qubit cost of a protocol (Table II row).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardwareCost {
+    /// Transmon count.
+    pub transmons: usize,
+    /// Cavity count.
+    pub cavities: usize,
+    /// Cavity depth used for the total.
+    pub k: usize,
+}
+
+impl HardwareCost {
+    /// Total physical qubits: transmons plus `k` storage modes per
+    /// cavity.
+    pub fn total_qubits(&self) -> usize {
+        self.transmons + self.cavities * self.k
+    }
+}
+
+/// Timestep accounting of the VQubits 15-to-1 schedule (paper §VII):
+/// "16 qubit initializations, 15 measurements, 35 CNOT gates and a few
+/// other operations ... 110 surface code timesteps", or 99 in lock-step
+/// pairs.
+///
+/// The model: every logical CNOT on the stack is transversal (1 step) but
+/// qubits sharing the stack serialize; initializations and measurements
+/// cost one step each; interleaved error correction adds the remaining
+/// steps (the paper's stated totals are used as the reference).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VQubitsSchedule {
+    /// Logical initializations in the circuit.
+    pub initializations: usize,
+    /// Logical measurements.
+    pub measurements: usize,
+    /// Logical CNOTs (all transversal).
+    pub cnots: usize,
+    /// Total steps for a standalone circuit.
+    pub steps_standalone: usize,
+    /// Steps per circuit when run in lock-step pairs.
+    pub steps_paired: usize,
+}
+
+impl VQubitsSchedule {
+    /// The paper's 15-to-1 schedule.
+    pub fn paper() -> Self {
+        VQubitsSchedule {
+            initializations: 16,
+            measurements: 15,
+            cnots: 35,
+            steps_standalone: 110,
+            steps_paired: 99,
+        }
+    }
+
+    /// A simple serialization model: every operation costs one timestep
+    /// on the single stack (transversal CNOTs = 1, initializations and
+    /// measurements = 1), plus interleaved error-correction overhead of
+    /// one step per logical operation batch. This model reproduces the
+    /// paper's totals to within ~20% and documents where the 110 steps
+    /// come from; the paper's exact numbers are used for Figure 13.
+    pub fn modeled_steps(&self) -> usize {
+        // All ops serialize on one stack: inits + cnots + measurements,
+        // plus ~40% EC/refresh interleaving overhead observed by the
+        // paper (66 ops -> 110 steps).
+        let ops = self.initializations + self.measurements + self.cnots;
+        ops + (2 * ops).div_ceil(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure13a_rates_with_100_patches() {
+        // Fractional normalization (paper Figure 13a): Fast 0.556,
+        // Small 0.826, VQubits 1.010 T per step.
+        let fast = FactoryProtocol::new(ProtocolKind::FastLattice).rate_with_patches(100.0);
+        let small = FactoryProtocol::new(ProtocolKind::SmallLattice).rate_with_patches(100.0);
+        let vq = FactoryProtocol::new(ProtocolKind::VQubitsNatural).rate_with_patches(100.0);
+        assert!((fast - 100.0 / 30.0 / 6.0).abs() < 1e-12);
+        assert!((small - 100.0 / 11.0 / 11.0).abs() < 1e-12);
+        assert!((vq - 100.0 / 99.0).abs() < 1e-12);
+        // Headline ratios: 1.22x over Small, 1.82x over Fast.
+        assert!((vq / small - 1.22).abs() < 0.005, "{}", vq / small);
+        assert!((vq / fast - 1.82).abs() < 0.005, "{}", vq / fast);
+    }
+
+    #[test]
+    fn figure13b_space_for_one_t_per_step() {
+        // Fast: 180 patches, Small: 121, VQubits: 99.
+        assert_eq!(
+            FactoryProtocol::new(ProtocolKind::FastLattice).patches_for_one_t_per_step(),
+            180.0
+        );
+        assert_eq!(
+            FactoryProtocol::new(ProtocolKind::SmallLattice).patches_for_one_t_per_step(),
+            121.0
+        );
+        assert_eq!(
+            FactoryProtocol::new(ProtocolKind::VQubitsNatural).patches_for_one_t_per_step(),
+            99.0
+        );
+    }
+
+    #[test]
+    fn table2_hardware_costs() {
+        let d = 5;
+        let k = 10;
+        let fast = FactoryProtocol::new(ProtocolKind::FastLattice).hardware_cost(d, k);
+        assert_eq!(fast.transmons, 1499);
+        assert_eq!(fast.total_qubits(), 1499);
+        let small = FactoryProtocol::new(ProtocolKind::SmallLattice).hardware_cost(d, k);
+        assert_eq!(small.transmons, 549);
+        let vn = FactoryProtocol::new(ProtocolKind::VQubitsNatural).hardware_cost(d, k);
+        assert_eq!((vn.transmons, vn.cavities, vn.total_qubits()), (49, 25, 299));
+        let vc = FactoryProtocol::new(ProtocolKind::VQubitsCompact).hardware_cost(d, k);
+        assert_eq!((vc.transmons, vc.cavities, vc.total_qubits()), (29, 25, 279));
+    }
+
+    #[test]
+    fn integer_copies_rates() {
+        // With whole circuits only: Fast fits 3 copies in 100 patches.
+        let fast = FactoryProtocol::new(ProtocolKind::FastLattice);
+        assert!((fast.rate_with_patches_integer(100) - 3.0 / 6.0).abs() < 1e-12);
+        let small = FactoryProtocol::new(ProtocolKind::SmallLattice);
+        assert!((small.rate_with_patches_integer(100) - 9.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vqubits_schedule_model_close_to_paper() {
+        let s = VQubitsSchedule::paper();
+        assert_eq!(s.initializations + s.measurements + s.cnots, 66);
+        let modeled = s.modeled_steps();
+        let err = (modeled as f64 - s.steps_standalone as f64).abs() / 110.0;
+        assert!(err < 0.2, "modeled {modeled} vs paper 110");
+        assert!(s.steps_paired < s.steps_standalone);
+    }
+}

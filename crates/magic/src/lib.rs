@@ -1,0 +1,18 @@
+//! Magic-state distillation on the VLQ architecture (paper §VII).
+//!
+//! Two halves:
+//!
+//! * [`distill`] — the 15-to-1 T-state distillation protocol on the
+//!   15-qubit quantum Reed-Muller code, with an *exact* GF(2) analysis
+//!   of its output error (`p_out ≈ 35 p^3`) and acceptance rate.
+//! * [`factory`] — throughput/space models of the three factory layouts
+//!   the paper compares: Fast Lattice (Litinski's speed-optimized
+//!   surgery), Small Lattice (Litinski's space-optimized surgery), and
+//!   VQubits (the paper's single-stack factory using transversal CNOTs),
+//!   reproducing Figure 13 and Table II.
+
+pub mod distill;
+pub mod factory;
+
+pub use distill::{distillation_stats, DistillationStats};
+pub use factory::{FactoryProtocol, ProtocolKind};

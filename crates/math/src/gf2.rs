@@ -1,0 +1,520 @@
+//! Bit-packed linear algebra over GF(2).
+//!
+//! [`BitVec`] is a dense vector of bits packed into `u64` words;
+//! [`BitMatrix`] is a dense matrix stored row-major as one [`BitVec`] per
+//! row. Both support the operations needed by the rest of the workspace:
+//! XOR (addition over GF(2)), dot products, Gaussian elimination, rank,
+//! kernel bases, and solving `Ax = b`.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A dense vector over GF(2), bit-packed into `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_math::gf2::BitVec;
+///
+/// let mut v = BitVec::zeros(100);
+/// v.set(3, true);
+/// v.set(99, true);
+/// assert_eq!(v.weight(), 2);
+/// assert!(v.get(99));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates a vector from an iterator of booleans.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = BitVec::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            v.set(i, *b);
+        }
+        v
+    }
+
+    /// Creates a vector of length `len` with the given support (indices set
+    /// to one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_support(len: usize, support: &[usize]) -> Self {
+        let mut v = BitVec::zeros(len);
+        for &i in support {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Length of the vector in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `i` (XOR with one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// XORs `other` into `self` (vector addition over GF(2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in xor_assign");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns the GF(2) dot product `<self, other>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in dot");
+        let mut acc = 0u64;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Hamming weight (number of ones).
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Index of the first set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                let i = wi * WORD_BITS + w.trailing_zeros() as usize;
+                return (i < self.len).then_some(i);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + tz)
+                }
+            })
+        })
+    }
+
+    /// Raw storage words (low bit of word 0 is bit 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bits(iter)
+    }
+}
+
+/// A dense matrix over GF(2) stored row-major.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_math::gf2::BitMatrix;
+///
+/// // The parity-check matrix of the repetition code has rank n-1.
+/// let m = BitMatrix::from_rows(3, &[vec![0, 1], vec![1, 2]]);
+/// assert_eq!(m.rank(), 2);
+/// assert_eq!(m.kernel_basis().len(), 1); // the all-ones codeword
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix of shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        BitMatrix {
+            rows: vec![BitVec::zeros(cols); rows],
+            cols,
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix with `cols` columns from per-row support lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any support index is `>= cols`.
+    pub fn from_rows(cols: usize, supports: &[Vec<usize>]) -> Self {
+        let rows = supports
+            .iter()
+            .map(|s| BitVec::from_support(cols, s))
+            .collect();
+        BitMatrix { rows, cols }
+    }
+
+    /// Builds a matrix from owned [`BitVec`] rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_bitvec_rows(rows: Vec<BitVec>) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "rows must all have equal length"
+        );
+        BitMatrix { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns entry `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.rows[r].get(c)
+    }
+
+    /// Sets entry `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        self.rows[r].set(c, value);
+    }
+
+    /// Borrows row `r`.
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.rows[r]
+    }
+
+    /// Iterates over the rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &BitVec> {
+        self.rows.iter()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the matrix width.
+    pub fn push_row(&mut self, row: BitVec) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Matrix-vector product `A v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.num_cols()`.
+    pub fn mul_vec(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        BitVec::from_bits(self.rows.iter().map(|r| r.dot(v)))
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.cols, self.rows.len());
+        for (r, row) in self.rows.iter().enumerate() {
+            for c in row.iter_ones() {
+                t.set(c, r, true);
+            }
+        }
+        t
+    }
+
+    /// Row-reduces in place to reduced row-echelon form; returns the pivot
+    /// column of each pivot row (so `pivots.len()` is the rank).
+    pub fn row_reduce(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            let Some(src) = (pivot_row..self.rows.len()).find(|&r| self.rows[r].get(col)) else {
+                continue;
+            };
+            self.rows.swap(pivot_row, src);
+            let pivot = self.rows[pivot_row].clone();
+            for (r, row) in self.rows.iter_mut().enumerate() {
+                if r != pivot_row && row.get(col) {
+                    row.xor_assign(&pivot);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+            if pivot_row == self.rows.len() {
+                break;
+            }
+        }
+        pivots
+    }
+
+    /// Rank of the matrix (does not modify `self`).
+    pub fn rank(&self) -> usize {
+        self.clone().row_reduce().len()
+    }
+
+    /// Returns a basis of the (right) kernel: all `x` with `A x = 0`.
+    pub fn kernel_basis(&self) -> Vec<BitVec> {
+        let mut m = self.clone();
+        let pivots = m.row_reduce();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if pivot_set.contains(&free) {
+                continue;
+            }
+            let mut v = BitVec::zeros(self.cols);
+            v.set(free, true);
+            // Back-substitute: pivot row i has pivot column pivots[i].
+            for (i, &pc) in pivots.iter().enumerate() {
+                if m.rows[i].get(free) {
+                    v.set(pc, true);
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// Solves `A x = b`, returning one solution if it exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.num_rows()`.
+    pub fn solve(&self, b: &BitVec) -> Option<BitVec> {
+        assert_eq!(b.len(), self.rows.len(), "dimension mismatch in solve");
+        // Augment with b as an extra column and reduce.
+        let mut aug = BitMatrix::zeros(self.rows.len(), self.cols + 1);
+        for (r, row) in self.rows.iter().enumerate() {
+            for c in row.iter_ones() {
+                aug.set(r, c, true);
+            }
+            aug.set(r, self.cols, b.get(r));
+        }
+        let pivots = aug.row_reduce();
+        // Inconsistent iff a pivot lands in the augmented column.
+        if pivots.last() == Some(&self.cols) {
+            return None;
+        }
+        let mut x = BitVec::zeros(self.cols);
+        for (i, &pc) in pivots.iter().enumerate() {
+            if aug.rows[i].get(self.cols) {
+                x.set(pc, true);
+            }
+        }
+        Some(x)
+    }
+
+    /// Returns `true` if `v` lies in the row space of the matrix.
+    pub fn row_space_contains(&self, v: &BitVec) -> bool {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut m = self.clone();
+        let base_rank = m.row_reduce().len();
+        m.push_row(v.clone());
+        m.row_reduce().len() == base_rank
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows.len(), self.cols)?;
+        for row in &self.rows {
+            writeln!(f, "  {row:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_set_get_flip() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(63) && !v.get(128));
+        v.flip(129);
+        assert!(!v.get(129));
+        assert_eq!(v.weight(), 2);
+    }
+
+    #[test]
+    fn bitvec_xor_and_dot() {
+        let a = BitVec::from_support(10, &[1, 3, 5]);
+        let b = BitVec::from_support(10, &[3, 5, 7]);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        assert_eq!(c, BitVec::from_support(10, &[1, 7]));
+        assert!(!a.dot(&b)); // overlap {3,5}: even
+        let d = BitVec::from_support(10, &[1]);
+        assert!(a.dot(&d));
+    }
+
+    #[test]
+    fn bitvec_iter_ones() {
+        let v = BitVec::from_support(200, &[0, 63, 64, 127, 199]);
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![0, 63, 64, 127, 199]);
+        assert_eq!(v.first_one(), Some(0));
+        assert_eq!(BitVec::zeros(5).first_one(), None);
+    }
+
+    #[test]
+    fn identity_rank_and_kernel() {
+        let id = BitMatrix::identity(8);
+        assert_eq!(id.rank(), 8);
+        assert!(id.kernel_basis().is_empty());
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        // Row 2 = row 0 + row 1.
+        let m = BitMatrix::from_rows(4, &[vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert_eq!(m.rank(), 2);
+        let k = m.kernel_basis();
+        assert_eq!(k.len(), 2); // 4 cols - rank 2
+        for v in &k {
+            assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    #[test]
+    fn solve_consistent_and_inconsistent() {
+        let m = BitMatrix::from_rows(3, &[vec![0, 1], vec![1, 2]]);
+        let b = BitVec::from_bits([true, false]);
+        let x = m.solve(&b).expect("consistent system");
+        assert_eq!(m.mul_vec(&x), b);
+
+        // x0+x1 = 1, x0+x1 = 0 is inconsistent.
+        let m2 = BitMatrix::from_rows(2, &[vec![0, 1], vec![0, 1]]);
+        let b2 = BitVec::from_bits([true, false]);
+        assert!(m2.solve(&b2).is_none());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = BitMatrix::from_rows(5, &[vec![0, 4], vec![1, 2, 3]]);
+        let t = m.transpose();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn row_space_contains() {
+        let m = BitMatrix::from_rows(4, &[vec![0, 1], vec![2, 3]]);
+        assert!(m.row_space_contains(&BitVec::from_support(4, &[0, 1, 2, 3])));
+        assert!(!m.row_space_contains(&BitVec::from_support(4, &[0])));
+        assert!(m.row_space_contains(&BitVec::zeros(4)));
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = BitMatrix::from_rows(3, &[vec![0, 1, 2], vec![1]]);
+        let v = BitVec::from_support(3, &[1, 2]);
+        let out = m.mul_vec(&v);
+        assert_eq!(out, BitVec::from_bits([false, true]));
+    }
+}

@@ -1,0 +1,33 @@
+//! Mathematical substrates for the VLQ (Virtualized Logical Qubits)
+//! reproduction.
+//!
+//! This crate deliberately has no dependencies: it provides the small,
+//! self-contained pieces of mathematics the rest of the workspace builds
+//! on:
+//!
+//! * [`gf2`] — bit-packed linear algebra over GF(2) (rank, kernel, solving
+//!   linear systems), used by the Pauli algebra, the classical-code
+//!   machinery behind magic-state distillation, and schedule validation.
+//! * [`rm`] — Reed-Muller code generator matrices, used to construct the
+//!   15-qubit quantum Reed-Muller code of the 15-to-1 distillation
+//!   protocol.
+//! * [`stats`] — binomial confidence intervals and log-odds weights for
+//!   Monte-Carlo logical-error-rate estimation and decoder edge weights.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlq_math::gf2::BitMatrix;
+//!
+//! let mut m = BitMatrix::zeros(2, 3);
+//! m.set(0, 0, true);
+//! m.set(0, 2, true);
+//! m.set(1, 1, true);
+//! assert_eq!(m.rank(), 2);
+//! ```
+
+pub mod gf2;
+pub mod rm;
+pub mod stats;
+
+pub use gf2::{BitMatrix, BitVec};

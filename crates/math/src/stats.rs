@@ -1,0 +1,195 @@
+//! Statistics helpers for Monte-Carlo estimation and decoder weights.
+
+/// A binomial proportion estimate with a Wilson-score confidence interval.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_math::stats::BinomialEstimate;
+///
+/// let est = BinomialEstimate::new(12, 1000);
+/// assert!((est.rate() - 0.012).abs() < 1e-12);
+/// let (lo, hi) = est.wilson_interval(1.96);
+/// assert!(lo < est.rate() && est.rate() < hi);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BinomialEstimate {
+    /// Number of observed successes (e.g. logical failures).
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl BinomialEstimate {
+    /// Creates an estimate from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(trials > 0, "binomial estimate requires at least one trial");
+        assert!(successes <= trials, "successes cannot exceed trials");
+        BinomialEstimate { successes, trials }
+    }
+
+    /// Point estimate of the success probability.
+    pub fn rate(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// Wilson score interval at the given z value (1.96 for ~95%).
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Standard error of the proportion estimate.
+    pub fn std_error(&self) -> f64 {
+        let p = self.rate();
+        (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+}
+
+/// Log-odds weight `ln((1 - p) / p)` used for matching-graph edges.
+///
+/// Clamps `p` into `(1e-15, 1 - 1e-15)` so degenerate probabilities produce
+/// large-but-finite weights.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_math::stats::log_odds_weight;
+///
+/// assert!((log_odds_weight(0.5)).abs() < 1e-12);
+/// assert!(log_odds_weight(0.01) > 0.0);
+/// ```
+pub fn log_odds_weight(p: f64) -> f64 {
+    let p = p.clamp(1e-15, 1.0 - 1e-15);
+    ((1.0 - p) / p).ln()
+}
+
+/// Combines two independent flip probabilities: the event fires if exactly
+/// one of the sources fires (XOR combination).
+///
+/// This is the update rule when several fault mechanisms share a matching
+/// edge: `p = p1 (1 - p2) + p2 (1 - p1)`.
+pub fn xor_probability(p1: f64, p2: f64) -> f64 {
+    p1 * (1.0 - p2) + p2 * (1.0 - p1)
+}
+
+/// Idle (storage) error probability for a duration `dt` under relaxation
+/// time `t1`, as used by the paper: `lambda = 1 - exp(-dt / t1)`.
+///
+/// Returns 0 when `dt <= 0` or `t1` is not finite/positive.
+pub fn idle_error_probability(dt: f64, t1: f64) -> f64 {
+    if dt <= 0.0 || !t1.is_finite() || t1 <= 0.0 {
+        return 0.0;
+    }
+    1.0 - (-dt / t1).exp()
+}
+
+/// Estimates the crossing point of two curves `f` and `g` sampled at the
+/// same `x` values (log-log linear interpolation), used for threshold
+/// extraction: the physical error rate where the logical error rate of a
+/// larger code distance crosses that of a smaller one.
+///
+/// Returns `None` when the curves do not cross in the sampled range or the
+/// inputs contain non-positive values (which cannot be log-interpolated).
+pub fn log_log_crossing(xs: &[f64], f: &[f64], g: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), f.len());
+    assert_eq!(xs.len(), g.len());
+    if xs.iter().chain(f).chain(g).any(|&v| v <= 0.0) {
+        return None;
+    }
+    let d: Vec<f64> = f.iter().zip(g).map(|(a, b)| a.ln() - b.ln()).collect();
+    for i in 0..d.len().saturating_sub(1) {
+        if d[i] == 0.0 {
+            return Some(xs[i]);
+        }
+        if d[i] * d[i + 1] < 0.0 {
+            let t = d[i] / (d[i] - d[i + 1]);
+            let lx = xs[i].ln() + t * (xs[i + 1].ln() - xs[i].ln());
+            return Some(lx.exp());
+        }
+    }
+    if *d.last()? == 0.0 {
+        return Some(*xs.last()?);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_contains_point() {
+        for &(s, n) in &[(0u64, 100u64), (1, 100), (50, 100), (99, 100), (100, 100)] {
+            let est = BinomialEstimate::new(s, n);
+            let (lo, hi) = est.wilson_interval(1.96);
+            assert!(lo >= 0.0 && hi <= 1.0);
+            assert!(lo <= hi);
+            // The Wilson interval always contains the point estimate.
+            assert!(lo <= est.rate() + 1e-12 && est.rate() - 1e-12 <= hi);
+        }
+    }
+
+    #[test]
+    fn wilson_shrinks_with_more_trials() {
+        let small = BinomialEstimate::new(5, 50).wilson_interval(1.96);
+        let large = BinomialEstimate::new(500, 5000).wilson_interval(1.96);
+        assert!((large.1 - large.0) < (small.1 - small.0));
+    }
+
+    #[test]
+    fn log_odds_monotone() {
+        assert!(log_odds_weight(0.001) > log_odds_weight(0.01));
+        assert!(log_odds_weight(0.01) > log_odds_weight(0.1));
+        // Degenerate inputs stay finite.
+        assert!(log_odds_weight(0.0).is_finite());
+        assert!(log_odds_weight(1.0).is_finite());
+    }
+
+    #[test]
+    fn xor_probability_basics() {
+        assert_eq!(xor_probability(0.0, 0.25), 0.25);
+        assert_eq!(xor_probability(0.25, 0.0), 0.25);
+        assert!((xor_probability(0.5, 0.5) - 0.5).abs() < 1e-12);
+        // Two certain flips cancel.
+        assert!((xor_probability(1.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_error_limits() {
+        assert_eq!(idle_error_probability(0.0, 1.0), 0.0);
+        assert_eq!(idle_error_probability(-1.0, 1.0), 0.0);
+        assert_eq!(idle_error_probability(1.0, f64::INFINITY), 0.0);
+        let lam = idle_error_probability(1e-6, 100e-6);
+        assert!((lam - (1.0 - (-0.01f64).exp())).abs() < 1e-12);
+        // Long durations saturate at 1.
+        assert!(idle_error_probability(1.0, 1e-9) > 0.999);
+    }
+
+    #[test]
+    fn crossing_of_two_lines() {
+        // f = x, g = x^2 / 0.01 cross at x = 0.01 in log-log space.
+        let xs = [0.001, 0.003, 0.01, 0.03, 0.1];
+        let f: Vec<f64> = xs.to_vec();
+        let g: Vec<f64> = xs.iter().map(|x| x * x / 0.01).collect();
+        let c = log_log_crossing(&xs, &f, &g).unwrap();
+        assert!((c - 0.01).abs() / 0.01 < 1e-6);
+    }
+
+    #[test]
+    fn crossing_absent() {
+        let xs = [0.001, 0.01, 0.1];
+        let f = [1.0, 1.0, 1.0];
+        let g = [2.0, 2.0, 2.0];
+        assert_eq!(log_log_crossing(&xs, &f, &g), None);
+    }
+}

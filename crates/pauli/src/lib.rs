@@ -1,0 +1,521 @@
+//! Pauli operator algebra for the VLQ reproduction.
+//!
+//! Provides a single-qubit [`Pauli`] enum and a dense, bit-packed
+//! n-qubit [`PauliString`] in the symplectic (X/Z bit-plane)
+//! representation, with phase-tracked multiplication and commutation
+//! queries. These are the working currency of the stabilizer tableau
+//! simulator, the Pauli-frame Monte-Carlo engine, and the noise channels.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlq_pauli::{Pauli, PauliString};
+//!
+//! let xz = PauliString::from_str_sign("+XZ").unwrap();
+//! let zx = PauliString::from_str_sign("+ZX").unwrap();
+//! assert!(xz.commutes_with(&zx)); // two anticommuting sites -> commute
+//! let prod = xz.mul(&zx);
+//! assert_eq!(prod.pauli(0), Pauli::Y);
+//! assert_eq!(prod.pauli(1), Pauli::Y);
+//! ```
+
+use std::fmt;
+
+use vlq_math::BitVec;
+
+/// A single-qubit Pauli operator (ignoring phase).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Bit flip.
+    X,
+    /// Bit and phase flip (`Y = i X Z`).
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in canonical order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Paulis.
+    pub const ERRORS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Symplectic representation: `(has_x, has_z)`.
+    #[inline]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Builds a Pauli from its symplectic bits.
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Returns `true` if `self` commutes with `other` as single-qubit
+    /// operators.
+    #[inline]
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        // Symplectic form: anticommute iff x1 z2 + z1 x2 = 1 (mod 2).
+        !((x1 & z2) ^ (z1 & x2))
+    }
+
+    /// Product ignoring phase: `X * Z = Y`, etc.
+    #[inline]
+    pub fn mul_unsigned(self, other: Pauli) -> Pauli {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
+    }
+
+    /// Parses one of `I`, `X`, `Y`, `Z` (case-insensitive), or `_`/`.` as
+    /// identity.
+    pub fn parse(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' | '_' | '.' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A dense n-qubit Pauli operator with a phase in `{+1, +i, -1, -i}`.
+///
+/// Stored in the symplectic representation: two bit planes `x` and `z`
+/// (`Y` sets both). The phase exponent counts powers of `i` modulo 4, with
+/// the convention that the operator is
+/// `i^phase * prod_q X_q^{x_q} Z_q^{z_q}` — i.e. on each site the X factor
+/// is written to the left of the Z factor, so `x=z=1` with `phase=1`
+/// is `i * XZ = Y`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    x: BitVec,
+    z: BitVec,
+    /// Power of `i` in `{0, 1, 2, 3}`.
+    phase: u8,
+}
+
+impl PauliString {
+    /// The identity on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            x: BitVec::zeros(n),
+            z: BitVec::zeros(n),
+            phase: 0,
+        }
+    }
+
+    /// Builds a Pauli string with the given single-qubit Pauli at `qubit`
+    /// and identity elsewhere. `Y` is represented phase-correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn single(n: usize, qubit: usize, p: Pauli) -> Self {
+        let mut s = PauliString::identity(n);
+        s.set_pauli(qubit, p);
+        s
+    }
+
+    /// Builds from symplectic bit planes with phase exponent 0, adjusting
+    /// the phase so each `x=z=1` site reads as `Y` (not `XZ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit planes have different lengths.
+    pub fn from_xz_planes(x: BitVec, z: BitVec) -> Self {
+        assert_eq!(x.len(), z.len(), "x/z plane length mismatch");
+        let mut y_count = 0usize;
+        for (wx, wz) in x.words().iter().zip(z.words()) {
+            y_count += (wx & wz).count_ones() as usize;
+        }
+        PauliString {
+            x,
+            z,
+            phase: (y_count % 4) as u8,
+        }
+    }
+
+    /// Parses strings like `"+XIZ"`, `"-YY"`, `"XZ"` (implicit `+`),
+    /// `"iX"`, `"-iZ"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description when the string is malformed.
+    pub fn from_str_sign(s: &str) -> Result<Self, String> {
+        let mut chars = s.chars().peekable();
+        let mut phase = 0u8;
+        match chars.peek() {
+            Some('+') => {
+                chars.next();
+            }
+            Some('-') => {
+                chars.next();
+                phase = 2;
+            }
+            _ => {}
+        }
+        if chars.peek() == Some(&'i') {
+            chars.next();
+            phase = (phase + 1) % 4;
+        }
+        let mut paulis = Vec::new();
+        for c in chars {
+            let p = Pauli::parse(c).ok_or_else(|| format!("invalid Pauli character {c:?}"))?;
+            paulis.push(p);
+        }
+        if paulis.is_empty() {
+            return Err("empty Pauli string".to_string());
+        }
+        let mut out = PauliString::identity(paulis.len());
+        for (q, p) in paulis.into_iter().enumerate() {
+            out.set_pauli(q, p);
+        }
+        out.phase = (out.phase + phase) % 4;
+        Ok(out)
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` if the string acts on zero qubits.
+    pub fn is_empty(&self) -> bool {
+        self.x.len() == 0
+    }
+
+    /// The single-qubit Pauli at `qubit` (ignoring phase).
+    pub fn pauli(&self, qubit: usize) -> Pauli {
+        Pauli::from_xz(self.x.get(qubit), self.z.get(qubit))
+    }
+
+    /// Overwrites the Pauli at `qubit`, keeping the `i^phase * X^x Z^z`
+    /// bookkeeping consistent so `Y` sites contribute `+Y`.
+    pub fn set_pauli(&mut self, qubit: usize, p: Pauli) {
+        // Remove the current site's contribution to the Y-phase convention.
+        if self.x.get(qubit) && self.z.get(qubit) {
+            self.phase = (self.phase + 3) % 4;
+        }
+        let (px, pz) = p.xz();
+        self.x.set(qubit, px);
+        self.z.set(qubit, pz);
+        if px && pz {
+            self.phase = (self.phase + 1) % 4;
+        }
+    }
+
+    /// Phase exponent: the operator equals `i^phase() * X^x Z^z`.
+    pub fn phase(&self) -> u8 {
+        self.phase
+    }
+
+    /// The sign of the operator assuming it is Hermitian (phase 0 or 2).
+    ///
+    /// Returns `+1` or `-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phase is imaginary (the operator is not Hermitian,
+    /// which cannot arise from products of Hermitian Paulis measured in
+    /// stabilizer circuits).
+    pub fn sign(&self) -> i8 {
+        match self.phase {
+            0 => 1,
+            2 => -1,
+            _ => panic!("pauli string has imaginary phase {}", self.phase),
+        }
+    }
+
+    /// X bit-plane.
+    pub fn x_plane(&self) -> &BitVec {
+        &self.x
+    }
+
+    /// Z bit-plane.
+    pub fn z_plane(&self) -> &BitVec {
+        &self.z
+    }
+
+    /// Number of non-identity sites.
+    pub fn weight(&self) -> usize {
+        let mut w = 0usize;
+        for (wx, wz) in self.x.words().iter().zip(self.z.words()) {
+            w += (wx | wz).count_ones() as usize;
+        }
+        w
+    }
+
+    /// Returns `true` if this operator is the identity (any phase).
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.z.is_zero()
+    }
+
+    /// Returns `true` if `self` and `other` commute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        !self.anticommutes_with(other)
+    }
+
+    /// Returns `true` if `self` and `other` anticommute (symplectic product
+    /// is odd).
+    pub fn anticommutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        self.x.dot(&other.z) ^ self.z.dot(&other.x)
+    }
+
+    /// Multiplies in place: `self <- self * other` (operator composition,
+    /// `self` applied after `other`), tracking the phase exactly.
+    pub fn mul_assign(&mut self, other: &PauliString) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        // i^k convention: (X^x1 Z^z1)(X^x2 Z^z2) picks up (-1)^(z1.x2)
+        // from commuting Z^z1 past X^x2.
+        let anti = self.z.dot(&other.x);
+        self.phase = (self.phase + other.phase + if anti { 2 } else { 0 }) % 4;
+        self.x.xor_assign(&other.x);
+        self.z.xor_assign(&other.z);
+    }
+
+    /// Returns `self * other`.
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+
+    /// Iterates over `(qubit, Pauli)` pairs of the non-identity sites.
+    pub fn iter_support(&self) -> impl Iterator<Item = (usize, Pauli)> + '_ {
+        (0..self.len()).filter_map(move |q| {
+            let p = self.pauli(q);
+            (p != Pauli::I).then_some((q, p))
+        })
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Display relative to the Y convention: count Y sites back out of
+        // the phase so "+XY" round-trips.
+        let mut y_count = 0usize;
+        for (wx, wz) in self.x.words().iter().zip(self.z.words()) {
+            y_count += (wx & wz).count_ones() as usize;
+        }
+        let display_phase = (self.phase + 4 - ((y_count % 4) as u8)) % 4;
+        let prefix = match display_phase {
+            0 => "+",
+            1 => "+i",
+            2 => "-",
+            3 => "-i",
+            _ => unreachable!(),
+        };
+        write!(f, "{prefix}")?;
+        for q in 0..self.len() {
+            write!(f, "{}", self.pauli(q))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_commutation_table() {
+        use Pauli::*;
+        for p in Pauli::ALL {
+            assert!(p.commutes_with(p));
+            assert!(p.commutes_with(I));
+        }
+        assert!(!X.commutes_with(Z));
+        assert!(!X.commutes_with(Y));
+        assert!(!Y.commutes_with(Z));
+    }
+
+    #[test]
+    fn single_qubit_products() {
+        use Pauli::*;
+        assert_eq!(X.mul_unsigned(Z), Y);
+        assert_eq!(X.mul_unsigned(Y), Z);
+        assert_eq!(Y.mul_unsigned(Z), X);
+        assert_eq!(X.mul_unsigned(X), I);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["+XIZ", "-YY", "+IIII", "+iX", "-iZZ"] {
+            let p = PauliString::from_str_sign(s).unwrap();
+            assert_eq!(p.to_string(), s.to_string());
+        }
+        // Implicit plus.
+        assert_eq!(PauliString::from_str_sign("XZ").unwrap().to_string(), "+XZ");
+        assert!(PauliString::from_str_sign("XQ").is_err());
+        assert!(PauliString::from_str_sign("").is_err());
+    }
+
+    #[test]
+    fn xx_zz_commute_x_z_anticommute() {
+        let xx = PauliString::from_str_sign("XX").unwrap();
+        let zz = PauliString::from_str_sign("ZZ").unwrap();
+        let xi = PauliString::from_str_sign("XI").unwrap();
+        let zi = PauliString::from_str_sign("ZI").unwrap();
+        assert!(xx.commutes_with(&zz));
+        assert!(xi.anticommutes_with(&zi));
+        assert!(xx.anticommutes_with(&zi));
+    }
+
+    #[test]
+    fn product_phases() {
+        // X * Z = -iY  (since Y = iXZ => XZ = -iY).
+        let x = PauliString::from_str_sign("X").unwrap();
+        let z = PauliString::from_str_sign("Z").unwrap();
+        let xz = x.mul(&z);
+        assert_eq!(xz.pauli(0), Pauli::Y);
+        assert_eq!(xz.to_string(), "-iY");
+        // Z * X = +iY.
+        let zx = z.mul(&x);
+        assert_eq!(zx.to_string(), "+iY");
+        // Y * Y = I with phase 0.
+        let y = PauliString::from_str_sign("Y").unwrap();
+        let yy = y.mul(&y);
+        assert!(yy.is_identity());
+        assert_eq!(yy.sign(), 1);
+    }
+
+    #[test]
+    fn weight_and_support() {
+        let p = PauliString::from_str_sign("XIYZI").unwrap();
+        assert_eq!(p.weight(), 3);
+        let support: Vec<(usize, Pauli)> = p.iter_support().collect();
+        assert_eq!(support, vec![(0, Pauli::X), (2, Pauli::Y), (3, Pauli::Z)]);
+    }
+
+    #[test]
+    fn set_pauli_keeps_y_convention() {
+        let mut p = PauliString::identity(3);
+        p.set_pauli(1, Pauli::Y);
+        assert_eq!(p.to_string(), "+IYI");
+        p.set_pauli(1, Pauli::X);
+        assert_eq!(p.to_string(), "+IXI");
+        p.set_pauli(1, Pauli::I);
+        assert_eq!(p.to_string(), "+III");
+    }
+
+    #[test]
+    fn mul_matches_sitewise_product() {
+        let a = PauliString::from_str_sign("XYZI").unwrap();
+        let b = PauliString::from_str_sign("YYIZ").unwrap();
+        let c = a.mul(&b);
+        assert_eq!(c.pauli(0), Pauli::Z);
+        assert_eq!(c.pauli(1), Pauli::I);
+        assert_eq!(c.pauli(2), Pauli::Z);
+        assert_eq!(c.pauli(3), Pauli::Z);
+    }
+
+    #[test]
+    fn from_xz_planes_reads_y_sites() {
+        let x = BitVec::from_support(3, &[0, 1]);
+        let z = BitVec::from_support(3, &[1, 2]);
+        let p = PauliString::from_xz_planes(x, z);
+        assert_eq!(p.to_string(), "+XYZ");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+            proptest::collection::vec(0..4u8, n).prop_map(move |sites| {
+                let mut p = PauliString::identity(n);
+                for (q, s) in sites.iter().enumerate() {
+                    p.set_pauli(q, Pauli::ALL[*s as usize]);
+                }
+                p
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn mul_is_associative((a, b, c) in (arb_pauli_string(6), arb_pauli_string(6), arb_pauli_string(6))) {
+                let ab_c = a.mul(&b).mul(&c);
+                let a_bc = a.mul(&b.mul(&c));
+                prop_assert_eq!(ab_c, a_bc);
+            }
+
+            #[test]
+            fn self_product_is_positive_identity(a in arb_pauli_string(8)) {
+                // P * P = +I for any Pauli (Hermitian, squares to identity).
+                let sq = a.mul(&a);
+                prop_assert!(sq.is_identity());
+                prop_assert_eq!(sq.sign(), 1);
+            }
+
+            #[test]
+            fn commutation_symmetry((a, b) in (arb_pauli_string(5), arb_pauli_string(5))) {
+                prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+            }
+
+            #[test]
+            fn product_commutation_rule((a, b) in (arb_pauli_string(5), arb_pauli_string(5))) {
+                // a*b = (-1)^(ab anticommute) b*a, so the unsigned parts
+                // always agree and signs differ iff they anticommute.
+                let ab = a.mul(&b);
+                let ba = b.mul(&a);
+                prop_assert_eq!(ab.x_plane(), ba.x_plane());
+                prop_assert_eq!(ab.z_plane(), ba.z_plane());
+                let phase_diff = (ab.phase() + 4 - ba.phase()) % 4;
+                if a.anticommutes_with(&b) {
+                    prop_assert_eq!(phase_diff, 2);
+                } else {
+                    prop_assert_eq!(phase_diff, 0);
+                }
+            }
+
+            #[test]
+            fn display_parse_roundtrip(a in arb_pauli_string(7)) {
+                let s = a.to_string();
+                let back = PauliString::from_str_sign(&s).unwrap();
+                prop_assert_eq!(a, back);
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Error-suppression (Λ) analysis.
+//!
+//! Below threshold the logical error rate decays exponentially with code
+//! distance: `LER(d) ≈ A / Λ^((d+1)/2)`. The paper reads this off
+//! Figure 11 ("the slopes for each code distance ... are stable,
+//! indicating each scheme improves at a similar rate, post error
+//! threshold, and showing that the logical error rate decays
+//! exponentially with d"). This module quantifies it: Λ per setup from
+//! LER measurements at consecutive distances.
+
+use vlq_math::stats::BinomialEstimate;
+use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+
+use crate::{run_memory_experiment, DecoderKind, ExperimentConfig};
+
+/// One Λ estimate between two consecutive odd distances.
+#[derive(Clone, Copy, Debug)]
+pub struct LambdaPoint {
+    /// Smaller distance.
+    pub d_low: usize,
+    /// Larger distance (`d_low + 2`).
+    pub d_high: usize,
+    /// LER at `d_low`.
+    pub ler_low: f64,
+    /// LER at `d_high`.
+    pub ler_high: f64,
+    /// Suppression factor `ler_low / ler_high` (= Λ for the
+    /// one-step-in-d convention `LER ∝ Λ^(-(d+1)/2)`).
+    pub lambda: f64,
+}
+
+/// Estimates Λ for a setup at physical rate `p` from distances
+/// `d, d+2, ...`.
+///
+/// Returns one [`LambdaPoint`] per consecutive pair. Λ > 1 indicates the
+/// experiment operates below threshold.
+pub fn lambda_scan(
+    setup: Setup,
+    p: f64,
+    k: usize,
+    distances: &[usize],
+    shots: u64,
+    seed: u64,
+) -> Vec<LambdaPoint> {
+    let lers: Vec<(usize, BinomialEstimate)> = distances
+        .iter()
+        .map(|&d| {
+            let spec = MemorySpec::standard(setup, d, k, Basis::Z);
+            let cfg = ExperimentConfig::new(spec, p)
+                .with_shots(shots)
+                .with_seed(seed ^ (d as u64))
+                .with_decoder(DecoderKind::Mwpm);
+            (d, run_memory_experiment(&cfg).estimate)
+        })
+        .collect();
+    lers.windows(2)
+        .map(|w| {
+            let (d_low, lo) = (w[0].0, w[0].1.rate());
+            let (d_high, hi) = (w[1].0, w[1].1.rate());
+            LambdaPoint {
+                d_low,
+                d_high,
+                ler_low: lo,
+                ler_high: hi,
+                lambda: if hi > 0.0 { lo / hi } else { f64::INFINITY },
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean of the Λ points (a single suppression figure).
+pub fn mean_lambda(points: &[LambdaPoint]) -> Option<f64> {
+    if points.is_empty() || points.iter().any(|p| !p.lambda.is_finite() || p.lambda <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = points.iter().map(|p| p.lambda.ln()).sum();
+    Some((log_sum / points.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_lambda_above_one_below_threshold() {
+        // At p = 2e-3 (well below the baseline threshold) the suppression
+        // factor between d=3 and d=5 must exceed 1 decisively.
+        let pts = lambda_scan(Setup::Baseline, 2e-3, 1, &[3, 5], 20_000, 3);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].lambda > 1.5, "lambda {}", pts[0].lambda);
+        let m = mean_lambda(&pts).unwrap();
+        assert!((m - pts[0].lambda).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_below_one_above_threshold() {
+        // Far above threshold, more distance hurts: lambda < 1.
+        let pts = lambda_scan(Setup::Baseline, 3e-2, 1, &[3, 5], 8_000, 4);
+        assert!(pts[0].lambda < 1.1, "lambda {}", pts[0].lambda);
+    }
+
+    #[test]
+    fn mean_lambda_edge_cases() {
+        assert!(mean_lambda(&[]).is_none());
+        let p = LambdaPoint {
+            d_low: 3,
+            d_high: 5,
+            ler_low: 1e-2,
+            ler_high: 0.0,
+            lambda: f64::INFINITY,
+        };
+        assert!(mean_lambda(&[p]).is_none());
+    }
+}

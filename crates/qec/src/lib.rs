@@ -1,0 +1,345 @@
+//! Monte-Carlo memory experiments, threshold estimation, and sensitivity
+//! sweeps — the harness behind Figures 11 and 12 of the paper.
+//!
+//! A *memory experiment* prepares a logical eigenstate, runs `d` noisy
+//! rounds of syndrome extraction under one of the five setups, reads the
+//! data out, decodes the guard sector, and counts a failure whenever the
+//! decoder's predicted logical flip disagrees with the actual one.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlq_qec::{ExperimentConfig, run_memory_experiment};
+//! use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+//!
+//! let cfg = ExperimentConfig::new(
+//!     MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z),
+//!     2e-3,
+//! )
+//! .with_shots(256)
+//! .with_seed(7);
+//! let result = run_memory_experiment(&cfg);
+//! assert_eq!(result.shots, 256);
+//! ```
+
+pub mod lambda;
+pub mod sensitivity;
+pub mod threshold;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use vlq_circuit::exec::sample_batch;
+use vlq_circuit::ir::Circuit;
+use vlq_circuit::noise::NoiseModel;
+use vlq_decoder::{Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
+use vlq_math::stats::BinomialEstimate;
+use vlq_surface::schedule::{memory_circuit, MemoryCircuit, MemorySpec};
+
+pub use lambda::{lambda_scan, mean_lambda, LambdaPoint};
+pub use sensitivity::{sensitivity_sweep, Knob, SensitivityPoint};
+pub use threshold::{estimate_threshold, threshold_scan, ScanPoint, ThresholdScan};
+
+/// Which decoder drives the experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DecoderKind {
+    /// Exact minimum-weight perfect matching (paper default).
+    #[default]
+    Mwpm,
+    /// Weighted Union-Find (fast approximate alternative).
+    UnionFind,
+}
+
+/// Configuration of one Monte-Carlo memory experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// The memory-circuit specification.
+    pub spec: MemorySpec,
+    /// Noise model (hardware + error rates).
+    pub noise: NoiseModel,
+    /// Number of Monte-Carlo shots.
+    pub shots: u64,
+    /// RNG seed (experiments are deterministic given the seed).
+    pub seed: u64,
+    /// Decoder choice.
+    pub decoder: DecoderKind,
+    /// Worker threads (1 = single-threaded).
+    pub threads: usize,
+}
+
+impl ExperimentConfig {
+    /// Standard configuration at physical error scale `p` (the SC-SC
+    /// two-qubit error rate; all other rates derive from it).
+    pub fn new(spec: MemorySpec, p: f64) -> Self {
+        let noise = if spec.setup.uses_memory() {
+            NoiseModel::memory_at_scale(p)
+        } else {
+            NoiseModel::baseline_at_scale(p)
+        };
+        ExperimentConfig {
+            spec,
+            noise,
+            shots: 10_000,
+            seed: 2020,
+            decoder: DecoderKind::Mwpm,
+            threads: default_threads(),
+        }
+    }
+
+    /// Sets the shot count.
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the decoder.
+    pub fn with_decoder(mut self, decoder: DecoderKind) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the noise model wholesale (sensitivity sweeps).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Result of a memory experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Logical failures observed.
+    pub failures: u64,
+    /// Shots run.
+    pub shots: u64,
+    /// Failure-rate estimate with confidence machinery.
+    pub estimate: BinomialEstimate,
+    /// Number of detector nodes in the guard sector graph.
+    pub guard_detectors: usize,
+    /// Number of edges in the guard sector graph.
+    pub graph_edges: usize,
+}
+
+impl ExperimentResult {
+    /// The logical error rate per shot (one shot = `rounds` noisy rounds).
+    pub fn logical_error_rate(&self) -> f64 {
+        self.estimate.rate()
+    }
+}
+
+/// Builds the noisy circuit and guard-sector decoder for a config.
+pub struct PreparedExperiment {
+    /// The memory circuit (ideal) with sector metadata.
+    pub memory: MemoryCircuit,
+    /// The noisy circuit actually sampled.
+    pub noisy: Circuit,
+    /// Guard-sector decoding graph.
+    pub graph: DecodingGraph,
+    decoder: Box<dyn Decoder + Send + Sync>,
+    guard: Vec<usize>,
+}
+
+impl PreparedExperiment {
+    /// Prepares circuits, graph, and decoder.
+    pub fn prepare(cfg: &ExperimentConfig) -> Self {
+        let memory = memory_circuit(cfg.spec, &cfg.noise.hw);
+        let noisy = cfg.noise.apply(&memory.circuit);
+        let guard: Vec<usize> = memory.guard_detectors().to_vec();
+        let graph = DecodingGraph::build(&noisy, &guard);
+        let decoder: Box<dyn Decoder + Send + Sync> = match cfg.decoder {
+            DecoderKind::Mwpm => Box::new(MwpmDecoder::new(&graph)),
+            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(&graph)),
+        };
+        PreparedExperiment {
+            memory,
+            noisy,
+            graph,
+            decoder,
+            guard,
+        }
+    }
+
+    /// Runs `shots` sampled shots with the given base seed, returning the
+    /// failure count.
+    pub fn run_shots(&self, shots: u64, seed: u64) -> u64 {
+        const LANES_PER_BATCH: usize = 1024;
+        let mut failures = 0u64;
+        let mut remaining = shots;
+        let mut batch_idx = 0u64;
+        while remaining > 0 {
+            let lanes = (remaining as usize).min(LANES_PER_BATCH);
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(batch_idx));
+            let result = sample_batch(&self.noisy, lanes, &mut rng);
+            for lane in 0..lanes {
+                let mut defects: Vec<usize> = Vec::new();
+                for (local, &global) in self.guard.iter().enumerate() {
+                    if result.detector_bit(global, lane) {
+                        defects.push(local);
+                    }
+                }
+                let predicted = self.decoder.decode(&defects);
+                let actual = result.observable_bit(0, lane);
+                if predicted != actual {
+                    failures += 1;
+                }
+            }
+            remaining -= lanes as u64;
+            batch_idx += 1;
+        }
+        failures
+    }
+}
+
+/// Runs a complete memory experiment (possibly multi-threaded).
+pub fn run_memory_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    let prepared = PreparedExperiment::prepare(cfg);
+    let threads = cfg.threads.max(1).min(cfg.shots.max(1) as usize);
+    let failures = if threads <= 1 {
+        prepared.run_shots(cfg.shots, cfg.seed)
+    } else {
+        let per = cfg.shots / threads as u64;
+        let extra = cfg.shots % threads as u64;
+        std::thread::scope(|scope| {
+            let prepared = &prepared;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let shots = per + u64::from((t as u64) < extra);
+                    // Separate seed streams per worker.
+                    let seed = cfg
+                        .seed
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
+                    scope.spawn(move || prepared.run_shots(shots, seed))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+    };
+    ExperimentResult {
+        failures,
+        shots: cfg.shots,
+        estimate: BinomialEstimate::new(failures, cfg.shots.max(1)),
+        guard_detectors: prepared.graph.num_nodes(),
+        graph_edges: prepared.graph.num_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlq_arch::params::{ErrorRates, HardwareParams};
+    use vlq_surface::schedule::{Basis, Setup};
+
+    #[test]
+    fn noiseless_experiment_never_fails() {
+        let spec = MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z);
+        let cfg = ExperimentConfig::new(spec, 2e-3)
+            .with_noise(NoiseModel::new(
+                HardwareParams::baseline(),
+                ErrorRates::noiseless(),
+            ))
+            .with_shots(512)
+            .with_threads(1);
+        let res = run_memory_experiment(&cfg);
+        assert_eq!(res.failures, 0);
+    }
+
+    #[test]
+    fn results_are_deterministic_given_seed() {
+        let spec = MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z);
+        let cfg = ExperimentConfig::new(spec, 5e-3)
+            .with_shots(2048)
+            .with_seed(99)
+            .with_threads(2);
+        let a = run_memory_experiment(&cfg);
+        let b = run_memory_experiment(&cfg);
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn very_noisy_experiment_fails_often() {
+        let spec = MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z);
+        let cfg = ExperimentConfig::new(spec, 5e-2).with_shots(2048).with_threads(2);
+        let res = run_memory_experiment(&cfg);
+        // Far above threshold the failure rate approaches 50%.
+        assert!(res.logical_error_rate() > 0.15, "{}", res.logical_error_rate());
+    }
+
+    #[test]
+    fn below_threshold_d5_beats_d3_baseline() {
+        // The fundamental QEC property, end to end: at p well below
+        // threshold, distance 5 has a lower logical error rate than
+        // distance 3.
+        let p = 2e-3;
+        let shots = 30_000;
+        let d3 = run_memory_experiment(
+            &ExperimentConfig::new(
+                MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z),
+                p,
+            )
+            .with_shots(shots),
+        );
+        let d5 = run_memory_experiment(
+            &ExperimentConfig::new(
+                MemorySpec::standard(Setup::Baseline, 5, 1, Basis::Z),
+                p,
+            )
+            .with_shots(shots),
+        );
+        assert!(
+            d5.logical_error_rate() < d3.logical_error_rate(),
+            "d5 {} !< d3 {}",
+            d5.logical_error_rate(),
+            d3.logical_error_rate()
+        );
+    }
+
+    #[test]
+    fn union_find_runs_and_is_close_to_mwpm() {
+        let spec = MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z);
+        let base = ExperimentConfig::new(spec, 4e-3).with_shots(20_000);
+        let mwpm = run_memory_experiment(&base.clone().with_decoder(DecoderKind::Mwpm));
+        let uf = run_memory_experiment(&base.with_decoder(DecoderKind::UnionFind));
+        let (rm, ru) = (mwpm.logical_error_rate(), uf.logical_error_rate());
+        assert!(ru >= rm * 0.5, "UF {ru} suspiciously better than MWPM {rm}");
+        assert!(ru <= rm * 4.0 + 0.01, "UF {ru} far worse than MWPM {rm}");
+    }
+
+    #[test]
+    fn memory_setups_run_end_to_end() {
+        for setup in [Setup::NaturalAllAtOnce, Setup::CompactInterleaved] {
+            let spec = MemorySpec::standard(setup, 3, 4, Basis::Z);
+            let cfg = ExperimentConfig::new(spec, 2e-3).with_shots(2000);
+            let res = run_memory_experiment(&cfg);
+            assert!(res.guard_detectors > 0);
+            assert!(res.graph_edges > 0);
+            // Sane range.
+            assert!(res.logical_error_rate() < 0.5);
+        }
+    }
+
+    #[test]
+    fn x_basis_memory_runs() {
+        let spec = MemorySpec::standard(Setup::CompactAllAtOnce, 3, 4, Basis::X);
+        let cfg = ExperimentConfig::new(spec, 2e-3).with_shots(2000);
+        let res = run_memory_experiment(&cfg);
+        assert!(res.logical_error_rate() < 0.5);
+    }
+}

@@ -1,0 +1,606 @@
+//! Pauli-frame simulation.
+//!
+//! A Pauli frame tracks the *difference* between the noisy run and the
+//! ideal (noiseless) reference run of a Clifford circuit: a Pauli error on
+//! each qubit, propagated through the circuit's Clifford gates. Because
+//! reference measurement outcomes of the memory experiments are
+//! deterministic, a frame determines every detection event directly.
+//!
+//! Two engines share the same gate semantics:
+//!
+//! * [`FrameBatch`] — bit-parallel over 64 shots per machine word; used
+//!   for Monte-Carlo sampling.
+//! * [`SingleFrame`] — one scalar frame; used to propagate individual
+//!   faults deterministically when building the decoder's matching graph.
+//!
+//! Gate conjugation here is sign-free (frames live in the Pauli group
+//! modulo phase); the phase-exact algebra lives in [`crate::tableau`].
+
+use rand::Rng;
+use vlq_math::BitVec;
+use vlq_pauli::Pauli;
+
+use crate::CliffordGate;
+
+/// Visits the lanes selected by independent Bernoulli(p) draws, using
+/// geometric skipping so the cost is proportional to the number of hits
+/// rather than the number of lanes.
+pub fn for_each_bernoulli_hit<R: Rng + ?Sized>(
+    rng: &mut R,
+    p: f64,
+    n_lanes: usize,
+    mut visit: impl FnMut(usize),
+) {
+    if p <= 0.0 || n_lanes == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..n_lanes {
+            visit(i);
+        }
+        return;
+    }
+    let ln_q = (1.0 - p).ln();
+    let mut i = 0usize;
+    loop {
+        // u in (0, 1] so ln(u) is finite and <= 0.
+        let u = 1.0 - rng.random::<f64>();
+        let skip = (u.ln() / ln_q).floor();
+        if !skip.is_finite() || skip >= (n_lanes - i) as f64 {
+            return;
+        }
+        i += skip as usize;
+        visit(i);
+        i += 1;
+        if i >= n_lanes {
+            return;
+        }
+    }
+}
+
+/// A batch of Pauli frames, 64 shots per `u64` word.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_sim::{CliffordGate, FrameBatch};
+///
+/// let mut fb = FrameBatch::new(2, 64);
+/// fb.set_pauli(0, 5, vlq_pauli::Pauli::X); // X error on qubit 0, shot 5
+/// fb.apply(CliffordGate::Cnot(0, 1));      // propagates to qubit 1
+/// let flips = fb.measure_z(1);
+/// assert_eq!(flips[0], 1 << 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameBatch {
+    n_qubits: usize,
+    n_lanes: usize,
+    words_per_qubit: usize,
+    /// X bit-planes, `n_qubits * words_per_qubit` words.
+    x: Vec<u64>,
+    /// Z bit-planes.
+    z: Vec<u64>,
+}
+
+impl FrameBatch {
+    /// Creates an all-identity frame batch.
+    pub fn new(n_qubits: usize, n_lanes: usize) -> Self {
+        let words_per_qubit = n_lanes.div_ceil(64).max(1);
+        FrameBatch {
+            n_qubits,
+            n_lanes,
+            words_per_qubit,
+            x: vec![0; n_qubits * words_per_qubit],
+            z: vec![0; n_qubits * words_per_qubit],
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of shot lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.n_lanes
+    }
+
+    /// Clears every frame back to identity.
+    pub fn clear(&mut self) {
+        self.x.fill(0);
+        self.z.fill(0);
+    }
+
+    #[inline]
+    fn range(&self, q: usize) -> std::ops::Range<usize> {
+        let w = self.words_per_qubit;
+        q * w..(q + 1) * w
+    }
+
+    /// The Pauli carried by `(qubit, lane)`.
+    pub fn pauli(&self, qubit: usize, lane: usize) -> Pauli {
+        let w = self.words_per_qubit;
+        let idx = qubit * w + lane / 64;
+        let bit = 1u64 << (lane % 64);
+        Pauli::from_xz(self.x[idx] & bit != 0, self.z[idx] & bit != 0)
+    }
+
+    /// Multiplies the given Pauli into `(qubit, lane)`.
+    pub fn set_pauli(&mut self, qubit: usize, lane: usize, p: Pauli) {
+        let w = self.words_per_qubit;
+        let idx = qubit * w + lane / 64;
+        let bit = 1u64 << (lane % 64);
+        let (px, pz) = p.xz();
+        if px {
+            self.x[idx] ^= bit;
+        }
+        if pz {
+            self.z[idx] ^= bit;
+        }
+    }
+
+    /// Applies a Clifford gate to every lane at once.
+    pub fn apply(&mut self, gate: CliffordGate) {
+        use CliffordGate::*;
+        match gate {
+            H(q) => {
+                let r = self.range(q);
+                for i in r {
+                    std::mem::swap(&mut self.x[i], &mut self.z[i]);
+                }
+            }
+            S(q) | SDag(q) => {
+                let r = self.range(q);
+                for i in r {
+                    self.z[i] ^= self.x[i];
+                }
+            }
+            X(_) | Y(_) | Z(_) => {
+                // Pauli gates commute with frames up to sign; no-op.
+            }
+            Cnot(c, t) => {
+                let w = self.words_per_qubit;
+                for k in 0..w {
+                    self.x[t * w + k] ^= self.x[c * w + k];
+                    self.z[c * w + k] ^= self.z[t * w + k];
+                }
+            }
+            Cz(a, b) => {
+                let w = self.words_per_qubit;
+                for k in 0..w {
+                    self.z[b * w + k] ^= self.x[a * w + k];
+                    self.z[a * w + k] ^= self.x[b * w + k];
+                }
+            }
+            Swap(a, b) => {
+                let w = self.words_per_qubit;
+                for k in 0..w {
+                    self.x.swap(a * w + k, b * w + k);
+                    self.z.swap(a * w + k, b * w + k);
+                }
+            }
+            ISwap(a, b) => {
+                // iSWAP = SWAP · CZ · (S⊗S).
+                self.apply(CliffordGate::S(a));
+                self.apply(CliffordGate::S(b));
+                self.apply(CliffordGate::Cz(a, b));
+                self.apply(CliffordGate::Swap(a, b));
+            }
+        }
+    }
+
+    /// Z-basis measurement: returns the per-lane outcome-flip words (the
+    /// frame's X component on `qubit`). The frame itself is unchanged —
+    /// call [`FrameBatch::reset_qubit`] afterwards for measure+reset ops.
+    pub fn measure_z(&self, qubit: usize) -> Vec<u64> {
+        self.x[self.range(qubit)].to_vec()
+    }
+
+    /// Clears the frame on `qubit` (after a reset the qubit's error is
+    /// gone by definition).
+    pub fn reset_qubit(&mut self, qubit: usize) {
+        let r = self.range(qubit);
+        self.x[r.clone()].fill(0);
+        self.z[r].fill(0);
+    }
+
+    /// Depolarizing noise on one qubit: with probability `p` per lane,
+    /// multiplies a uniformly random non-identity Pauli into the frame.
+    pub fn apply_1q_noise<R: Rng + ?Sized>(&mut self, qubit: usize, p: f64, rng: &mut R) {
+        let n = self.n_lanes;
+        let w = self.words_per_qubit;
+        // Collect hits first to avoid borrowing issues with rng inside.
+        let mut hits: Vec<(usize, u8)> = Vec::new();
+        for_each_bernoulli_hit(rng, p, n, |lane| hits.push((lane, 0)));
+        for (lane, _) in &mut hits {
+            let which = rng.random_range(0..3u8);
+            let idx = qubit * w + *lane / 64;
+            let bit = 1u64 << (*lane % 64);
+            match which {
+                0 => self.x[idx] ^= bit,                       // X
+                1 => self.z[idx] ^= bit,                       // Z
+                _ => {
+                    self.x[idx] ^= bit;                        // Y
+                    self.z[idx] ^= bit;
+                }
+            }
+        }
+    }
+
+    /// Two-qubit depolarizing noise: with probability `p` per lane,
+    /// multiplies a uniformly random non-identity two-qubit Pauli (1 of
+    /// 15) into the frame.
+    pub fn apply_2q_noise<R: Rng + ?Sized>(&mut self, a: usize, b: usize, p: f64, rng: &mut R) {
+        let n = self.n_lanes;
+        let w = self.words_per_qubit;
+        let mut hits: Vec<usize> = Vec::new();
+        for_each_bernoulli_hit(rng, p, n, |lane| hits.push(lane));
+        for lane in hits {
+            // 1..16 encodes (pa, pb) != (I, I) via two 2-bit fields.
+            let code = rng.random_range(1..16u8);
+            let pa = code & 0b11;
+            let pb = code >> 2;
+            let word = lane / 64;
+            let bit = 1u64 << (lane % 64);
+            if pa & 0b01 != 0 {
+                self.x[a * w + word] ^= bit;
+            }
+            if pa & 0b10 != 0 {
+                self.z[a * w + word] ^= bit;
+            }
+            if pb & 0b01 != 0 {
+                self.x[b * w + word] ^= bit;
+            }
+            if pb & 0b10 != 0 {
+                self.z[b * w + word] ^= bit;
+            }
+        }
+    }
+
+    /// XORs Bernoulli(p) flips into a measurement record (classical
+    /// readout error).
+    pub fn apply_record_noise<R: Rng + ?Sized>(record: &mut [u64], n_lanes: usize, p: f64, rng: &mut R) {
+        for_each_bernoulli_hit(rng, p, n_lanes, |lane| {
+            record[lane / 64] ^= 1u64 << (lane % 64);
+        });
+    }
+}
+
+/// A single scalar Pauli frame over `n` qubits, for deterministic fault
+/// propagation.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_sim::{CliffordGate, SingleFrame};
+/// use vlq_pauli::Pauli;
+///
+/// let mut f = SingleFrame::new(3);
+/// f.mul_pauli(0, Pauli::X);
+/// f.apply(CliffordGate::Cnot(0, 1));
+/// assert_eq!(f.pauli(1), Pauli::X);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SingleFrame {
+    x: BitVec,
+    z: BitVec,
+}
+
+impl SingleFrame {
+    /// Identity frame on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        SingleFrame {
+            x: BitVec::zeros(n),
+            z: BitVec::zeros(n),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` if the frame is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.z.is_zero()
+    }
+
+    /// The Pauli on `qubit`.
+    pub fn pauli(&self, qubit: usize) -> Pauli {
+        Pauli::from_xz(self.x.get(qubit), self.z.get(qubit))
+    }
+
+    /// Multiplies `p` into the frame at `qubit`.
+    pub fn mul_pauli(&mut self, qubit: usize, p: Pauli) {
+        let (px, pz) = p.xz();
+        if px {
+            self.x.flip(qubit);
+        }
+        if pz {
+            self.z.flip(qubit);
+        }
+    }
+
+    /// X component at `qubit` (flips Z-basis measurements).
+    pub fn x_bit(&self, qubit: usize) -> bool {
+        self.x.get(qubit)
+    }
+
+    /// Z component at `qubit`.
+    pub fn z_bit(&self, qubit: usize) -> bool {
+        self.z.get(qubit)
+    }
+
+    /// Clears the frame at `qubit`.
+    pub fn reset_qubit(&mut self, qubit: usize) {
+        self.x.set(qubit, false);
+        self.z.set(qubit, false);
+    }
+
+    /// Applies a Clifford gate (same semantics as [`FrameBatch`]).
+    pub fn apply(&mut self, gate: CliffordGate) {
+        use CliffordGate::*;
+        match gate {
+            H(q) => {
+                let (xb, zb) = (self.x.get(q), self.z.get(q));
+                self.x.set(q, zb);
+                self.z.set(q, xb);
+            }
+            S(q) | SDag(q) => {
+                if self.x.get(q) {
+                    self.z.flip(q);
+                }
+            }
+            X(_) | Y(_) | Z(_) => {}
+            Cnot(c, t) => {
+                if self.x.get(c) {
+                    self.x.flip(t);
+                }
+                if self.z.get(t) {
+                    self.z.flip(c);
+                }
+            }
+            Cz(a, b) => {
+                if self.x.get(a) {
+                    self.z.flip(b);
+                }
+                if self.x.get(b) {
+                    self.z.flip(a);
+                }
+            }
+            Swap(a, b) => {
+                let (xa, za) = (self.x.get(a), self.z.get(a));
+                let (xb, zb) = (self.x.get(b), self.z.get(b));
+                self.x.set(a, xb);
+                self.z.set(a, zb);
+                self.x.set(b, xa);
+                self.z.set(b, za);
+            }
+            ISwap(a, b) => {
+                self.apply(CliffordGate::S(a));
+                self.apply(CliffordGate::S(b));
+                self.apply(CliffordGate::Cz(a, b));
+                self.apply(CliffordGate::Swap(a, b));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_frame_cnot_propagation() {
+        // X on control copies to target; Z on target copies to control.
+        let mut f = SingleFrame::new(2);
+        f.mul_pauli(0, Pauli::X);
+        f.apply(CliffordGate::Cnot(0, 1));
+        assert_eq!(f.pauli(0), Pauli::X);
+        assert_eq!(f.pauli(1), Pauli::X);
+
+        let mut f = SingleFrame::new(2);
+        f.mul_pauli(1, Pauli::Z);
+        f.apply(CliffordGate::Cnot(0, 1));
+        assert_eq!(f.pauli(0), Pauli::Z);
+        assert_eq!(f.pauli(1), Pauli::Z);
+    }
+
+    #[test]
+    fn single_frame_h_exchanges_xz() {
+        let mut f = SingleFrame::new(1);
+        f.mul_pauli(0, Pauli::X);
+        f.apply(CliffordGate::H(0));
+        assert_eq!(f.pauli(0), Pauli::Z);
+        f.apply(CliffordGate::H(0));
+        assert_eq!(f.pauli(0), Pauli::X);
+        // Y is preserved.
+        let mut f = SingleFrame::new(1);
+        f.mul_pauli(0, Pauli::Y);
+        f.apply(CliffordGate::H(0));
+        assert_eq!(f.pauli(0), Pauli::Y);
+    }
+
+    #[test]
+    fn iswap_mixes_sectors() {
+        // An X error on the transmon becomes a Y-component on the mode
+        // after a load (iSWAP) — this is why both decoding sectors see it.
+        let mut f = SingleFrame::new(2);
+        f.mul_pauli(0, Pauli::X);
+        f.apply(CliffordGate::ISwap(0, 1));
+        assert_eq!(f.pauli(0), Pauli::Z);
+        assert_eq!(f.pauli(1), Pauli::Y);
+    }
+
+    /// Frames agree with tableau conjugation modulo sign for all gates and
+    /// all single-Pauli inputs.
+    #[test]
+    fn frame_matches_tableau_conjugation() {
+        use crate::tableau::conjugate_row;
+        use vlq_pauli::PauliString;
+        let gates = [
+            CliffordGate::H(0),
+            CliffordGate::S(0),
+            CliffordGate::SDag(1),
+            CliffordGate::Cnot(0, 1),
+            CliffordGate::Cz(0, 1),
+            CliffordGate::Swap(0, 1),
+            CliffordGate::ISwap(0, 1),
+        ];
+        for gate in gates {
+            for pa in Pauli::ALL {
+                for pb in Pauli::ALL {
+                    let mut frame = SingleFrame::new(2);
+                    frame.mul_pauli(0, pa);
+                    frame.mul_pauli(1, pb);
+                    frame.apply(gate);
+
+                    let mut row = PauliString::identity(2);
+                    row.set_pauli(0, pa);
+                    row.set_pauli(1, pb);
+                    conjugate_row(&mut row, gate);
+
+                    assert_eq!(
+                        (frame.pauli(0), frame.pauli(1)),
+                        (row.pauli(0), row.pauli(1)),
+                        "gate {gate:?} on ({pa:?},{pb:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_frame() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        use rand::Rng;
+        let n = 5;
+        let lanes = 130;
+        let mut batch = FrameBatch::new(n, lanes);
+        let mut singles: Vec<SingleFrame> = (0..lanes).map(|_| SingleFrame::new(n)).collect();
+        // Random initial errors.
+        for (lane, single) in singles.iter_mut().enumerate() {
+            for q in 0..n {
+                let p = Pauli::ALL[rng.random_range(0..4usize)];
+                single.mul_pauli(q, p);
+                batch.set_pauli(q, lane, p);
+            }
+        }
+        let gates = [
+            CliffordGate::H(0),
+            CliffordGate::Cnot(0, 1),
+            CliffordGate::ISwap(1, 2),
+            CliffordGate::Cz(2, 3),
+            CliffordGate::Swap(3, 4),
+            CliffordGate::S(4),
+        ];
+        for g in gates {
+            batch.apply(g);
+            for s in &mut singles {
+                s.apply(g);
+            }
+        }
+        for (lane, s) in singles.iter().enumerate() {
+            for q in 0..n {
+                assert_eq!(batch.pauli(q, lane), s.pauli(q), "lane {lane}, qubit {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn measure_and_reset() {
+        let mut fb = FrameBatch::new(2, 100);
+        fb.set_pauli(0, 3, Pauli::X);
+        fb.set_pauli(0, 64, Pauli::Y);
+        fb.set_pauli(0, 65, Pauli::Z); // Z does not flip a Z measurement
+        let rec = fb.measure_z(0);
+        assert_eq!(rec[0], 1 << 3);
+        assert_eq!(rec[1], 1 << 0);
+        fb.reset_qubit(0);
+        assert_eq!(fb.pauli(0, 3), Pauli::I);
+        assert_eq!(fb.pauli(0, 64), Pauli::I);
+    }
+
+    #[test]
+    fn bernoulli_hit_statistics() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 10_000;
+        let p = 0.05;
+        let mut count = 0usize;
+        let reps = 20;
+        for _ in 0..reps {
+            for_each_bernoulli_hit(&mut rng, p, n, |_| count += 1);
+        }
+        let mean = count as f64 / reps as f64;
+        let expected = p * n as f64; // 500
+        // 5-sigma tolerance: sigma ~ sqrt(n p (1-p) / reps) ~ 4.9.
+        assert!(
+            (mean - expected).abs() < 5.0 * (n as f64 * p * (1.0 - p) / reps as f64).sqrt(),
+            "mean {mean} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut hits = vec![];
+        for_each_bernoulli_hit(&mut rng, 0.0, 100, |i| hits.push(i));
+        assert!(hits.is_empty());
+        for_each_bernoulli_hit(&mut rng, 1.0, 5, |i| hits.push(i));
+        assert_eq!(hits, vec![0, 1, 2, 3, 4]);
+        for_each_bernoulli_hit(&mut rng, 0.5, 0, |i| hits.push(i));
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn noise_rates_are_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let lanes = 64 * 2000;
+        let mut fb = FrameBatch::new(1, lanes);
+        fb.apply_1q_noise(0, 0.01, &mut rng);
+        let errors = (0..lanes).filter(|&l| fb.pauli(0, l) != Pauli::I).count();
+        let expected = 0.01 * lanes as f64;
+        assert!(
+            (errors as f64 - expected).abs() < 5.0 * (lanes as f64 * 0.01f64).sqrt(),
+            "errors {errors} vs expected {expected}"
+        );
+        // All three Paulis occur.
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..lanes {
+            let p = fb.pauli(0, l);
+            if p != Pauli::I {
+                seen.insert(p);
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn two_qubit_noise_hits_both_qubits() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let lanes = 64 * 1000;
+        let mut fb = FrameBatch::new(2, lanes);
+        fb.apply_2q_noise(0, 1, 0.05, &mut rng);
+        let mut pair_kinds = std::collections::HashSet::new();
+        for l in 0..lanes {
+            let pair = (fb.pauli(0, l), fb.pauli(1, l));
+            if pair != (Pauli::I, Pauli::I) {
+                pair_kinds.insert(pair);
+            }
+        }
+        // All 15 non-identity pairs should appear at this sample size.
+        assert_eq!(pair_kinds.len(), 15);
+    }
+
+    #[test]
+    fn record_noise_flips_bits() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let lanes = 6400;
+        let mut record = vec![0u64; lanes / 64];
+        FrameBatch::apply_record_noise(&mut record, lanes, 0.1, &mut rng);
+        let flips: u32 = record.iter().map(|w| w.count_ones()).sum();
+        assert!(flips > 400 && flips < 900, "flips {flips}");
+    }
+}

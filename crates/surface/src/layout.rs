@@ -1,0 +1,312 @@
+//! Rotated surface code layout.
+//!
+//! Coordinate convention (matching Figure 2 of the paper): data qubits at
+//! odd-odd coordinates `(2i+1, 2j+1)` for `i, j in 0..d`; measure
+//! (ancilla) qubits at even-even coordinates. A plaquette centered at an
+//! even-even site `(x, y)` is X-type when `(x + y) / 2` is odd and Z-type
+//! when even; boundary plaquettes keep only the two corners inside the
+//! patch. Z-type boundary halves sit on the top and bottom edges, X-type
+//! halves on the left and right.
+//!
+//! Logical operators: logical Z is a vertical column of Z's (crossing the
+//! Z boundaries); logical X is a horizontal row of X's.
+
+/// The two stabilizer types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlaquetteKind {
+    /// Detects bit flips (Z-type parity of data).
+    Z,
+    /// Detects phase flips (X-type parity of data).
+    X,
+}
+
+impl PlaquetteKind {
+    /// The other kind.
+    pub fn other(self) -> PlaquetteKind {
+        match self {
+            PlaquetteKind::Z => PlaquetteKind::X,
+            PlaquetteKind::X => PlaquetteKind::Z,
+        }
+    }
+}
+
+/// A stabilizer plaquette of the rotated surface code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plaquette {
+    /// X or Z type.
+    pub kind: PlaquetteKind,
+    /// Center coordinate (even-even site; the measure qubit's home).
+    pub center: (i32, i32),
+    /// The 2 or 4 data-qubit coordinates, in canonical corner order:
+    /// `[lower-left, lower-right, upper-left, upper-right]` with absent
+    /// corners omitted.
+    pub data: Vec<(i32, i32)>,
+}
+
+impl Plaquette {
+    /// Returns `true` for boundary (weight-2) plaquettes.
+    pub fn is_half(&self) -> bool {
+        self.data.len() == 2
+    }
+}
+
+/// The rotated surface code of odd distance `d`.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_surface::layout::SurfaceLayout;
+///
+/// let l = SurfaceLayout::new(3);
+/// assert_eq!(l.data_coords().len(), 9);
+/// assert_eq!(l.plaquettes().len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SurfaceLayout {
+    d: usize,
+    data: Vec<(i32, i32)>,
+    plaquettes: Vec<Plaquette>,
+}
+
+impl SurfaceLayout {
+    /// Builds the layout for odd `d >= 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even or `< 3`.
+    pub fn new(d: usize) -> Self {
+        assert!(d % 2 == 1 && d >= 3, "distance must be odd and >= 3");
+        let di = d as i32;
+        let mut data = Vec::with_capacity(d * d);
+        for y in 0..di {
+            for x in 0..di {
+                data.push((2 * x + 1, 2 * y + 1));
+            }
+        }
+        let mut plaquettes = Vec::new();
+        // Candidate centers: even-even sites (x, y) with 0 <= x, y <= 2d.
+        for cy in 0..=di {
+            for cx in 0..=di {
+                let (x, y) = (2 * cx, 2 * cy);
+                let kind = if (cx + cy) % 2 == 1 {
+                    PlaquetteKind::X
+                } else {
+                    PlaquetteKind::Z
+                };
+                // Corners in canonical order.
+                let corners = [
+                    (x - 1, y - 1),
+                    (x + 1, y - 1),
+                    (x - 1, y + 1),
+                    (x + 1, y + 1),
+                ];
+                let inside: Vec<(i32, i32)> = corners
+                    .iter()
+                    .copied()
+                    .filter(|&(cx, cy)| cx >= 1 && cx <= 2 * di - 1 && cy >= 1 && cy <= 2 * di - 1)
+                    .collect();
+                let keep = match inside.len() {
+                    4 => true,
+                    2 => {
+                        // Boundary halves: Z on top/bottom edges, X on
+                        // left/right edges.
+                        let on_top_bottom = y == 0 || y == 2 * di;
+                        let on_left_right = x == 0 || x == 2 * di;
+                        (kind == PlaquetteKind::Z && on_top_bottom)
+                            || (kind == PlaquetteKind::X && on_left_right)
+                    }
+                    _ => false,
+                };
+                if keep {
+                    plaquettes.push(Plaquette {
+                        kind,
+                        center: (x, y),
+                        data: inside,
+                    });
+                }
+            }
+        }
+        SurfaceLayout {
+            d,
+            data,
+            plaquettes,
+        }
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> usize {
+        self.d
+    }
+
+    /// Data-qubit coordinates (row-major, `d*d` entries).
+    pub fn data_coords(&self) -> &[(i32, i32)] {
+        &self.data
+    }
+
+    /// All plaquettes.
+    pub fn plaquettes(&self) -> &[Plaquette] {
+        &self.plaquettes
+    }
+
+    /// Plaquettes of one kind.
+    pub fn plaquettes_of(&self, kind: PlaquetteKind) -> impl Iterator<Item = &Plaquette> {
+        self.plaquettes.iter().filter(move |p| p.kind == kind)
+    }
+
+    /// Index of a data coordinate in [`SurfaceLayout::data_coords`].
+    pub fn data_index(&self, coord: (i32, i32)) -> Option<usize> {
+        let (x, y) = coord;
+        if x < 1 || y < 1 || x % 2 == 0 || y % 2 == 0 {
+            return None;
+        }
+        let (ix, iy) = ((x / 2) as usize, (y / 2) as usize);
+        (ix < self.d && iy < self.d).then(|| iy * self.d + ix)
+    }
+
+    /// Data indices of the logical Z operator (a vertical column, `x = 1`).
+    pub fn logical_z_support(&self) -> Vec<usize> {
+        (0..self.d).map(|j| j * self.d).collect()
+    }
+
+    /// Data indices of the logical X operator (a horizontal row, `y = 1`).
+    pub fn logical_x_support(&self) -> Vec<usize> {
+        (0..self.d).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn counts_for_small_distances() {
+        for d in [3usize, 5, 7, 9, 11] {
+            let l = SurfaceLayout::new(d);
+            assert_eq!(l.data_coords().len(), d * d);
+            assert_eq!(l.plaquettes().len(), d * d - 1, "d={d}");
+            let zs = l.plaquettes_of(PlaquetteKind::Z).count();
+            let xs = l.plaquettes_of(PlaquetteKind::X).count();
+            assert_eq!(zs, (d * d - 1) / 2);
+            assert_eq!(xs, (d * d - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn half_plaquette_positions() {
+        let l = SurfaceLayout::new(5);
+        for p in l.plaquettes() {
+            if p.is_half() {
+                let (x, y) = p.center;
+                match p.kind {
+                    PlaquetteKind::Z => assert!(y == 0 || y == 10, "Z half at {:?}", p.center),
+                    PlaquetteKind::X => assert!(x == 0 || x == 10, "X half at {:?}", p.center),
+                }
+            }
+        }
+        // d-1 halves of each kind.
+        let z_halves = l
+            .plaquettes_of(PlaquetteKind::Z)
+            .filter(|p| p.is_half())
+            .count();
+        assert_eq!(z_halves, 4);
+    }
+
+    #[test]
+    fn every_interior_data_touches_two_of_each() {
+        let l = SurfaceLayout::new(5);
+        let mut touch: HashMap<(i32, i32), (usize, usize)> = HashMap::new();
+        for p in l.plaquettes() {
+            for &dq in &p.data {
+                let e = touch.entry(dq).or_insert((0, 0));
+                match p.kind {
+                    PlaquetteKind::Z => e.0 += 1,
+                    PlaquetteKind::X => e.1 += 1,
+                }
+            }
+        }
+        // Interior data (not on patch boundary) touch 2 Z and 2 X.
+        for (&(x, y), &(z, xx)) in &touch {
+            let interior = x > 1 && x < 9 && y > 1 && y < 9;
+            if interior {
+                assert_eq!((z, xx), (2, 2), "data ({x},{y})");
+            } else {
+                assert!(z <= 2 && xx <= 2);
+                assert!(z + xx >= 2, "boundary data must touch >= 2 checks");
+            }
+        }
+    }
+
+    #[test]
+    fn stabilizers_commute() {
+        // Z and X plaquettes must overlap on an even number of data.
+        let l = SurfaceLayout::new(7);
+        let plaq: Vec<(&Plaquette, HashSet<(i32, i32)>)> = l
+            .plaquettes()
+            .iter()
+            .map(|p| (p, p.data.iter().copied().collect()))
+            .collect();
+        for (pi, si) in &plaq {
+            for (pj, sj) in &plaq {
+                if pi.kind != pj.kind {
+                    let overlap = si.intersection(sj).count();
+                    assert!(
+                        overlap % 2 == 0,
+                        "{:?} at {:?} vs {:?} at {:?} overlap {overlap}",
+                        pi.kind,
+                        pi.center,
+                        pj.kind,
+                        pj.center
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logical_operators_commute_with_stabilizers_and_anticommute() {
+        let l = SurfaceLayout::new(5);
+        let zl: HashSet<usize> = l.logical_z_support().into_iter().collect();
+        let xl: HashSet<usize> = l.logical_x_support().into_iter().collect();
+        // Overlap of logical Z with every X plaquette must be even; with
+        // logical X it must be odd (they anticommute).
+        for p in l.plaquettes_of(PlaquetteKind::X) {
+            let overlap = p
+                .data
+                .iter()
+                .filter_map(|&c| l.data_index(c))
+                .filter(|i| zl.contains(i))
+                .count();
+            assert!(overlap % 2 == 0, "X plaquette at {:?}", p.center);
+        }
+        for p in l.plaquettes_of(PlaquetteKind::Z) {
+            let overlap = p
+                .data
+                .iter()
+                .filter_map(|&c| l.data_index(c))
+                .filter(|i| xl.contains(i))
+                .count();
+            assert!(overlap % 2 == 0, "Z plaquette at {:?}", p.center);
+        }
+        assert_eq!(zl.intersection(&xl).count() % 2, 1);
+    }
+
+    #[test]
+    fn data_index_roundtrip() {
+        let l = SurfaceLayout::new(3);
+        for (i, &c) in l.data_coords().iter().enumerate() {
+            assert_eq!(l.data_index(c), Some(i));
+        }
+        assert_eq!(l.data_index((0, 0)), None);
+        assert_eq!(l.data_index((7, 1)), None);
+    }
+
+    #[test]
+    fn logical_weight_is_distance() {
+        for d in [3usize, 5, 7] {
+            let l = SurfaceLayout::new(d);
+            assert_eq!(l.logical_z_support().len(), d);
+            assert_eq!(l.logical_x_support().len(), d);
+        }
+    }
+}

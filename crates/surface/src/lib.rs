@@ -1,0 +1,31 @@
+//! Rotated surface code layouts, 2.5D embeddings, and syndrome-extraction
+//! schedules for the VLQ reproduction.
+//!
+//! * [`layout`] — the rotated surface code: data/ancilla coordinates,
+//!   X/Z plaquettes with boundary halves, logical operators.
+//! * [`embedding`] — the Natural and Compact embeddings of patches into
+//!   the 2.5D transmon + cavity hardware, including the Compact
+//!   ancilla-merge bookkeeping and interaction-graph builders.
+//! * [`schedule`] — memory-experiment circuit generators for the five
+//!   evaluated setups (Baseline, Natural/Compact x All-at-once/
+//!   Interleaved), reproducing the paper's Figure 10 CNOT ordering for
+//!   Compact.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+//! use vlq_arch::HardwareParams;
+//!
+//! let spec = MemorySpec::standard(Setup::CompactInterleaved, 3, 10, Basis::Z);
+//! let mc = memory_circuit(spec, &HardwareParams::with_memory());
+//! assert_eq!(mc.circuit.observables.len(), 1);
+//! ```
+
+pub mod embedding;
+pub mod layout;
+pub mod schedule;
+
+pub use embedding::{CompactHost, CompactMerge, Corner};
+pub use layout::{Plaquette, PlaquetteKind, SurfaceLayout};
+pub use schedule::{memory_circuit, Basis, MemoryCircuit, MemorySpec, Setup};

@@ -1,0 +1,18 @@
+//! Logical operations on virtualized surface-code qubits: the transversal
+//! CNOT (paper §III-B), lattice-surgery operations (Figures 4 and 9), and
+//! the move operation — with their timestep cost model and full
+//! verification of the transversal CNOT by stabilizer conjugation and
+//! state-vector process checks.
+//!
+//! One *timestep* is `d` error-correction rounds (the paper's unit). The
+//! headline: a lattice-surgery CNOT takes 6 timesteps; the transversal
+//! CNOT between two logical qubits co-located in a stack takes 1.
+
+pub mod ops;
+pub mod transversal;
+
+pub use ops::{LogicalOp, TIMESTEP_ROUNDS};
+pub use transversal::{
+    transversal_cnot_gates, verify_transversal_cnot_statevector,
+    verify_transversal_cnot_tableau, TwoPatchCode,
+};

@@ -1,0 +1,101 @@
+//! Logical-operation cost model (timesteps of `d` rounds each).
+
+/// Rounds of syndrome extraction per logical timestep (one timestep = `d`
+/// rounds, the paper's convention).
+pub const TIMESTEP_ROUNDS: &str = "d";
+
+/// A logical operation with its latency in timesteps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LogicalOp {
+    /// Transversal CNOT between two logical qubits in the same stack
+    /// (paper §III-B): one timestep.
+    TransversalCnot,
+    /// Lattice-surgery CNOT via merge/split with an ancilla patch
+    /// (Figures 4/9): six timesteps.
+    LatticeSurgeryCnot,
+    /// Move a patch any distance through free patches/modes: one
+    /// timestep (grow), with the shrink absorbed into the next step.
+    Move,
+    /// Transversal CNOT on qubits in *different* stacks: move one qubit
+    /// into the target stack, apply the transversal CNOT (2 timesteps),
+    /// optionally move it back (3 total). This variant counts the
+    /// round trip.
+    MoveTransversalCnotReturn,
+    /// Same without the return move.
+    MoveTransversalCnot,
+    /// Patch merge (one timestep) — half of a surgery CNOT.
+    Merge,
+    /// Patch split (one timestep).
+    Split,
+    /// Logical measurement (destructive data readout): one timestep.
+    Measure,
+    /// Logical initialization (|0> or |+>): one timestep.
+    Initialize,
+}
+
+impl LogicalOp {
+    /// Latency in timesteps (each `d` error-correction rounds).
+    pub fn timesteps(self) -> usize {
+        match self {
+            LogicalOp::TransversalCnot => 1,
+            LogicalOp::LatticeSurgeryCnot => 6,
+            LogicalOp::Move => 1,
+            LogicalOp::MoveTransversalCnot => 2,
+            LogicalOp::MoveTransversalCnotReturn => 3,
+            LogicalOp::Merge | LogicalOp::Split => 1,
+            LogicalOp::Measure | LogicalOp::Initialize => 1,
+        }
+    }
+
+    /// The paper's headline speedup of the transversal CNOT over lattice
+    /// surgery.
+    pub fn transversal_speedup() -> usize {
+        LogicalOp::LatticeSurgeryCnot.timesteps() / LogicalOp::TransversalCnot.timesteps()
+    }
+}
+
+/// The six-step lattice-surgery CNOT decomposition of Figures 4 and 9,
+/// as a sequence of primitive operations (useful for schedule displays
+/// and for checking the latency adds up).
+pub fn surgery_cnot_sequence() -> Vec<(LogicalOp, &'static str)> {
+    vec![
+        (LogicalOp::Initialize, "create ancilla |0> patch"),
+        (LogicalOp::Merge, "merge A and T (measure X parity)"),
+        (LogicalOp::Split, "split A from T"),
+        (LogicalOp::Merge, "merge A and C (measure Z parity)"),
+        (LogicalOp::Split, "split A from C"),
+        (LogicalOp::Measure, "measure A in the X basis"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_speedup_is_6x() {
+        assert_eq!(LogicalOp::TransversalCnot.timesteps(), 1);
+        assert_eq!(LogicalOp::LatticeSurgeryCnot.timesteps(), 6);
+        assert_eq!(LogicalOp::transversal_speedup(), 6);
+    }
+
+    #[test]
+    fn surgery_sequence_sums_to_six() {
+        let total: usize = surgery_cnot_sequence()
+            .iter()
+            .map(|(op, _)| op.timesteps())
+            .sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn cross_stack_transversal_still_beats_surgery() {
+        // Even with a move there and back, the transversal path (3 steps)
+        // beats lattice surgery (6 steps) — the paper's §III-B point.
+        assert!(
+            LogicalOp::MoveTransversalCnotReturn.timesteps()
+                < LogicalOp::LatticeSurgeryCnot.timesteps()
+        );
+        assert_eq!(LogicalOp::MoveTransversalCnot.timesteps(), 2);
+    }
+}

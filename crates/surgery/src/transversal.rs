@@ -1,0 +1,331 @@
+//! Verification of the transversal CNOT (paper §III-B, "which we
+//! verified via process tomography").
+//!
+//! Two independent checks:
+//!
+//! * [`verify_transversal_cnot_tableau`] — exact Clifford process
+//!   identification: conjugating the logical generators `X_L⊗I`,
+//!   `Z_L⊗I`, `I⊗X_L`, `I⊗Z_L` through the physical gate sequence must
+//!   reproduce the CNOT conjugation table *modulo the stabilizer group*.
+//!   For Clifford channels this determines the process completely.
+//! * [`verify_transversal_cnot_statevector`] — state-level tomography at
+//!   distance 3: encode logical basis and superposition states (18
+//!   physical qubits), apply the 9 physical CNOTs, and check fidelities
+//!   with the expected encoded outputs.
+
+use vlq_pauli::{Pauli, PauliString};
+use vlq_sim::{CliffordGate, StateVector, Tableau};
+use vlq_surface::layout::{PlaquetteKind, SurfaceLayout};
+
+/// Two surface-code patches sharing a stack: control uses qubits
+/// `0..d^2`, target uses `d^2..2d^2` (the paper's co-located logical
+/// qubits in two cavity modes).
+#[derive(Clone, Debug)]
+pub struct TwoPatchCode {
+    layout: SurfaceLayout,
+    d: usize,
+}
+
+impl TwoPatchCode {
+    /// Builds the two-patch code for odd distance `d`.
+    pub fn new(d: usize) -> Self {
+        TwoPatchCode {
+            layout: SurfaceLayout::new(d),
+            d,
+        }
+    }
+
+    /// Total physical qubits (both patches).
+    pub fn num_qubits(&self) -> usize {
+        2 * self.d * self.d
+    }
+
+    /// Stabilizer generators of both patches.
+    pub fn stabilizers(&self) -> Vec<PauliString> {
+        let n = self.num_qubits();
+        let d2 = self.d * self.d;
+        let mut out = Vec::new();
+        for patch in 0..2 {
+            for p in self.layout.plaquettes() {
+                let mut s = PauliString::identity(n);
+                for &c in &p.data {
+                    let q = patch * d2 + self.layout.data_index(c).expect("data");
+                    s.set_pauli(
+                        q,
+                        match p.kind {
+                            PlaquetteKind::Z => Pauli::Z,
+                            PlaquetteKind::X => Pauli::X,
+                        },
+                    );
+                }
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Logical operator on one patch (0 = control, 1 = target).
+    pub fn logical(&self, patch: usize, kind: PlaquetteKind) -> PauliString {
+        let n = self.num_qubits();
+        let d2 = self.d * self.d;
+        let support = match kind {
+            PlaquetteKind::Z => self.layout.logical_z_support(),
+            PlaquetteKind::X => self.layout.logical_x_support(),
+        };
+        let mut s = PauliString::identity(n);
+        for di in support {
+            s.set_pauli(
+                patch * d2 + di,
+                match kind {
+                    PlaquetteKind::Z => Pauli::Z,
+                    PlaquetteKind::X => Pauli::X,
+                },
+            );
+        }
+        s
+    }
+
+    /// Prepares the code state `|0>_L |0>_L` on a tableau by projecting
+    /// every stabilizer (forcing +1 outcomes) and both logical Zs.
+    pub fn encoded_tableau(&self) -> Tableau {
+        let mut t = Tableau::new(self.num_qubits());
+        for s in self.stabilizers() {
+            force_plus(&mut t, &s);
+        }
+        for patch in 0..2 {
+            let zl = self.logical(patch, PlaquetteKind::Z);
+            force_plus(&mut t, &zl);
+        }
+        t
+    }
+}
+
+/// Measures `p` and applies a fixing operator when the outcome is -1, so
+/// the state ends in the +1 eigenspace.
+fn force_plus(t: &mut Tableau, p: &PauliString) {
+    let out = t.measure_pauli(p, || false);
+    if out.bit() {
+        // Find any anticommuting single-qubit Pauli to flip the outcome:
+        // applying it maps the -1 eigenspace to +1.
+        let n = p.len();
+        for q in 0..n {
+            for candidate in [Pauli::X, Pauli::Z, Pauli::Y] {
+                let single = PauliString::single(n, q, candidate);
+                if single.anticommutes_with(p) {
+                    // Must also commute with... for simple forcing we just
+                    // re-measure after applying; stabilizer forcing order
+                    // makes this converge because we force in order.
+                    t.apply_pauli(&single);
+                    let again = t.measure_pauli(p, || false);
+                    if !again.bit() {
+                        return;
+                    }
+                    t.apply_pauli(&single); // undo and try another
+                }
+            }
+        }
+        panic!("could not force +1 eigenvalue");
+    }
+}
+
+/// The physical gate sequence of the transversal CNOT: one CNOT per data
+/// position, control patch onto target patch.
+pub fn transversal_cnot_gates(d: usize) -> Vec<CliffordGate> {
+    let d2 = d * d;
+    (0..d2).map(|i| CliffordGate::Cnot(i, d2 + i)).collect()
+}
+
+/// Exact Clifford process identification via stabilizer conjugation.
+///
+/// Returns `Ok(())` when the transversal CNOT implements the logical
+/// CNOT: generators map as `X_L⊗I -> X_L⊗X_L`, `I⊗X_L -> I⊗X_L`,
+/// `Z_L⊗I -> Z_L⊗I`, `I⊗Z_L -> Z_L⊗Z_L`, all modulo stabilizers, and
+/// the stabilizer group is preserved.
+///
+/// # Errors
+///
+/// Returns a description of the first failed check.
+pub fn verify_transversal_cnot_tableau(d: usize) -> Result<(), String> {
+    let code = TwoPatchCode::new(d);
+    let gates = transversal_cnot_gates(d);
+    use vlq_sim::tableau::conjugate_row;
+
+    // 1. The stabilizer group must be preserved: each conjugated
+    //    stabilizer must be a product of stabilizers (checked on the
+    //    encoded state: expectation stays +1).
+    let reference = code.encoded_tableau();
+    for s in code.stabilizers() {
+        let mut conj = s.clone();
+        for &g in &gates {
+            conjugate_row(&mut conj, g);
+        }
+        match reference.expectation(&conj) {
+            Some(false) => {}
+            other => {
+                return Err(format!(
+                    "conjugated stabilizer not in group (expectation {other:?})"
+                ))
+            }
+        }
+    }
+    // 2. Logical generators conjugate like a CNOT.
+    let xl0 = code.logical(0, PlaquetteKind::X);
+    let xl1 = code.logical(1, PlaquetteKind::X);
+    let zl0 = code.logical(0, PlaquetteKind::Z);
+    let zl1 = code.logical(1, PlaquetteKind::Z);
+    let checks: Vec<(&PauliString, PauliString, &str)> = vec![
+        (&xl0, xl0.mul(&xl1), "X_L⊗I -> X_L⊗X_L"),
+        (&xl1, xl1.clone(), "I⊗X_L -> I⊗X_L"),
+        (&zl0, zl0.clone(), "Z_L⊗I -> Z_L⊗I"),
+        (&zl1, zl0.mul(&zl1), "I⊗Z_L -> Z_L⊗Z_L"),
+    ];
+    for (input, expected, name) in checks {
+        let mut conj = input.clone();
+        for &g in &gates {
+            conjugate_row(&mut conj, g);
+        }
+        // conj must equal expected modulo stabilizers: conj * expected
+        // must be a +1 stabilizer-group element on the code state.
+        let diff = conj.mul(&expected);
+        match reference.expectation(&diff) {
+            Some(false) => {}
+            other => {
+                return Err(format!(
+                    "{name} failed: residual expectation {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// State-vector tomography at distance `d` (practical for `d = 3`: 18
+/// qubits): encodes the four logical computational basis states and a
+/// superposition, applies the physical transversal CNOT, and verifies
+/// against the expected encoded outputs.
+///
+/// Returns the minimum fidelity observed over all checks.
+///
+/// # Panics
+///
+/// Panics if `2 d^2` exceeds the state-vector capacity.
+pub fn verify_transversal_cnot_statevector(d: usize) -> f64 {
+    let code = TwoPatchCode::new(d);
+    let n = code.num_qubits();
+    let gates = transversal_cnot_gates(d);
+
+    // Encoded |a>_L |b>_L: project stabilizers on |0...0>, then apply
+    // logical X operators as needed.
+    let encode = |a: bool, b: bool| -> StateVector {
+        let mut sv = StateVector::new(n);
+        for s in code.stabilizers() {
+            // Z-stabilizers are already satisfied by |0..0>; X-projectors
+            // entangle. Projecting everything is simplest and exact.
+            sv.project_pauli_plus(&s);
+        }
+        if a {
+            sv.apply_pauli(&code.logical(0, PlaquetteKind::X));
+        }
+        if b {
+            sv.apply_pauli(&code.logical(1, PlaquetteKind::X));
+        }
+        sv
+    };
+
+    let mut min_fidelity = f64::INFINITY;
+    // Computational-basis process checks: |a, b> -> |a, a ^ b>.
+    for a in [false, true] {
+        for b in [false, true] {
+            let mut sv = encode(a, b);
+            sv.apply_all(gates.iter().copied());
+            let expected = encode(a, a ^ b);
+            let f = sv.fidelity(&expected);
+            min_fidelity = min_fidelity.min(f);
+        }
+    }
+    // Superposition check: |+>_L |0>_L -> logical Bell pair, verified via
+    // logical stabilizer expectations X_L X_L = +1, Z_L Z_L = +1.
+    let mut sv = encode(false, false);
+    // Logical H on control = prepare |+>_L: project onto +1 of X_L0.
+    sv.project_pauli_plus(&code.logical(0, PlaquetteKind::X));
+    sv.apply_all(gates.iter().copied());
+    let xx = code
+        .logical(0, PlaquetteKind::X)
+        .mul(&code.logical(1, PlaquetteKind::X));
+    let zz = code
+        .logical(0, PlaquetteKind::Z)
+        .mul(&code.logical(1, PlaquetteKind::Z));
+    for op in [xx, zz] {
+        let e = sv.pauli_expectation(&op);
+        min_fidelity = min_fidelity.min(e);
+    }
+    min_fidelity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tableau_verification_d3_and_d5() {
+        verify_transversal_cnot_tableau(3).expect("d=3");
+        verify_transversal_cnot_tableau(5).expect("d=5");
+    }
+
+    #[test]
+    fn statevector_tomography_d3() {
+        let f = verify_transversal_cnot_statevector(3);
+        assert!(f > 1.0 - 1e-9, "minimum fidelity {f}");
+    }
+
+    #[test]
+    fn wrong_direction_fails_tableau_check() {
+        // Sanity of the checker itself: reversing the CNOT direction is
+        // NOT a logical CNOT from control to target.
+        let code = TwoPatchCode::new(3);
+        let d2 = 9;
+        let reversed: Vec<CliffordGate> =
+            (0..d2).map(|i| CliffordGate::Cnot(d2 + i, i)).collect();
+        use vlq_sim::tableau::conjugate_row;
+        let xl0 = code.logical(0, PlaquetteKind::X);
+        let xl1 = code.logical(1, PlaquetteKind::X);
+        let mut conj = xl0.clone();
+        for &g in &reversed {
+            conjugate_row(&mut conj, g);
+        }
+        let expected = xl0.mul(&xl1);
+        let diff = conj.mul(&expected);
+        let mut reference = code.encoded_tableau();
+        // The reversed circuit maps X_L0 -> X_L0, so diff = X_L1 mod
+        // stabilizers, which is NOT stabilized (expectation random).
+        assert_ne!(reference.expectation(&diff), Some(false));
+    }
+
+    #[test]
+    fn encoded_tableau_is_code_state() {
+        let code = TwoPatchCode::new(3);
+        let mut t = code.encoded_tableau();
+        for s in code.stabilizers() {
+            assert!(t.is_stabilized_by(&s));
+        }
+        for patch in 0..2 {
+            let zl = code.logical(patch, PlaquetteKind::Z);
+            assert_eq!(t.expectation(&zl), Some(false));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn logical_operators_anticommute_within_patch() {
+        let code = TwoPatchCode::new(5);
+        let x0 = code.logical(0, PlaquetteKind::X);
+        let z0 = code.logical(0, PlaquetteKind::Z);
+        let x1 = code.logical(1, PlaquetteKind::X);
+        assert!(x0.anticommutes_with(&z0));
+        assert!(x0.commutes_with(&x1));
+        for s in code.stabilizers() {
+            assert!(x0.commutes_with(&s));
+            assert!(z0.commutes_with(&s));
+        }
+    }
+}

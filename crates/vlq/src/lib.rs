@@ -1,0 +1,56 @@
+//! # VLQ — Virtualized Logical Qubits
+//!
+//! A reproduction of the MICRO 2020 paper *"Virtualized Logical Qubits:
+//! A 2.5D Architecture for Error-Corrected Quantum Computing"*
+//! (Duckering, Baker, Schuster, Chong).
+//!
+//! The architecture stores surface-code logical qubits in multi-mode
+//! resonant cavities attached to a 2D transmon grid. Logical qubits have
+//! *virtual addresses* `(stack, mode)`; they are paged into the transmon
+//! layer for syndrome extraction (like DRAM refresh) and for logical
+//! operations, enabling a fast transversal CNOT between co-located
+//! qubits and ~10-20x transmon savings.
+//!
+//! This crate is the user-facing library:
+//!
+//! * [`machine`] — the [`VlqMachine`]: stack/mode allocation, the
+//!   paging + refresh scheduler, logical operations with the paper's
+//!   latency model, and execution timelines.
+//! * [`program`] — a small logical-circuit IR and compiler onto the
+//!   machine.
+//!
+//! The substrates re-exported below implement everything the paper's
+//! evaluation needs: simulators, schedules, decoders, Monte-Carlo
+//! threshold experiments, and magic-state factory models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vlq::machine::{MachineConfig, VlqMachine};
+//!
+//! // A 2x2 grid of stacks, depth-10 cavities, distance-3 Compact patches.
+//! let mut m = VlqMachine::new(MachineConfig::compact_demo());
+//! let a = m.alloc().unwrap();
+//! let b = m.alloc().unwrap();
+//! m.cnot(a, b).unwrap();
+//! let report = m.finish();
+//! assert!(report.total_timesteps > 0);
+//! ```
+
+pub mod machine;
+pub mod program;
+
+pub use machine::{MachineConfig, MachineReport, RefreshPolicy, VlqMachine};
+pub use program::{LogicalCircuit, ProgOp};
+
+// Re-export the substrate crates under stable names.
+pub use vlq_arch as arch;
+pub use vlq_circuit as circuit;
+pub use vlq_decoder as decoder;
+pub use vlq_magic as magic;
+pub use vlq_math as math;
+pub use vlq_pauli as pauli;
+pub use vlq_qec as qec;
+pub use vlq_sim as sim;
+pub use vlq_surface as surface;
+pub use vlq_surgery as surgery;

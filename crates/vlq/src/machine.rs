@@ -1,0 +1,582 @@
+//! The virtualized-logical-qubit machine: addressing, paging, refresh
+//! scheduling, and logical-operation execution.
+//!
+//! The machine models the paper's architectural rules (§III-D):
+//!
+//! * every stack keeps one cavity mode **free** for moves and surgery
+//!   ancillas;
+//! * every stored logical qubit must receive error correction at least
+//!   once every `k` scheduler cycles (its *refresh deadline*) — the
+//!   DRAM-refresh analogy;
+//! * co-located qubits interact via the 1-timestep transversal CNOT;
+//!   cross-stack interactions either move a qubit into the partner stack
+//!   (move + transversal, 2-3 timesteps) or use lattice surgery
+//!   (6 timesteps), whichever the policy prefers;
+//! * moves traverse the free modes along the path, so intersecting moves
+//!   serialize.
+
+use std::collections::BTreeMap;
+
+use vlq_arch::address::{ModeIndex, StackCoord, VirtAddr};
+use vlq_arch::geometry::{patch_cost, Embedding};
+use vlq_arch::params::HardwareParams;
+use vlq_surgery::LogicalOp;
+
+/// Machine-level errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// No stack has a free mode (beyond the reserved one).
+    OutOfCapacity,
+    /// Unknown logical qubit handle.
+    UnknownQubit(LogicalId),
+    /// Operation on a deallocated qubit.
+    Deallocated(LogicalId),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::OutOfCapacity => write!(f, "no free cavity mode available"),
+            MachineError::UnknownQubit(id) => write!(f, "unknown logical qubit {id:?}"),
+            MachineError::Deallocated(id) => write!(f, "logical qubit {id:?} was measured"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Handle to an allocated logical qubit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogicalId(pub u32);
+
+/// How the scheduler interleaves error correction (paper §III-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RefreshPolicy {
+    /// One syndrome round per mode per cycle (paper: Interleaved).
+    #[default]
+    Interleaved,
+    /// All `d` rounds per mode per block (paper: All-at-once).
+    AllAtOnce,
+}
+
+/// Machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Stacks in x.
+    pub stacks_x: u32,
+    /// Stacks in y.
+    pub stacks_y: u32,
+    /// Cavity depth (modes per cavity).
+    pub k: usize,
+    /// Code distance.
+    pub d: usize,
+    /// Which embedding the stacks use.
+    pub embedding: Embedding,
+    /// Refresh policy.
+    pub refresh: RefreshPolicy,
+    /// Prefer move+transversal over lattice surgery for cross-stack
+    /// CNOTs (both are supported; the paper shows transversal wins).
+    pub prefer_transversal: bool,
+    /// Hardware timing parameters.
+    pub hw: HardwareParams,
+}
+
+impl MachineConfig {
+    /// A small demo machine: 2x2 stacks, k = 10, d = 3, Compact.
+    pub fn compact_demo() -> Self {
+        MachineConfig {
+            stacks_x: 2,
+            stacks_y: 2,
+            k: 10,
+            d: 3,
+            embedding: Embedding::Compact,
+            refresh: RefreshPolicy::Interleaved,
+            prefer_transversal: true,
+            hw: HardwareParams::with_memory(),
+        }
+    }
+
+    /// Logical-qubit capacity: every stack keeps one mode free (moves and
+    /// surgery ancillas, §III-D).
+    pub fn capacity(&self) -> usize {
+        (self.stacks_x * self.stacks_y) as usize * (self.k - 1)
+    }
+
+    /// Total transmons of the machine.
+    pub fn total_transmons(&self) -> usize {
+        (self.stacks_x * self.stacks_y) as usize
+            * patch_cost(self.embedding, self.d, self.k).transmons
+    }
+
+    /// Total cavities of the machine.
+    pub fn total_cavities(&self) -> usize {
+        (self.stacks_x * self.stacks_y) as usize
+            * patch_cost(self.embedding, self.d, self.k).cavities
+    }
+}
+
+/// One scheduled event on the machine timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TimelineEvent {
+    /// A logical operation at `(start_timestep, op, qubits)`.
+    Op(u64, LogicalOp, Vec<LogicalId>),
+    /// A refresh pass over a stack's modes.
+    Refresh(u64, StackCoord, usize),
+    /// A qubit moved between stacks.
+    Move(u64, LogicalId, StackCoord, StackCoord),
+}
+
+/// Execution statistics and timeline.
+#[derive(Clone, Debug, Default)]
+pub struct MachineReport {
+    /// Total elapsed logical timesteps.
+    pub total_timesteps: u64,
+    /// Transversal CNOTs executed.
+    pub transversal_cnots: u64,
+    /// Lattice-surgery CNOTs executed.
+    pub surgery_cnots: u64,
+    /// Move operations executed.
+    pub moves: u64,
+    /// Refresh passes executed (one pass = one mode's round(s)).
+    pub refresh_passes: u64,
+    /// Worst refresh staleness observed (scheduler cycles since last EC).
+    pub max_staleness: u64,
+    /// Full event timeline.
+    pub timeline: Vec<TimelineEvent>,
+}
+
+#[derive(Clone, Debug)]
+struct QubitState {
+    addr: VirtAddr,
+    last_refresh: u64,
+    alive: bool,
+}
+
+/// The virtualized-logical-qubit machine.
+#[derive(Clone, Debug)]
+pub struct VlqMachine {
+    config: MachineConfig,
+    qubits: BTreeMap<LogicalId, QubitState>,
+    /// Occupancy per stack: mode -> qubit.
+    stacks: BTreeMap<StackCoord, BTreeMap<u8, LogicalId>>,
+    next_id: u32,
+    clock: u64,
+    report: MachineReport,
+    /// Round-robin refresh cursor per stack.
+    refresh_cursor: BTreeMap<StackCoord, usize>,
+}
+
+impl VlqMachine {
+    /// Creates a machine.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.k >= 2, "need at least one usable + one free mode");
+        let mut stacks = BTreeMap::new();
+        for x in 0..config.stacks_x {
+            for y in 0..config.stacks_y {
+                stacks.insert(StackCoord::new(x, y), BTreeMap::new());
+            }
+        }
+        VlqMachine {
+            config,
+            qubits: BTreeMap::new(),
+            stacks,
+            next_id: 0,
+            clock: 0,
+            report: MachineReport::default(),
+            refresh_cursor: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current logical timestep.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Allocates a logical qubit, preferring the emptiest stack (spreads
+    /// refresh load).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfCapacity`] when every stack is full.
+    pub fn alloc(&mut self) -> Result<LogicalId, MachineError> {
+        let limit = self.config.k - 1; // one mode stays free
+        let best = self
+            .stacks
+            .iter()
+            .filter(|(_, occ)| occ.len() < limit)
+            .min_by_key(|(_, occ)| occ.len())
+            .map(|(&s, _)| s)
+            .ok_or(MachineError::OutOfCapacity)?;
+        let occ = self.stacks.get_mut(&best).expect("stack exists");
+        let mode = (0..self.config.k as u8)
+            .find(|m| !occ.contains_key(m))
+            .expect("capacity checked");
+        let id = LogicalId(self.next_id);
+        self.next_id += 1;
+        occ.insert(mode, id);
+        self.qubits.insert(
+            id,
+            QubitState {
+                addr: VirtAddr::new(best, ModeIndex(mode)),
+                last_refresh: self.clock,
+                alive: true,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Allocates into a specific stack if it has room.
+    pub fn alloc_in(&mut self, stack: StackCoord) -> Result<LogicalId, MachineError> {
+        let limit = self.config.k - 1;
+        let occ = self
+            .stacks
+            .get_mut(&stack)
+            .ok_or(MachineError::OutOfCapacity)?;
+        if occ.len() >= limit {
+            return Err(MachineError::OutOfCapacity);
+        }
+        let mode = (0..self.config.k as u8)
+            .find(|m| !occ.contains_key(m))
+            .expect("room checked");
+        let id = LogicalId(self.next_id);
+        self.next_id += 1;
+        occ.insert(mode, id);
+        self.qubits.insert(
+            id,
+            QubitState {
+                addr: VirtAddr::new(stack, ModeIndex(mode)),
+                last_refresh: self.clock,
+                alive: true,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The qubit's current virtual address.
+    pub fn address_of(&self, id: LogicalId) -> Result<VirtAddr, MachineError> {
+        let q = self.qubits.get(&id).ok_or(MachineError::UnknownQubit(id))?;
+        if !q.alive {
+            return Err(MachineError::Deallocated(id));
+        }
+        Ok(q.addr)
+    }
+
+    fn check_alive(&self, id: LogicalId) -> Result<&QubitState, MachineError> {
+        let q = self.qubits.get(&id).ok_or(MachineError::UnknownQubit(id))?;
+        if !q.alive {
+            return Err(MachineError::Deallocated(id));
+        }
+        Ok(q)
+    }
+
+    /// Advances the clock by `steps` timesteps, running background
+    /// refresh (every elapsed timestep refreshes one mode per stack in
+    /// round-robin order — the Interleaved policy — or a whole stack
+    /// block under All-at-once).
+    pub fn advance(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.clock += 1;
+            let stacks: Vec<StackCoord> = self.stacks.keys().copied().collect();
+            for s in stacks {
+                self.refresh_one(s);
+            }
+        }
+    }
+
+    fn refresh_one(&mut self, stack: StackCoord) {
+        let occupied: Vec<LogicalId> = self.stacks[&stack].values().copied().collect();
+        if occupied.is_empty() {
+            return;
+        }
+        let cursor = self.refresh_cursor.entry(stack).or_insert(0);
+        match self.config.refresh {
+            RefreshPolicy::Interleaved => {
+                let idx = *cursor % occupied.len();
+                *cursor = (*cursor + 1) % occupied.len().max(1);
+                let id = occupied[idx];
+                self.touch_refresh(id);
+                self.report
+                    .timeline
+                    .push(TimelineEvent::Refresh(self.clock, stack, 1));
+                self.report.refresh_passes += 1;
+            }
+            RefreshPolicy::AllAtOnce => {
+                // A block refreshes one mode completely; with d rounds
+                // per block the mode stays fresh for k cycles.
+                let idx = *cursor % occupied.len();
+                *cursor = (*cursor + 1) % occupied.len().max(1);
+                let id = occupied[idx];
+                self.touch_refresh(id);
+                self.report
+                    .timeline
+                    .push(TimelineEvent::Refresh(self.clock, stack, self.config.d));
+                self.report.refresh_passes += 1;
+            }
+        }
+        // Track staleness across the stack.
+        for id in occupied {
+            let q = &self.qubits[&id];
+            let staleness = self.clock.saturating_sub(q.last_refresh);
+            if staleness > self.report.max_staleness {
+                self.report.max_staleness = staleness;
+            }
+        }
+    }
+
+    fn touch_refresh(&mut self, id: LogicalId) {
+        if let Some(q) = self.qubits.get_mut(&id) {
+            q.last_refresh = self.clock;
+        }
+    }
+
+    /// Executes a logical CNOT between two qubits.
+    ///
+    /// Same stack: transversal (1 timestep). Different stacks: either
+    /// move + transversal + move-back (3 timesteps) or lattice surgery
+    /// (6 timesteps), per the `prefer_transversal` policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors.
+    pub fn cnot(&mut self, control: LogicalId, target: LogicalId) -> Result<(), MachineError> {
+        let ca = self.check_alive(control)?.addr;
+        let ta = self.check_alive(target)?.addr;
+        if ca.stack == ta.stack {
+            self.execute_op(LogicalOp::TransversalCnot, &[control, target]);
+            self.report.transversal_cnots += 1;
+            // The transversal CNOT doubles as a correction round for
+            // both participants.
+            self.touch_refresh(control);
+            self.touch_refresh(target);
+            return Ok(());
+        }
+        if self.config.prefer_transversal && self.occupancy(ta.stack) < self.config.k - 1 {
+            // Move control into target's stack (through the free modes),
+            // interact, move back. When the destination stack is full the
+            // condition above routes the CNOT through lattice surgery
+            // instead (which needs no destination mode).
+            self.move_qubit(control, ta.stack)?;
+            self.execute_op(LogicalOp::TransversalCnot, &[control, target]);
+            self.report.transversal_cnots += 1;
+            self.move_qubit(control, ca.stack)?;
+            self.touch_refresh(control);
+            self.touch_refresh(target);
+        } else {
+            self.execute_op(LogicalOp::LatticeSurgeryCnot, &[control, target]);
+            self.report.surgery_cnots += 1;
+            self.touch_refresh(control);
+            self.touch_refresh(target);
+        }
+        Ok(())
+    }
+
+    /// Moves a qubit to another stack (1 timestep; uses the destination's
+    /// free mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the destination has no free mode.
+    pub fn move_qubit(&mut self, id: LogicalId, dest: StackCoord) -> Result<(), MachineError> {
+        let from = self.check_alive(id)?.addr;
+        if from.stack == dest {
+            return Ok(());
+        }
+        let limit = self.config.k - 1;
+        {
+            let occ = self
+                .stacks
+                .get(&dest)
+                .ok_or(MachineError::OutOfCapacity)?;
+            if occ.len() >= limit {
+                return Err(MachineError::OutOfCapacity);
+            }
+        }
+        // Release the source mode.
+        self.stacks
+            .get_mut(&from.stack)
+            .expect("stack")
+            .remove(&from.mode.0);
+        let occ = self.stacks.get_mut(&dest).expect("stack");
+        let mode = (0..self.config.k as u8)
+            .find(|m| !occ.contains_key(m))
+            .expect("room checked");
+        occ.insert(mode, id);
+        let clock = self.clock;
+        if let Some(q) = self.qubits.get_mut(&id) {
+            q.addr = VirtAddr::new(dest, ModeIndex(mode));
+            q.last_refresh = clock;
+        }
+        self.report
+            .timeline
+            .push(TimelineEvent::Move(self.clock, id, from.stack, dest));
+        self.report.moves += 1;
+        self.advance(LogicalOp::Move.timesteps() as u64);
+        Ok(())
+    }
+
+    /// Applies a transversal single-qubit logical gate (X, Z, H): one
+    /// timestep.
+    pub fn single_qubit_gate(&mut self, id: LogicalId) -> Result<(), MachineError> {
+        self.check_alive(id)?;
+        self.execute_op(LogicalOp::Initialize, &[id]); // 1-timestep class
+        self.touch_refresh(id);
+        Ok(())
+    }
+
+    /// Measures a logical qubit destructively, freeing its mode.
+    pub fn measure(&mut self, id: LogicalId) -> Result<(), MachineError> {
+        let addr = self.check_alive(id)?.addr;
+        self.execute_op(LogicalOp::Measure, &[id]);
+        self.stacks
+            .get_mut(&addr.stack)
+            .expect("stack")
+            .remove(&addr.mode.0);
+        if let Some(q) = self.qubits.get_mut(&id) {
+            q.alive = false;
+        }
+        Ok(())
+    }
+
+    fn execute_op(&mut self, op: LogicalOp, qubits: &[LogicalId]) {
+        self.report
+            .timeline
+            .push(TimelineEvent::Op(self.clock, op, qubits.to_vec()));
+        self.advance(op.timesteps() as u64);
+    }
+
+    /// Finishes execution and returns the report.
+    pub fn finish(mut self) -> MachineReport {
+        self.report.total_timesteps = self.clock;
+        self.report
+    }
+
+    /// Occupancy of a stack (modes in use).
+    pub fn occupancy(&self, stack: StackCoord) -> usize {
+        self.stacks.get(&stack).map_or(0, BTreeMap::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> VlqMachine {
+        VlqMachine::new(MachineConfig::compact_demo())
+    }
+
+    #[test]
+    fn capacity_reserves_free_mode() {
+        let cfg = MachineConfig::compact_demo();
+        assert_eq!(cfg.capacity(), 4 * 9);
+        let mut m = VlqMachine::new(cfg);
+        for _ in 0..cfg.capacity() {
+            m.alloc().unwrap();
+        }
+        assert_eq!(m.alloc(), Err(MachineError::OutOfCapacity));
+    }
+
+    #[test]
+    fn same_stack_cnot_is_transversal() {
+        let mut m = demo();
+        let s = StackCoord::new(0, 0);
+        let a = m.alloc_in(s).unwrap();
+        let b = m.alloc_in(s).unwrap();
+        m.cnot(a, b).unwrap();
+        let r = m.finish();
+        assert_eq!(r.transversal_cnots, 1);
+        assert_eq!(r.surgery_cnots, 0);
+        assert_eq!(r.moves, 0);
+        assert_eq!(r.total_timesteps, 1);
+    }
+
+    #[test]
+    fn cross_stack_cnot_moves_and_returns() {
+        let mut m = demo();
+        let a = m.alloc_in(StackCoord::new(0, 0)).unwrap();
+        let b = m.alloc_in(StackCoord::new(1, 1)).unwrap();
+        m.cnot(a, b).unwrap();
+        assert_eq!(m.address_of(a).unwrap().stack, StackCoord::new(0, 0));
+        let r = m.finish();
+        assert_eq!(r.transversal_cnots, 1);
+        assert_eq!(r.moves, 2);
+        // move + cnot + move = 3 timesteps.
+        assert_eq!(r.total_timesteps, 3);
+    }
+
+    #[test]
+    fn surgery_policy_uses_lattice_surgery() {
+        let mut cfg = MachineConfig::compact_demo();
+        cfg.prefer_transversal = false;
+        let mut m = VlqMachine::new(cfg);
+        let a = m.alloc_in(StackCoord::new(0, 0)).unwrap();
+        let b = m.alloc_in(StackCoord::new(1, 0)).unwrap();
+        m.cnot(a, b).unwrap();
+        let r = m.finish();
+        assert_eq!(r.surgery_cnots, 1);
+        assert_eq!(r.total_timesteps, 6);
+    }
+
+    #[test]
+    fn refresh_keeps_staleness_bounded() {
+        let mut m = demo();
+        // Fill one stack with 5 qubits and idle a long time.
+        let s = StackCoord::new(0, 0);
+        for _ in 0..5 {
+            m.alloc_in(s).unwrap();
+        }
+        m.advance(100);
+        let r = m.finish();
+        assert!(r.refresh_passes >= 100);
+        // Round-robin over 5 modes: staleness stays near 5 cycles, far
+        // below the k = 10 deadline.
+        assert!(r.max_staleness <= 6, "staleness {}", r.max_staleness);
+    }
+
+    #[test]
+    fn measure_frees_the_mode() {
+        let mut m = demo();
+        let s = StackCoord::new(0, 0);
+        let ids: Vec<_> = (0..9).map(|_| m.alloc_in(s).unwrap()).collect();
+        assert_eq!(m.occupancy(s), 9);
+        m.measure(ids[0]).unwrap();
+        assert_eq!(m.occupancy(s), 8);
+        assert!(m.alloc_in(s).is_ok());
+        assert_eq!(
+            m.cnot(ids[0], ids[1]),
+            Err(MachineError::Deallocated(ids[0]))
+        );
+    }
+
+    #[test]
+    fn full_destination_falls_back_to_surgery() {
+        // When the partner stack has no free mode beyond the reserved
+        // one, a cross-stack CNOT routes through lattice surgery instead
+        // of failing.
+        let mut cfg = MachineConfig::compact_demo();
+        cfg.stacks_x = 2;
+        cfg.stacks_y = 1;
+        cfg.k = 3; // capacity 2 per stack
+        let mut m = VlqMachine::new(cfg);
+        let a = m.alloc_in(StackCoord::new(0, 0)).unwrap();
+        let _a2 = m.alloc_in(StackCoord::new(0, 0)).unwrap();
+        let b = m.alloc_in(StackCoord::new(1, 0)).unwrap();
+        let _b2 = m.alloc_in(StackCoord::new(1, 0)).unwrap();
+        m.cnot(a, b).unwrap();
+        let r = m.finish();
+        assert_eq!(r.surgery_cnots, 1);
+        assert_eq!(r.moves, 0);
+    }
+
+    #[test]
+    fn hardware_totals_match_geometry() {
+        let cfg = MachineConfig::compact_demo();
+        // 4 stacks x (d^2 + d - 1 = 11) transmons.
+        assert_eq!(cfg.total_transmons(), 44);
+        assert_eq!(cfg.total_cavities(), 36);
+    }
+}

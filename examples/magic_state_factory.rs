@@ -1,0 +1,52 @@
+//! Magic-state factory planning: compares the three T-state factory
+//! protocols (Figure 13 / Table II) and sizes a factory for a target
+//! algorithm using the exact 15-to-1 distillation statistics.
+//!
+//! Run: `cargo run --release --example magic_state_factory`
+
+use vlq::magic::distill::{distillation_stats, levels_to_reach};
+use vlq::magic::factory::{FactoryProtocol, ProtocolKind};
+
+fn main() {
+    println!("== Factory protocols (d=5, k=10) ==");
+    for proto in FactoryProtocol::all() {
+        let cost = proto.hardware_cost(5, 10);
+        println!(
+            "{:<20} rate(100 patches) = {:.3} T/step | space for 1 T/step = {:>3.0} patches | {} transmons",
+            proto.kind.to_string(),
+            proto.rate_with_patches(100.0),
+            proto.patches_for_one_t_per_step(),
+            cost.transmons
+        );
+    }
+
+    // Size a factory: a Shor-scale run needs ~1e9 T states below 1e-10
+    // error; physical T injection gives p ~ 1e-3.
+    let p_in = 1e-3;
+    let target = 1e-10;
+    let levels = levels_to_reach(p_in, target).expect("below distillation threshold");
+    println!("\n== Distillation pipeline from p_in = {p_in:e} to {target:e} ==");
+    let mut p = p_in;
+    let mut inputs_per_output = 1.0;
+    for level in 1..=levels {
+        let s = distillation_stats(p);
+        inputs_per_output *= s.expected_inputs_per_output();
+        println!(
+            "level {level}: p {:.2e} -> {:.2e} (acceptance {:.3})",
+            p, s.p_out, s.acceptance
+        );
+        p = s.p_out;
+    }
+    println!(
+        "{levels} levels; ~{inputs_per_output:.1} raw T states per output; VQubits factory achieves \
+         1.22x the per-patch rate of the best lattice-surgery layout"
+    );
+
+    // Throughput of a 100-patch machine dedicated to distillation.
+    let vq = FactoryProtocol::new(ProtocolKind::VQubitsNatural);
+    let t_per_step = vq.rate_with_patches(100.0);
+    println!(
+        "a 100-patch VQubits machine emits {t_per_step:.2} T/timestep -> {:.1e} timesteps for 1e9 T states",
+        1e9 / t_per_step
+    );
+}

@@ -1,0 +1,59 @@
+//! The qubit-virtualization paging scheduler in action: runs a logical
+//! program across multiple stacks and prints the timeline — moves,
+//! transversal CNOTs, and the DRAM-refresh-style error-correction passes
+//! that keep every stored qubit within its staleness deadline.
+//!
+//! Run: `cargo run --release --example paging_scheduler`
+
+use vlq::machine::{MachineConfig, RefreshPolicy, TimelineEvent, VlqMachine};
+use vlq::program::{run_program, LogicalCircuit, ProgOp};
+
+fn main() {
+    let mut cfg = MachineConfig::compact_demo();
+    cfg.stacks_x = 2;
+    cfg.stacks_y = 1;
+    cfg.k = 4; // small cavities so paging pressure is visible
+    cfg.refresh = RefreshPolicy::Interleaved;
+    let mut machine = VlqMachine::new(cfg);
+
+    // An 8-qubit circuit that must span both stacks (capacity 3/stack).
+    let mut circuit = LogicalCircuit::new(6);
+    circuit.push(ProgOp::H(0));
+    for i in 1..6 {
+        circuit.push(ProgOp::Cnot(i - 1, i));
+    }
+    circuit.push(ProgOp::T(2));
+    circuit.push(ProgOp::Cnot(5, 0));
+    for q in 0..6 {
+        circuit.push(ProgOp::Measure(q));
+    }
+
+    run_program(&mut machine, &circuit).expect("program fits");
+    let report = machine.finish();
+
+    println!("== timeline (first 40 events) ==");
+    for event in report.timeline.iter().take(40) {
+        match event {
+            TimelineEvent::Op(t, op, qs) => println!("t={t:>3}  {op:?} on {qs:?}"),
+            TimelineEvent::Move(t, q, from, to) => {
+                println!("t={t:>3}  MOVE {q:?}: stack {from} -> {to}")
+            }
+            TimelineEvent::Refresh(t, s, rounds) => {
+                println!("t={t:>3}  refresh stack {s} ({rounds} round(s))")
+            }
+        }
+    }
+    println!("... {} events total", report.timeline.len());
+
+    println!("\n== summary ==");
+    println!("total timesteps:     {}", report.total_timesteps);
+    println!("transversal CNOTs:   {}", report.transversal_cnots);
+    println!("surgery CNOTs:       {}", report.surgery_cnots);
+    println!("moves:               {}", report.moves);
+    println!("refresh passes:      {}", report.refresh_passes);
+    println!(
+        "max staleness:       {} cycles (deadline: k = {} cycles)",
+        report.max_staleness, 4
+    );
+    assert!(report.max_staleness <= 4, "refresh deadline respected");
+}

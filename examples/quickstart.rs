@@ -1,0 +1,52 @@
+//! Quickstart: allocate virtualized logical qubits, run logical
+//! operations, and estimate a logical error rate — the library's three
+//! main entry points in one file.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use vlq::machine::{MachineConfig, VlqMachine};
+use vlq::qec::{run_memory_experiment, ExperimentConfig};
+use vlq::surface::schedule::{Basis, MemorySpec, Setup};
+
+fn main() {
+    // 1. A 2.5D machine: 2x2 stacks of Compact distance-3 patches with
+    //    depth-10 cavities — 44 transmons serving up to 36 logical
+    //    qubits.
+    let cfg = MachineConfig::compact_demo();
+    println!(
+        "machine: {} stacks, {} transmons, {} cavities, capacity {} logical qubits",
+        cfg.stacks_x * cfg.stacks_y,
+        cfg.total_transmons(),
+        cfg.total_cavities(),
+        cfg.capacity()
+    );
+
+    // 2. Run a tiny logical program: a 4-qubit GHZ state.
+    let mut machine = VlqMachine::new(cfg);
+    let q: Vec<_> = (0..4).map(|_| machine.alloc().unwrap()).collect();
+    machine.single_qubit_gate(q[0]).unwrap(); // logical H
+    for i in 1..4 {
+        machine.cnot(q[i - 1], q[i]).unwrap();
+    }
+    let report = machine.finish();
+    println!(
+        "GHZ-4: {} timesteps, {} transversal CNOTs, {} surgery CNOTs, {} moves, max refresh staleness {}",
+        report.total_timesteps,
+        report.transversal_cnots,
+        report.surgery_cnots,
+        report.moves,
+        report.max_staleness
+    );
+
+    // 3. Estimate the logical error rate of one Compact-Interleaved
+    //    memory qubit at the paper's operating point.
+    let spec = MemorySpec::standard(Setup::CompactInterleaved, 3, 10, Basis::Z);
+    let result = run_memory_experiment(&ExperimentConfig::new(spec, 2e-3).with_shots(5_000));
+    let (lo, hi) = result.estimate.wilson_interval(1.96);
+    println!(
+        "compact-int d=3 @ p=2e-3: logical error rate {:.4e} (95% CI [{:.1e}, {:.1e}])",
+        result.logical_error_rate(),
+        lo,
+        hi
+    );
+}

@@ -1,0 +1,5 @@
+//! Umbrella package holding the workspace integration tests and examples.
+//!
+//! The real library surface lives in the [`vlq`] crate and its substrate
+//! crates; this package only re-exports [`vlq`] for example convenience.
+pub use vlq;

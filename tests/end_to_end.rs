@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: the full pipeline from schedule
+//! generation through noise, decoding, and logical-error estimation.
+
+use vlq::arch::HardwareParams;
+use vlq::circuit::exec::validate_with_tableau;
+use vlq::qec::{run_memory_experiment, DecoderKind, ExperimentConfig};
+use vlq::surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn hw_for(setup: Setup) -> HardwareParams {
+    if setup.uses_memory() {
+        HardwareParams::with_memory()
+    } else {
+        HardwareParams::baseline()
+    }
+}
+
+/// Every setup and basis validates on the stabilizer simulator at d=3
+/// (the strongest structural guarantee: every detector is deterministic
+/// on the ideal circuit).
+#[test]
+fn all_setups_validate_both_bases() {
+    for setup in Setup::ALL {
+        for basis in [Basis::Z, Basis::X] {
+            let spec = MemorySpec::standard(setup, 3, 4, basis);
+            let mc = memory_circuit(spec, &hw_for(setup));
+            let mut rng = SmallRng::seed_from_u64(17);
+            let report = validate_with_tableau(&mc.circuit, &mut rng);
+            assert!(report.passed(), "{setup} {basis:?}");
+        }
+    }
+}
+
+/// Below threshold, every memory setup improves with distance — the
+/// paper's core fault-tolerance claim for the 2.5D architecture.
+///
+/// All-at-once setups run at cavity depth 3: under this model's
+/// conservative serialization timing, the AAO block wait grows as
+/// `(k-1) * d * round`, so at `k = 10` the *lumped* cavity idle becomes
+/// storage-dominated and large distances stop helping — exactly the
+/// regime where the paper says to "opt for Interleaved" (§III-C).
+/// Interleaved setups spread the same idle across rounds and scale at
+/// `k = 10`.
+#[test]
+fn distance_scaling_below_threshold_all_setups() {
+    let shots = 20_000;
+    for setup in Setup::ALL {
+        // Each setup is probed below ITS measured crossing (EXPERIMENTS.md
+        // Fig. 11 table): the conservative serialization timing puts the
+        // Compact crossings near 1e-3 at k = 10 and the AAO variants
+        // lower still, so those are probed deeper / at shallower cavities.
+        let (p, k) = match setup {
+            Setup::Baseline | Setup::NaturalInterleaved => (2e-3, 10),
+            Setup::NaturalAllAtOnce | Setup::CompactAllAtOnce => (1e-3, 3),
+            Setup::CompactInterleaved => (8e-4, 10),
+        };
+        let ler = |d: usize| {
+            run_memory_experiment(
+                &ExperimentConfig::new(MemorySpec::standard(setup, d, k, Basis::Z), p)
+                    .with_shots(shots)
+                    .with_seed(1),
+            )
+            .logical_error_rate()
+        };
+        let l3 = ler(3);
+        let l5 = ler(5);
+        assert!(
+            l5 < l3 || (l3 < 2e-3 && l5 < 2e-3),
+            "{setup}: d=5 ({l5}) should beat d=3 ({l3}) at p={p}, k={k}"
+        );
+    }
+}
+
+/// The interleaving trade-off, quantified: with deep cavities (k = 10)
+/// the lumped all-at-once wait hurts more at larger d than interleaving
+/// does — the storage-error regime of paper §III-C.
+#[test]
+fn aao_is_storage_dominated_at_deep_cavities() {
+    let p = 2e-3;
+    let run = |setup: Setup, d: usize| {
+        run_memory_experiment(
+            &ExperimentConfig::new(MemorySpec::standard(setup, d, 10, Basis::Z), p)
+                .with_shots(10_000)
+                .with_seed(2),
+        )
+        .logical_error_rate()
+    };
+    let aao5 = run(Setup::CompactAllAtOnce, 5);
+    let int5 = run(Setup::CompactInterleaved, 5);
+    assert!(
+        int5 < aao5,
+        "at k=10, d=5: interleaved ({int5}) must beat all-at-once ({aao5})"
+    );
+}
+
+/// The memory architecture's thresholds are comparable to the baseline
+/// (paper Figure 11): at a physical rate far above any threshold all
+/// setups fail badly, while at the operating point all succeed.
+#[test]
+fn operating_point_is_below_threshold_for_all_setups() {
+    for setup in Setup::ALL {
+        let at = |p: f64| {
+            run_memory_experiment(
+                &ExperimentConfig::new(MemorySpec::standard(setup, 3, 10, Basis::Z), p)
+                    .with_shots(8_000)
+                    .with_seed(3),
+            )
+            .logical_error_rate()
+        };
+        let low = at(2e-3);
+        let high = at(3e-2);
+        assert!(
+            low < high,
+            "{setup}: LER must grow with p ({low} !< {high})"
+        );
+        assert!(low < 0.12, "{setup}: operating point LER too high: {low}");
+    }
+}
+
+/// Union-Find and MWPM agree on order of magnitude (A1 ablation).
+#[test]
+fn decoder_ablation_consistency() {
+    let spec = MemorySpec::standard(Setup::CompactInterleaved, 3, 10, Basis::Z);
+    let base = ExperimentConfig::new(spec, 4e-3).with_shots(20_000).with_seed(5);
+    let mwpm = run_memory_experiment(&base.clone().with_decoder(DecoderKind::Mwpm));
+    let uf = run_memory_experiment(&base.with_decoder(DecoderKind::UnionFind));
+    let (a, b) = (mwpm.logical_error_rate(), uf.logical_error_rate());
+    assert!(b <= a * 5.0 + 0.02, "UF {b} vs MWPM {a}");
+    assert!(a <= b * 1.6 + 0.01, "MWPM {a} should not lose to UF {b}");
+}
+
+/// Interleaved pays more loads/stores than all-at-once but both work
+/// (paper §III-A trade-off).
+#[test]
+fn interleaving_tradeoff() {
+    let p = 2e-3;
+    let run = |setup: Setup| {
+        run_memory_experiment(
+            &ExperimentConfig::new(MemorySpec::standard(setup, 3, 10, Basis::Z), p)
+                .with_shots(20_000)
+                .with_seed(9),
+        )
+        .logical_error_rate()
+    };
+    let aao = run(Setup::NaturalAllAtOnce);
+    let int = run(Setup::NaturalInterleaved);
+    // Both must be functional error correction at the operating point.
+    assert!(aao < 0.1 && int < 0.1, "aao {aao}, int {int}");
+}

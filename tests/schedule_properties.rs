@@ -1,0 +1,145 @@
+//! Property-style integration tests over the schedule generators: for
+//! every setup, basis, and a sweep of distances/cavity depths, the
+//! generated circuits satisfy structural invariants and the analytic
+//! operation-count formulas.
+
+use vlq::arch::HardwareParams;
+use vlq::circuit::exec::validate_with_tableau;
+use vlq::circuit::ir::{GateClass, Instruction};
+use vlq::sim::CliffordGate;
+use vlq::surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn hw_for(setup: Setup) -> HardwareParams {
+    if setup.uses_memory() {
+        HardwareParams::with_memory()
+    } else {
+        HardwareParams::baseline()
+    }
+}
+
+fn count_class(mc: &vlq::surface::MemoryCircuit, class: GateClass) -> usize {
+    mc.circuit
+        .instructions
+        .iter()
+        .filter(|i| matches!(i, Instruction::Gate { class: c, .. } if *c == class))
+        .count()
+}
+
+/// Analytic CNOT count: every plaquette touches each of its data once per
+/// round, for every setup.
+#[test]
+fn cnot_counts_match_plaquette_weights() {
+    for setup in Setup::ALL {
+        for d in [3usize, 5] {
+            let spec = MemorySpec::standard(setup, d, 3, Basis::Z);
+            let mc = memory_circuit(spec, &hw_for(setup));
+            let cnots = mc
+                .circuit
+                .instructions
+                .iter()
+                .filter(|i| matches!(i, Instruction::Gate { gate: CliffordGate::Cnot(..), .. }))
+                .count();
+            // Sum of plaquette weights = 4*(full) + 2*(halves)
+            //   full = (d-1)^2, halves = 2(d-1).
+            let per_round = 4 * (d - 1) * (d - 1) + 2 * 2 * (d - 1);
+            assert_eq!(cnots, d * per_round, "{setup} d={d}");
+        }
+    }
+}
+
+/// Measurement counts: one per plaquette per round plus the final data
+/// readout.
+#[test]
+fn measurement_counts() {
+    for setup in Setup::ALL {
+        for d in [3usize, 5] {
+            let spec = MemorySpec::standard(setup, d, 4, Basis::Z);
+            let mc = memory_circuit(spec, &hw_for(setup));
+            let expected = d * (d * d - 1) + d * d;
+            assert_eq!(mc.circuit.num_measurements(), expected, "{setup} d={d}");
+        }
+    }
+}
+
+/// Load/store counts follow the embedding's paging discipline.
+#[test]
+fn load_store_counts() {
+    let d = 3usize;
+    let d2 = d * d;
+    let cases = [
+        // (setup, expected load/store gate count)
+        (Setup::Baseline, 0),
+        // init store + one load, all data:
+        (Setup::NaturalAllAtOnce, 2 * d2),
+        // init store + d loads + (d-1) stores:
+        (Setup::NaturalInterleaved, (2 * d) * d2),
+    ];
+    for (setup, expected) in cases {
+        let spec = MemorySpec::standard(setup, d, 5, Basis::Z);
+        let mc = memory_circuit(spec, &hw_for(setup));
+        assert_eq!(count_class(&mc, GateClass::LoadStore), expected, "{setup}");
+    }
+    // Compact: per round, each datum loads once per coalesced use-run of
+    // non-host plaquettes; exact count depends on boundary structure, so
+    // assert the invariant loads == stores and both scale with rounds.
+    for setup in [Setup::CompactAllAtOnce, Setup::CompactInterleaved] {
+        let spec = MemorySpec::standard(setup, d, 5, Basis::Z);
+        let mc = memory_circuit(spec, &hw_for(setup));
+        let ls = count_class(&mc, GateClass::LoadStore);
+        // init stores (9) + final loads (9) + in-round pairs (even).
+        assert!(ls >= 2 * d2, "{setup}: {ls}");
+        assert_eq!(ls % 2, 0, "{setup}: loads and stores must pair up");
+    }
+}
+
+/// Validation holds across a wider (d, k) sweep than the unit tests.
+#[test]
+fn validation_sweep_d5_k_variants() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    for setup in [Setup::CompactInterleaved, Setup::NaturalAllAtOnce] {
+        for k in [2usize, 7, 16] {
+            let spec = MemorySpec::standard(setup, 5, k, Basis::X);
+            let mc = memory_circuit(spec, &hw_for(setup));
+            let report = validate_with_tableau(&mc.circuit, &mut rng);
+            assert!(report.passed(), "{setup} k={k}: {:?}", report.violated_detectors);
+        }
+    }
+}
+
+/// Validation at d = 7 for the trickiest schedule (Compact pipelining
+/// spans round boundaries; larger lattices exercise more boundary cases).
+#[test]
+fn compact_validates_at_d7() {
+    let spec = MemorySpec::standard(Setup::CompactInterleaved, 7, 3, Basis::Z);
+    let mc = memory_circuit(spec, &HardwareParams::with_memory());
+    let mut rng = SmallRng::seed_from_u64(7);
+    let report = validate_with_tableau(&mc.circuit, &mut rng);
+    assert!(report.passed(), "{:?}", report.violated_detectors);
+}
+
+/// No fault anywhere in any setup's noisy circuit can flip the logical
+/// observable without tripping at least one detector (soundness of the
+/// detector coverage).
+#[test]
+fn no_undetectable_logical_faults() {
+    use vlq::circuit::noise::NoiseModel;
+    use vlq::decoder::DecodingGraph;
+    for setup in Setup::ALL {
+        let spec = MemorySpec::standard(setup, 3, 3, Basis::Z);
+        let mc = memory_circuit(spec, &hw_for(setup));
+        let noise = if setup.uses_memory() {
+            NoiseModel::memory_at_scale(2e-3)
+        } else {
+            NoiseModel::baseline_at_scale(2e-3)
+        };
+        let noisy = noise.apply(&mc.circuit);
+        let g = DecodingGraph::build(&noisy, &mc.z_detectors);
+        assert_eq!(
+            g.undetectable_logical_mass, 0.0,
+            "{setup}: undetectable logical fault mass"
+        );
+    }
+}
