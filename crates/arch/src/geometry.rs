@@ -33,7 +33,11 @@ pub enum Embedding {
 
 impl Embedding {
     /// All embeddings, in paper order.
-    pub const ALL: [Embedding; 3] = [Embedding::Baseline2D, Embedding::Natural, Embedding::Compact];
+    pub const ALL: [Embedding; 3] = [
+        Embedding::Baseline2D,
+        Embedding::Natural,
+        Embedding::Compact,
+    ];
 }
 
 impl std::fmt::Display for Embedding {
@@ -85,7 +89,10 @@ impl PatchCost {
 /// assert_eq!(c.logical_qubits, 10);
 /// ```
 pub fn patch_cost(embedding: Embedding, d: usize, k: usize) -> PatchCost {
-    assert!(d % 2 == 1 && d > 0, "code distance must be odd and positive");
+    assert!(
+        d % 2 == 1 && d > 0,
+        "code distance must be odd and positive"
+    );
     match embedding {
         Embedding::Baseline2D => PatchCost {
             transmons: 2 * d * d - 1,
@@ -111,7 +118,10 @@ pub fn patch_cost(embedding: Embedding, d: usize, k: usize) -> PatchCost {
 /// This is the formula behind Table II's Fast (5x6 patches = 1499) and
 /// Small (11 patches = 549) lattice costs.
 pub fn baseline_tiling_transmons(patches_w: usize, patches_h: usize, d: usize) -> usize {
-    assert!(d % 2 == 1 && d > 0, "code distance must be odd and positive");
+    assert!(
+        d % 2 == 1 && d > 0,
+        "code distance must be odd and positive"
+    );
     2 * (patches_w * d) * (patches_h * d) - 1
 }
 
@@ -186,7 +196,11 @@ mod tests {
         assert!((s_nat - 10.0).abs() < 1e-9);
         // Compact saves about twice as much again (paper: "another 2x").
         let s_comp = transmon_savings_vs_baseline(Embedding::Compact, 5, 10);
-        assert!(s_comp / s_nat > 1.6 && s_comp / s_nat < 2.0, "ratio {}", s_comp / s_nat);
+        assert!(
+            s_comp / s_nat > 1.6 && s_comp / s_nat < 2.0,
+            "ratio {}",
+            s_comp / s_nat
+        );
         // The paper's "approximately 10x ... with another 2x" at k = 10.
         assert!(s_comp > 16.0, "compact savings {s_comp}");
     }

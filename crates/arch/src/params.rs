@@ -134,7 +134,7 @@ impl ErrorRates {
     /// assert!((r.t1_scale - 1.0).abs() < 1e-12);
     /// ```
     pub fn from_scale(p: f64) -> Self {
-        assert!(p >= 0.0 && p < 1.0, "error scale must be a probability");
+        assert!((0.0..1.0).contains(&p), "error scale must be a probability");
         ErrorRates {
             p_2q_tt: p,
             p_2q_tm: p,
@@ -142,7 +142,11 @@ impl ErrorRates {
             p_1q: p / 10.0,
             p_measure: p,
             p_reset: 0.0,
-            t1_scale: if p > 0.0 { REFERENCE_ERROR_RATE / p } else { f64::INFINITY },
+            t1_scale: if p > 0.0 {
+                REFERENCE_ERROR_RATE / p
+            } else {
+                f64::INFINITY
+            },
         }
     }
 

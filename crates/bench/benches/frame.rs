@@ -29,14 +29,10 @@ fn bench_sampling(c: &mut Criterion) {
             .apply(&mc.circuit);
             let lanes = 1024usize;
             group.throughput(Throughput::Elements(lanes as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("{setup}"), d),
-                &d,
-                |b, _| {
-                    let mut rng = SmallRng::seed_from_u64(7);
-                    b.iter(|| sample_batch(&noisy, lanes, &mut rng))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{setup}"), d), &d, |b, _| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                b.iter(|| sample_batch(&noisy, lanes, &mut rng))
+            });
         }
     }
     group.finish();

@@ -30,7 +30,7 @@ fn bench_full_point(c: &mut Criterion) {
 fn bench_decoder_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("decoder-ablation");
     group.sample_size(10);
-    for decoder in [DecoderKind::Mwpm, DecoderKind::UnionFind] {
+    for decoder in DecoderKind::ALL {
         let spec = MemorySpec::standard(Setup::CompactInterleaved, 5, 10, Basis::Z);
         group.bench_function(format!("{decoder:?}"), |b| {
             b.iter(|| {

@@ -18,10 +18,11 @@ fn main() {
     let dmax: usize = args.get("dmax", 7);
     let k: usize = args.get("k", 10);
     let seed: u64 = args.get("seed", 2020);
-    let decoder = match args.get_str("decoder", "mwpm").as_str() {
-        "uf" | "unionfind" => DecoderKind::UnionFind,
-        _ => DecoderKind::Mwpm,
-    };
+    let decoder_arg = args.get_str("decoder", "mwpm");
+    let decoder = DecoderKind::parse(&decoder_arg).unwrap_or_else(|| {
+        eprintln!("unknown --decoder {decoder_arg:?}; accepted: mwpm|blossom|matching, uf|unionfind|union-find");
+        std::process::exit(2);
+    });
     let basis = match args.get_str("basis", "z").as_str() {
         "x" => Basis::X,
         _ => Basis::Z,

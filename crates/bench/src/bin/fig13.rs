@@ -11,7 +11,10 @@ fn main() {
     let patches: f64 = args.get("patches", 100.0);
 
     println!("Figure 13(a): T-state production rate with {patches} patches");
-    println!("{:<22} {:>14} {:>16}", "Protocol", "T per step", "vs Small Lattice");
+    println!(
+        "{:<22} {:>14} {:>16}",
+        "Protocol", "T per step", "vs Small Lattice"
+    );
     let small_rate = FactoryProtocol::new(ProtocolKind::SmallLattice).rate_with_patches(patches);
     for kind in [
         ProtocolKind::FastLattice,
@@ -37,12 +40,19 @@ fn main() {
         ProtocolKind::VQubitsNatural,
     ] {
         let p = FactoryProtocol::new(kind);
-        println!("{:<22} {:>10.0}", kind.to_string(), p.patches_for_one_t_per_step());
+        println!(
+            "{:<22} {:>10.0}",
+            kind.to_string(),
+            p.patches_for_one_t_per_step()
+        );
     }
     println!("(paper: Fast 180, Small 121, VQubits 99)");
 
     println!("\nExtension: exact 15-to-1 distillation quality (GF(2) enumeration)");
-    println!("{:<10} {:>12} {:>12} {:>10}", "p_in", "p_out", "35*p^3", "accept");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "p_in", "p_out", "35*p^3", "accept"
+    );
     for p in [1e-4, 1e-3, 5e-3, 1e-2, 2e-2] {
         let s = distillation_stats(p);
         println!(

@@ -6,7 +6,10 @@ fn main() {
     let b = HardwareParams::baseline();
     let m = HardwareParams::with_memory();
     println!("Table I: starting-point coherence times and constant gate times");
-    println!("{:<28} {:>18} {:>22}", "Parameter", "Baseline Transmons", "Transmons with Memory");
+    println!(
+        "{:<28} {:>18} {:>22}",
+        "Parameter", "Baseline Transmons", "Transmons with Memory"
+    );
     let row = |name: &str, bv: f64, mv: f64, unit: &str, scale: f64| {
         let fmt = |v: f64| {
             if v.is_nan() {
@@ -19,13 +22,41 @@ fn main() {
         };
         println!("{:<28} {:>18} {:>22}", name, fmt(bv), fmt(mv));
     };
-    row("T1,t (transmon T1)", b.t1_transmon, m.t1_transmon, "us", 1e6);
+    row(
+        "T1,t (transmon T1)",
+        b.t1_transmon,
+        m.t1_transmon,
+        "us",
+        1e6,
+    );
     row("T1,c (cavity T1)", b.t1_cavity, m.t1_cavity, "us", 1e6);
-    row("dt-t (2q SC-SC gate)", b.t_gate_2q_tt, m.t_gate_2q_tt, "ns", 1e9);
+    row(
+        "dt-t (2q SC-SC gate)",
+        b.t_gate_2q_tt,
+        m.t_gate_2q_tt,
+        "ns",
+        1e9,
+    );
     row("dt (1q gate)", b.t_gate_1q, m.t_gate_1q, "ns", 1e9);
-    row("dt-m (2q SC-mode gate)", b.t_gate_2q_tm, m.t_gate_2q_tm, "ns", 1e9);
-    row("dl/s (load/store)", b.t_load_store, m.t_load_store, "ns", 1e9);
+    row(
+        "dt-m (2q SC-mode gate)",
+        b.t_gate_2q_tm,
+        m.t_gate_2q_tm,
+        "ns",
+        1e9,
+    );
+    row(
+        "dl/s (load/store)",
+        b.t_load_store,
+        m.t_load_store,
+        "ns",
+        1e9,
+    );
     println!();
-    println!("Assumed beyond Table I (see DESIGN.md): t_measure = {:.0} ns, t_reset = {:.0} ns", m.t_measure * 1e9, m.t_reset * 1e9);
+    println!(
+        "Assumed beyond Table I (see DESIGN.md): t_measure = {:.0} ns, t_reset = {:.0} ns",
+        m.t_measure * 1e9,
+        m.t_reset * 1e9
+    );
     println!("Paper values: T1,t 100 us | T1,c 1 ms | 200 ns | 50 ns | 200 ns | 150 ns");
 }

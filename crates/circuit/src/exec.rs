@@ -55,7 +55,11 @@ impl BatchResult {
 /// Noise instructions must already be present (see
 /// [`crate::noise::NoiseModel::apply`]); `Idle` markers are ignored if
 /// they survived (they carry no sampled noise).
-pub fn sample_batch<R: Rng + ?Sized>(circuit: &Circuit, n_lanes: usize, rng: &mut R) -> BatchResult {
+pub fn sample_batch<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    n_lanes: usize,
+    rng: &mut R,
+) -> BatchResult {
     let words = n_lanes.div_ceil(64).max(1);
     let mut frames = FrameBatch::new(circuit.num_qubits, n_lanes);
     let mut records: Vec<Vec<u64>> = Vec::with_capacity(circuit.num_measurements());
@@ -168,9 +172,14 @@ pub struct FaultEffect {
 /// `MeasureFlip` site does not point at a measurement.
 pub fn propagate_fault(circuit: &Circuit, site: FaultSite) -> FaultEffect {
     let start = match site {
-        FaultSite::Pauli1 { at, .. } | FaultSite::Pauli2 { at, .. } | FaultSite::MeasureFlip { at } => at,
+        FaultSite::Pauli1 { at, .. }
+        | FaultSite::Pauli2 { at, .. }
+        | FaultSite::MeasureFlip { at } => at,
     };
-    assert!(start < circuit.instructions.len(), "fault site out of range");
+    assert!(
+        start < circuit.instructions.len(),
+        "fault site out of range"
+    );
 
     // Measurement indices are global; count how many precede `start`.
     let mut meas_index = circuit.instructions[..start]
@@ -185,11 +194,23 @@ pub fn propagate_fault(circuit: &Circuit, site: FaultSite) -> FaultEffect {
     // executes; a MeasureFlip flips that measurement's record.
     match site {
         FaultSite::Pauli1 { qubit, pauli, .. } => {
-            run_instruction(circuit, start, &mut frame, &mut meas_index, &mut flipped_measurements);
+            run_instruction(
+                circuit,
+                start,
+                &mut frame,
+                &mut meas_index,
+                &mut flipped_measurements,
+            );
             frame.mul_pauli(qubit, pauli);
         }
         FaultSite::Pauli2 { a, b, .. } => {
-            run_instruction(circuit, start, &mut frame, &mut meas_index, &mut flipped_measurements);
+            run_instruction(
+                circuit,
+                start,
+                &mut frame,
+                &mut meas_index,
+                &mut flipped_measurements,
+            );
             frame.mul_pauli(a.0, a.1);
             frame.mul_pauli(b.0, b.1);
         }
@@ -205,7 +226,13 @@ pub fn propagate_fault(circuit: &Circuit, site: FaultSite) -> FaultEffect {
     }
 
     for idx in (start + 1)..circuit.instructions.len() {
-        run_instruction(circuit, idx, &mut frame, &mut meas_index, &mut flipped_measurements);
+        run_instruction(
+            circuit,
+            idx,
+            &mut frame,
+            &mut meas_index,
+            &mut flipped_measurements,
+        );
     }
 
     // Map flipped measurements to flipped detectors/observables.
@@ -222,7 +249,11 @@ pub fn propagate_fault(circuit: &Circuit, site: FaultSite) -> FaultEffect {
         }
     }
     for (o, obs) in circuit.observables.iter().enumerate() {
-        let parity = obs.iter().filter(|m| flipped_measurements.contains(m)).count() % 2;
+        let parity = obs
+            .iter()
+            .filter(|m| flipped_measurements.contains(m))
+            .count()
+            % 2;
         if parity == 1 {
             effect.observables.push(o);
         }
@@ -368,7 +399,11 @@ mod tests {
         let c = repetition_circuit(3);
         let mut rng = SmallRng::seed_from_u64(1);
         let report = validate_with_tableau(&c, &mut rng);
-        assert!(report.passed(), "violations: {:?}", report.violated_detectors);
+        assert!(
+            report.passed(),
+            "violations: {:?}",
+            report.violated_detectors
+        );
         assert_eq!(report.observable_bits, vec![false]);
     }
 
@@ -404,7 +439,8 @@ mod tests {
         // Certain random Pauli on data 0 before everything: X and Y lanes
         // (2/3 of them) fire the round-0 detector AND flip the observable;
         // Z lanes are invisible to a Z-parity code.
-        c.instructions.insert(0, Instruction::Noise1 { qubit: 0, p: 1.0 });
+        c.instructions
+            .insert(0, Instruction::Noise1 { qubit: 0, p: 1.0 });
         let mut rng = SmallRng::seed_from_u64(4);
         let lanes = 64 * 64;
         let res = sample_batch(&c, lanes, &mut rng);
@@ -481,7 +517,8 @@ mod tests {
         // One qubit, one noise site with p = 0.3, measured: the observable
         // flip rate must be ~ 2p/3 (X or Y flips the Z measurement).
         let mut c = Circuit::new(1);
-        c.instructions.push(Instruction::Noise1 { qubit: 0, p: 0.3 });
+        c.instructions
+            .push(Instruction::Noise1 { qubit: 0, p: 0.3 });
         let m = c.measure(0);
         c.observable(vec![m]);
         let mut rng = SmallRng::seed_from_u64(5);

@@ -270,8 +270,7 @@ impl Matcher {
             edgs.push(le);
             debug_assert!(
                 self.label_of(bv) == T
-                    || (self.label_of(bv) == S
-                        && Some(le.0) == self.mate[self.blossombase[&bv]])
+                    || (self.label_of(bv) == S && Some(le.0) == self.mate[self.blossombase[&bv]])
             );
             v = le.0;
             bv = self.inblossom[v];
@@ -287,8 +286,7 @@ impl Matcher {
             edgs.push((le.1, le.0));
             debug_assert!(
                 self.label_of(bw) == T
-                    || (self.label_of(bw) == S
-                        && Some(le.0) == self.mate[self.blossombase[&bw]])
+                    || (self.label_of(bw) == S && Some(le.0) == self.mate[self.blossombase[&bw]])
             );
             w = le.0;
             bw = self.inblossom[w];
@@ -374,8 +372,7 @@ impl Matcher {
         }
         // If we expand a T-blossom during a stage, relabel sub-blossoms.
         if !endstage && self.label_of(b) == T {
-            let entrychild =
-                self.inblossom[self.labeledge[&b].expect("T-blossom labeled").1];
+            let entrychild = self.inblossom[self.labeledge[&b].expect("T-blossom labeled").1];
             let childs = self.bdata(b).childs.clone();
             let edges = self.bdata(b).edges.clone();
             let len = childs.len() as i64;
@@ -527,10 +524,8 @@ impl Matcher {
                 let bs = self.inblossom[s];
                 debug_assert_eq!(self.label_of(bs), S);
                 debug_assert!(
-                    (self.labeledge[&bs].is_none()
-                        && self.mate[self.blossombase[&bs]].is_none())
-                        || self.labeledge[&bs].map(|le| le.0)
-                            == self.mate[self.blossombase[&bs]]
+                    (self.labeledge[&bs].is_none() && self.mate[self.blossombase[&bs]].is_none())
+                        || self.labeledge[&bs].map(|le| le.0) == self.mate[self.blossombase[&bs]]
                 );
                 if self.is_blossom(bs) {
                     self.augment_blossom(bs, s);
@@ -1020,7 +1015,10 @@ mod tests {
                 if mc {
                     assert_eq!(count, bc, "trial {trial} cardinality, edges {edges:?}");
                 }
-                assert_eq!(weight, bw, "trial {trial} weight (mc={mc}), edges {edges:?}");
+                assert_eq!(
+                    weight, bw,
+                    "trial {trial} weight (mc={mc}), edges {edges:?}"
+                );
             }
         }
     }

@@ -218,10 +218,8 @@ pub fn for_each_fault(circuit: &Circuit, mut visit: impl FnMut(FaultSite, f64)) 
                     }
                 }
             }
-            Instruction::Measure { flip_prob, .. } => {
-                if flip_prob > 0.0 {
-                    visit(FaultSite::MeasureFlip { at }, flip_prob);
-                }
+            Instruction::Measure { flip_prob, .. } if flip_prob > 0.0 => {
+                visit(FaultSite::MeasureFlip { at }, flip_prob);
             }
             _ => {}
         }
@@ -239,7 +237,7 @@ fn decompose(
 ) -> Option<Vec<(usize, usize, bool)>> {
     fn search(
         graph: &DecodingGraph,
-        remaining: &mut Vec<usize>,
+        remaining: &[usize],
         acc: &mut Vec<(usize, usize, bool)>,
         out: &mut Option<Vec<(usize, usize, bool)>>,
         target_obs: bool,
@@ -259,28 +257,26 @@ fn decompose(
         for i in 1..remaining.len() {
             let other = remaining[i];
             if let Some(e) = graph.edge(first, other) {
-                let mut rest: Vec<usize> = remaining
+                let rest: Vec<usize> = remaining
                     .iter()
                     .copied()
                     .filter(|&d| d != first && d != other)
                     .collect();
                 acc.push((first, other, e.flips_observable));
-                search(graph, &mut rest, acc, out, target_obs);
+                search(graph, &rest, acc, out, target_obs);
                 acc.pop();
             }
         }
         // Or send it to the boundary.
         if let Some(e) = graph.edge(first, BOUNDARY) {
-            let mut rest: Vec<usize> = remaining[1..].to_vec();
             acc.push((first, BOUNDARY, e.flips_observable));
-            search(graph, &mut rest, acc, out, target_obs);
+            search(graph, &remaining[1..], acc, out, target_obs);
             acc.pop();
         }
     }
-    let mut remaining = dets.to_vec();
     let mut acc = Vec::new();
     let mut out = None;
-    search(graph, &mut remaining, &mut acc, &mut out, obs);
+    search(graph, dets, &mut acc, &mut out, obs);
     out
 }
 
@@ -303,7 +299,10 @@ mod tests {
         let (noisy, z_dets, _) = noisy_baseline(3, 1e-3);
         let g = DecodingGraph::build(&noisy, &z_dets);
         assert_eq!(g.num_nodes(), z_dets.len());
-        assert!(g.num_edges() > z_dets.len(), "graph should be connected-ish");
+        assert!(
+            g.num_edges() > z_dets.len(),
+            "graph should be connected-ish"
+        );
         // No undetectable logical errors in a sound circuit.
         assert!(g.undetectable_logical_mass == 0.0);
         // Boundary edges must exist (side plaquettes see single-detector
@@ -382,8 +381,10 @@ mod tests {
     #[test]
     fn fault_enumeration_counts() {
         let mut c = Circuit::new(2);
-        c.instructions.push(Instruction::Noise1 { qubit: 0, p: 0.1 });
-        c.instructions.push(Instruction::Noise2 { a: 0, b: 1, p: 0.1 });
+        c.instructions
+            .push(Instruction::Noise1 { qubit: 0, p: 0.1 });
+        c.instructions
+            .push(Instruction::Noise2 { a: 0, b: 1, p: 0.1 });
         let m = c.measure(0);
         // Give the measurement a flip probability manually.
         if let Instruction::Measure { flip_prob, .. } = &mut c.instructions[2] {

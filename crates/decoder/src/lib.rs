@@ -29,3 +29,55 @@ pub trait Decoder {
     /// Predicts the observable flip for a defect set.
     fn decode(&self, defects: &[usize]) -> bool;
 }
+
+/// Registry of the available decoder implementations.
+///
+/// This is the single construction seam: every consumer (the `vlq-qec`
+/// Monte-Carlo harness, the figure binaries, the ablation benches) turns
+/// a `DecoderKind` into a concrete decoder through [`DecoderKind::build`],
+/// so adding a decoder means implementing [`Decoder`] and extending this
+/// enum — no downstream matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DecoderKind {
+    /// Exact minimum-weight perfect matching (paper default).
+    #[default]
+    Mwpm,
+    /// Weighted Union-Find (fast approximate alternative).
+    UnionFind,
+}
+
+impl DecoderKind {
+    /// Every registered decoder, in ablation order.
+    pub const ALL: [DecoderKind; 2] = [DecoderKind::Mwpm, DecoderKind::UnionFind];
+
+    /// Short stable name (used by CLI flags and report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            DecoderKind::Mwpm => "mwpm",
+            DecoderKind::UnionFind => "union-find",
+        }
+    }
+
+    /// Parses the names accepted by the figure binaries' `--decoder` flag.
+    pub fn parse(s: &str) -> Option<DecoderKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "mwpm" | "blossom" | "matching" => Some(DecoderKind::Mwpm),
+            "uf" | "unionfind" | "union-find" => Some(DecoderKind::UnionFind),
+            _ => None,
+        }
+    }
+
+    /// Constructs the decoder for a built decoding graph.
+    pub fn build(self, graph: &DecodingGraph) -> Box<dyn Decoder + Send + Sync> {
+        match self {
+            DecoderKind::Mwpm => Box::new(MwpmDecoder::new(graph)),
+            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(graph)),
+        }
+    }
+}
+
+impl std::fmt::Display for DecoderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -14,10 +14,19 @@ use std::collections::BinaryHeap;
 use crate::graph::{DecodingGraph, BOUNDARY};
 use crate::Decoder;
 
+/// Per-node `(neighbor, weight, flips_observable)` contact lists recorded
+/// while growing clusters.
+type GrowthForest = Vec<Vec<(usize, f64, bool)>>;
+
+/// The static decoding-graph adjacency list: per-node
+/// `(neighbor, weight, flips_observable)` entries. Same shape as a
+/// [`GrowthForest`], but fixed at construction rather than per decode.
+type AdjacencyList = Vec<Vec<(usize, f64, bool)>>;
+
 /// The Union-Find decoder.
 #[derive(Clone, Debug)]
 pub struct UnionFindDecoder {
-    adjacency: Vec<Vec<(usize, f64, bool)>>,
+    adjacency: AdjacencyList,
     num_nodes: usize,
 }
 
@@ -81,7 +90,7 @@ impl UnionFindDecoder {
     /// Grows clusters until all are neutral; returns the union-find
     /// structure and, for every node reached, the defect it was reached
     /// from with path parity (a growth forest).
-    fn grow(&self, defects: &[usize]) -> (Dsu, Vec<Vec<(usize, f64, bool)>>) {
+    fn grow(&self, defects: &[usize]) -> (Dsu, GrowthForest) {
         let n = self.num_nodes;
         let boundary_node = n;
         let mut dsu = Dsu::new(n, defects);
@@ -104,7 +113,12 @@ impl UnionFindDecoder {
         // Edges (in adjacency order) actually used to connect regions:
         // recorded for the pairing pass.
         let mut contacts: Vec<Vec<(usize, f64, bool)>> = vec![Vec::new(); n + 1];
-        while let Some(GrowItem { dist: dcur, node, src }) = heap.pop() {
+        while let Some(GrowItem {
+            dist: dcur,
+            node,
+            src,
+        }) = heap.pop()
+        {
             if owner[node] != src && owner[node] != usize::MAX {
                 continue;
             }
@@ -161,7 +175,12 @@ impl UnionFindDecoder {
 
     /// Predicts the logical flip by pairing defects within clusters along
     /// the recorded contact forest.
-    fn pair_and_predict(&self, defects: &[usize], dsu: &mut Dsu, contacts: &[Vec<(usize, f64, bool)>]) -> bool {
+    fn pair_and_predict(
+        &self,
+        defects: &[usize],
+        dsu: &mut Dsu,
+        contacts: &[Vec<(usize, f64, bool)>],
+    ) -> bool {
         let boundary_node = self.num_nodes;
         // Group defects by cluster root.
         let mut by_root: std::collections::HashMap<usize, Vec<usize>> =

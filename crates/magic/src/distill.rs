@@ -137,7 +137,11 @@ mod tests {
         let p = 1e-3;
         let s = distillation_stats(p);
         let first_order = 1.0 - 15.0 * p;
-        assert!((s.acceptance - first_order).abs() < 5e-4, "{}", s.acceptance);
+        assert!(
+            (s.acceptance - first_order).abs() < 5e-4,
+            "{}",
+            s.acceptance
+        );
     }
 
     #[test]

@@ -259,9 +259,15 @@ mod tests {
         let small = FactoryProtocol::new(ProtocolKind::SmallLattice).hardware_cost(d, k);
         assert_eq!(small.transmons, 549);
         let vn = FactoryProtocol::new(ProtocolKind::VQubitsNatural).hardware_cost(d, k);
-        assert_eq!((vn.transmons, vn.cavities, vn.total_qubits()), (49, 25, 299));
+        assert_eq!(
+            (vn.transmons, vn.cavities, vn.total_qubits()),
+            (49, 25, 299)
+        );
         let vc = FactoryProtocol::new(ProtocolKind::VQubitsCompact).hardware_cost(d, k);
-        assert_eq!((vc.transmons, vc.cavities, vc.total_qubits()), (29, 25, 279));
+        assert_eq!(
+            (vc.transmons, vc.cavities, vc.total_qubits()),
+            (29, 25, 279)
+        );
     }
 
     #[test]

@@ -460,61 +460,87 @@ mod tests {
     }
 
     mod properties {
+        //! Randomized property tests (seeded, deterministic). These were
+        //! proptest strategies in the seed; the offline build has no
+        //! registry access, so they run as fixed-seed sampling loops.
         use super::*;
-        use proptest::prelude::*;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
 
-        fn arb_pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
-            proptest::collection::vec(0..4u8, n).prop_map(move |sites| {
-                let mut p = PauliString::identity(n);
-                for (q, s) in sites.iter().enumerate() {
-                    p.set_pauli(q, Pauli::ALL[*s as usize]);
-                }
-                p
-            })
+        const CASES: usize = 256;
+
+        fn random_pauli_string(rng: &mut SmallRng, n: usize) -> PauliString {
+            let mut p = PauliString::identity(n);
+            for q in 0..n {
+                p.set_pauli(q, Pauli::ALL[rng.random_range(0..4usize)]);
+            }
+            p
         }
 
-        proptest! {
-            #[test]
-            fn mul_is_associative((a, b, c) in (arb_pauli_string(6), arb_pauli_string(6), arb_pauli_string(6))) {
+        #[test]
+        fn mul_is_associative() {
+            let mut rng = SmallRng::seed_from_u64(0xA550_C1A7);
+            for _ in 0..CASES {
+                let a = random_pauli_string(&mut rng, 6);
+                let b = random_pauli_string(&mut rng, 6);
+                let c = random_pauli_string(&mut rng, 6);
                 let ab_c = a.mul(&b).mul(&c);
                 let a_bc = a.mul(&b.mul(&c));
-                prop_assert_eq!(ab_c, a_bc);
+                assert_eq!(ab_c, a_bc);
             }
+        }
 
-            #[test]
-            fn self_product_is_positive_identity(a in arb_pauli_string(8)) {
-                // P * P = +I for any Pauli (Hermitian, squares to identity).
+        #[test]
+        fn self_product_is_positive_identity() {
+            // P * P = +I for any Pauli (Hermitian, squares to identity).
+            let mut rng = SmallRng::seed_from_u64(0x5E1F);
+            for _ in 0..CASES {
+                let a = random_pauli_string(&mut rng, 8);
                 let sq = a.mul(&a);
-                prop_assert!(sq.is_identity());
-                prop_assert_eq!(sq.sign(), 1);
+                assert!(sq.is_identity());
+                assert_eq!(sq.sign(), 1);
             }
+        }
 
-            #[test]
-            fn commutation_symmetry((a, b) in (arb_pauli_string(5), arb_pauli_string(5))) {
-                prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+        #[test]
+        fn commutation_symmetry() {
+            let mut rng = SmallRng::seed_from_u64(0xC0_117E);
+            for _ in 0..CASES {
+                let a = random_pauli_string(&mut rng, 5);
+                let b = random_pauli_string(&mut rng, 5);
+                assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
             }
+        }
 
-            #[test]
-            fn product_commutation_rule((a, b) in (arb_pauli_string(5), arb_pauli_string(5))) {
-                // a*b = (-1)^(ab anticommute) b*a, so the unsigned parts
-                // always agree and signs differ iff they anticommute.
+        #[test]
+        fn product_commutation_rule() {
+            // a*b = (-1)^(ab anticommute) b*a, so the unsigned parts
+            // always agree and signs differ iff they anticommute.
+            let mut rng = SmallRng::seed_from_u64(0x9B0D);
+            for _ in 0..CASES {
+                let a = random_pauli_string(&mut rng, 5);
+                let b = random_pauli_string(&mut rng, 5);
                 let ab = a.mul(&b);
                 let ba = b.mul(&a);
-                prop_assert_eq!(ab.x_plane(), ba.x_plane());
-                prop_assert_eq!(ab.z_plane(), ba.z_plane());
+                assert_eq!(ab.x_plane(), ba.x_plane());
+                assert_eq!(ab.z_plane(), ba.z_plane());
                 let phase_diff = (ab.phase() + 4 - ba.phase()) % 4;
                 if a.anticommutes_with(&b) {
-                    prop_assert_eq!(phase_diff, 2);
+                    assert_eq!(phase_diff, 2);
                 } else {
-                    prop_assert_eq!(phase_diff, 0);
+                    assert_eq!(phase_diff, 0);
                 }
             }
+        }
 
-            #[test]
-            fn display_parse_roundtrip(a in arb_pauli_string(7)) {
+        #[test]
+        fn display_parse_roundtrip() {
+            let mut rng = SmallRng::seed_from_u64(0x0D15_F1A7);
+            for _ in 0..CASES {
+                let a = random_pauli_string(&mut rng, 7);
                 let s = a.to_string();
                 let back = PauliString::from_str_sign(&s).unwrap();
-                prop_assert_eq!(a, back);
+                assert_eq!(a, back);
             }
         }
     }

@@ -70,7 +70,11 @@ pub fn lambda_scan(
 
 /// Geometric mean of the Λ points (a single suppression figure).
 pub fn mean_lambda(points: &[LambdaPoint]) -> Option<f64> {
-    if points.is_empty() || points.iter().any(|p| !p.lambda.is_finite() || p.lambda <= 0.0) {
+    if points.is_empty()
+        || points
+            .iter()
+            .any(|p| !p.lambda.is_finite() || p.lambda <= 0.0)
+    {
         return None;
     }
     let log_sum: f64 = points.iter().map(|p| p.lambda.ln()).sum();

@@ -32,7 +32,7 @@ use rand::SeedableRng;
 use vlq_circuit::exec::sample_batch;
 use vlq_circuit::ir::Circuit;
 use vlq_circuit::noise::NoiseModel;
-use vlq_decoder::{Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
+use vlq_decoder::{Decoder, DecodingGraph};
 use vlq_math::stats::BinomialEstimate;
 use vlq_surface::schedule::{memory_circuit, MemoryCircuit, MemorySpec};
 
@@ -40,15 +40,9 @@ pub use lambda::{lambda_scan, mean_lambda, LambdaPoint};
 pub use sensitivity::{sensitivity_sweep, Knob, SensitivityPoint};
 pub use threshold::{estimate_threshold, threshold_scan, ScanPoint, ThresholdScan};
 
-/// Which decoder drives the experiment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
-pub enum DecoderKind {
-    /// Exact minimum-weight perfect matching (paper default).
-    #[default]
-    Mwpm,
-    /// Weighted Union-Find (fast approximate alternative).
-    UnionFind,
-}
+// The decoder registry lives with the decoders; re-exported here so the
+// experiment API stays `vlq_qec::DecoderKind` for downstream users.
+pub use vlq_decoder::DecoderKind;
 
 /// Configuration of one Monte-Carlo memory experiment.
 #[derive(Clone, Debug)]
@@ -164,10 +158,7 @@ impl PreparedExperiment {
         let noisy = cfg.noise.apply(&memory.circuit);
         let guard: Vec<usize> = memory.guard_detectors().to_vec();
         let graph = DecodingGraph::build(&noisy, &guard);
-        let decoder: Box<dyn Decoder + Send + Sync> = match cfg.decoder {
-            DecoderKind::Mwpm => Box::new(MwpmDecoder::new(&graph)),
-            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(&graph)),
-        };
+        let decoder = cfg.decoder.build(&graph);
         PreparedExperiment {
             memory,
             noisy,
@@ -276,10 +267,16 @@ mod tests {
     #[test]
     fn very_noisy_experiment_fails_often() {
         let spec = MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z);
-        let cfg = ExperimentConfig::new(spec, 5e-2).with_shots(2048).with_threads(2);
+        let cfg = ExperimentConfig::new(spec, 5e-2)
+            .with_shots(2048)
+            .with_threads(2);
         let res = run_memory_experiment(&cfg);
         // Far above threshold the failure rate approaches 50%.
-        assert!(res.logical_error_rate() > 0.15, "{}", res.logical_error_rate());
+        assert!(
+            res.logical_error_rate() > 0.15,
+            "{}",
+            res.logical_error_rate()
+        );
     }
 
     #[test]
@@ -290,18 +287,12 @@ mod tests {
         let p = 2e-3;
         let shots = 30_000;
         let d3 = run_memory_experiment(
-            &ExperimentConfig::new(
-                MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z),
-                p,
-            )
-            .with_shots(shots),
+            &ExperimentConfig::new(MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z), p)
+                .with_shots(shots),
         );
         let d5 = run_memory_experiment(
-            &ExperimentConfig::new(
-                MemorySpec::standard(Setup::Baseline, 5, 1, Basis::Z),
-                p,
-            )
-            .with_shots(shots),
+            &ExperimentConfig::new(MemorySpec::standard(Setup::Baseline, 5, 1, Basis::Z), p)
+                .with_shots(shots),
         );
         assert!(
             d5.logical_error_rate() < d3.logical_error_rate(),

@@ -217,10 +217,10 @@ impl FrameBatch {
             let idx = qubit * w + *lane / 64;
             let bit = 1u64 << (*lane % 64);
             match which {
-                0 => self.x[idx] ^= bit,                       // X
-                1 => self.z[idx] ^= bit,                       // Z
+                0 => self.x[idx] ^= bit, // X
+                1 => self.z[idx] ^= bit, // Z
                 _ => {
-                    self.x[idx] ^= bit;                        // Y
+                    self.x[idx] ^= bit; // Y
                     self.z[idx] ^= bit;
                 }
             }
@@ -259,7 +259,12 @@ impl FrameBatch {
 
     /// XORs Bernoulli(p) flips into a measurement record (classical
     /// readout error).
-    pub fn apply_record_noise<R: Rng + ?Sized>(record: &mut [u64], n_lanes: usize, p: f64, rng: &mut R) {
+    pub fn apply_record_noise<R: Rng + ?Sized>(
+        record: &mut [u64],
+        n_lanes: usize,
+        p: f64,
+        rng: &mut R,
+    ) {
         for_each_bernoulli_hit(rng, p, n_lanes, |lane| {
             record[lane / 64] ^= 1u64 << (lane % 64);
         });
@@ -535,7 +540,7 @@ mod tests {
         }
         let mean = count as f64 / reps as f64;
         let expected = p * n as f64; // 500
-        // 5-sigma tolerance: sigma ~ sqrt(n p (1-p) / reps) ~ 4.9.
+                                     // 5-sigma tolerance: sigma ~ sqrt(n p (1-p) / reps) ~ 4.9.
         assert!(
             (mean - expected).abs() < 5.0 * (n as f64 * p * (1.0 - p) / reps as f64).sqrt(),
             "mean {mean} too far from {expected}"

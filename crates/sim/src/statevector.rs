@@ -381,7 +381,10 @@ impl StateVector {
     ///
     /// Panics if the operator's phase is imaginary (not Hermitian).
     pub fn project_pauli_plus(&mut self, p: &PauliString) -> f64 {
-        assert!(p.phase() % 2 == 0, "projector requires a Hermitian Pauli");
+        assert!(
+            p.phase().is_multiple_of(2),
+            "projector requires a Hermitian Pauli"
+        );
         let mut moved = self.clone();
         moved.apply_pauli(p);
         for (a, b) in self.amps.iter_mut().zip(moved.amps.iter()) {

@@ -72,8 +72,12 @@ impl MeasureOutcome {
 impl Tableau {
     /// Creates the all-zeros state `|0...0>` on `n` qubits.
     pub fn new(n: usize) -> Self {
-        let destab = (0..n).map(|i| PauliString::single(n, i, Pauli::X)).collect();
-        let stab = (0..n).map(|i| PauliString::single(n, i, Pauli::Z)).collect();
+        let destab = (0..n)
+            .map(|i| PauliString::single(n, i, Pauli::X))
+            .collect();
+        let stab = (0..n)
+            .map(|i| PauliString::single(n, i, Pauli::Z))
+            .collect();
         Tableau { n, destab, stab }
     }
 
@@ -105,11 +109,7 @@ impl Tableau {
     ///
     /// `random_bit` supplies the outcome when the measurement is random
     /// (pass a closure over your RNG, or a constant for post-selection).
-    pub fn measure_z(
-        &mut self,
-        qubit: usize,
-        random_bit: impl FnOnce() -> bool,
-    ) -> MeasureOutcome {
+    pub fn measure_z(&mut self, qubit: usize, random_bit: impl FnOnce() -> bool) -> MeasureOutcome {
         let obs = PauliString::single(self.n, qubit, Pauli::Z);
         self.measure_pauli(&obs, random_bit)
     }
@@ -134,7 +134,7 @@ impl Tableau {
     ) -> MeasureOutcome {
         assert_eq!(observable.len(), self.n, "observable length mismatch");
         assert!(
-            observable.phase() % 2 == 0,
+            observable.phase().is_multiple_of(2),
             "observable must be Hermitian (real sign)"
         );
         // Random case: some stabilizer anticommutes with the observable.
@@ -145,7 +145,7 @@ impl Tableau {
                 if i != p && self.stab[i].anticommutes_with(observable) {
                     self.stab[i].mul_assign(&pivot);
                 }
-                if self.destab[i].anticommutes_with(observable) && !(i == p) {
+                if self.destab[i].anticommutes_with(observable) && (i != p) {
                     self.destab[i].mul_assign(&pivot);
                 }
             }
@@ -175,7 +175,7 @@ impl Tableau {
             "deterministic observable must lie in the stabilizer group"
         );
         let rel = (scratch.phase() + 4 - observable.phase()) % 4;
-        debug_assert!(rel % 2 == 0, "relative phase must be real");
+        debug_assert!(rel.is_multiple_of(2), "relative phase must be real");
         MeasureOutcome::Deterministic(rel == 2)
     }
 
@@ -494,8 +494,8 @@ mod tests {
         let mut t = Tableau::new(2);
         t.apply(CliffordGate::X(0));
         t.apply(CliffordGate::Swap(0, 1));
-        assert_eq!(t.measure_z(0, || panic!()).bit(), false);
-        assert_eq!(t.measure_z(1, || panic!()).bit(), true);
+        assert!(!t.measure_z(0, || panic!()).bit());
+        assert!(t.measure_z(1, || panic!()).bit());
     }
 
     #[test]
@@ -505,8 +505,8 @@ mod tests {
         let mut t = Tableau::new(2);
         t.apply(CliffordGate::X(0));
         t.apply(CliffordGate::ISwap(0, 1));
-        assert_eq!(t.measure_z(0, || panic!()).bit(), false);
-        assert_eq!(t.measure_z(1, || panic!()).bit(), true);
+        assert!(!t.measure_z(0, || panic!()).bit());
+        assert!(t.measure_z(1, || panic!()).bit());
         t.check_invariants().unwrap();
     }
 
@@ -537,7 +537,7 @@ mod tests {
         t.check_invariants().unwrap();
         // All qubits now agree with qubit 2's outcome (GHZ collapse).
         for q in 0..4 {
-            assert_eq!(t.measure_z(q, || panic!()).bit(), false);
+            assert!(!t.measure_z(q, || panic!()).bit());
         }
     }
 
@@ -572,7 +572,7 @@ mod tests {
         t.apply(CliffordGate::H(0));
         t.apply(CliffordGate::Cnot(0, 1));
         t.reset_z(0, || true);
-        assert_eq!(t.measure_z(0, || panic!()).bit(), false);
+        assert!(!t.measure_z(0, || panic!()).bit());
         t.check_invariants().unwrap();
     }
 
@@ -580,9 +580,9 @@ mod tests {
     fn apply_pauli_injects_errors() {
         let mut t = Tableau::new(3);
         t.apply_pauli(&ps("XIX"));
-        assert_eq!(t.measure_z(0, || panic!()).bit(), true);
-        assert_eq!(t.measure_z(1, || panic!()).bit(), false);
-        assert_eq!(t.measure_z(2, || panic!()).bit(), true);
+        assert!(t.measure_z(0, || panic!()).bit());
+        assert!(!t.measure_z(1, || panic!()).bit());
+        assert!(t.measure_z(2, || panic!()).bit());
     }
 
     /// Ground-truth check of the conjugation rules: for every gate `G`
@@ -590,7 +590,7 @@ mod tests {
     /// equal `G P G†` computed with the state-vector simulator.
     #[test]
     fn conjugation_matches_statevector() {
-        use crate::statevector::{C64, StateVector};
+        use crate::statevector::{StateVector, C64};
 
         // Matrix of an operator O on 2 qubits via its action on basis
         // states: column j = O |j>.

@@ -163,7 +163,10 @@ impl CompactMerge {
 ///
 /// An edge is needed between a plaquette's transmon and the host transmon
 /// of each of its non-hosted data qubits.
-pub fn compact_interaction_graph(layout: &SurfaceLayout, naive_same_corner: bool) -> InteractionGraph {
+pub fn compact_interaction_graph(
+    layout: &SurfaceLayout,
+    naive_same_corner: bool,
+) -> InteractionGraph {
     // Select the merge corner per kind.
     let corner_for = |kind: PlaquetteKind| -> Corner {
         if naive_same_corner {
@@ -173,11 +176,8 @@ pub fn compact_interaction_graph(layout: &SurfaceLayout, naive_same_corner: bool
         }
     };
     // Recompute hosting under the chosen rule.
-    let mut host_of: BTreeMap<(i32, i32), (i32, i32)> = layout
-        .data_coords()
-        .iter()
-        .map(|&c| (c, c))
-        .collect();
+    let mut host_of: BTreeMap<(i32, i32), (i32, i32)> =
+        layout.data_coords().iter().map(|&c| (c, c)).collect();
     for p in layout.plaquettes() {
         if let Some(c) = corner_data(p, corner_for(p.kind)) {
             host_of.insert(c, p.center);
@@ -294,11 +294,7 @@ mod tests {
     #[test]
     fn corner_helpers() {
         let layout = SurfaceLayout::new(3);
-        let p = layout
-            .plaquettes()
-            .iter()
-            .find(|p| !p.is_half())
-            .unwrap();
+        let p = layout.plaquettes().iter().find(|p| !p.is_half()).unwrap();
         for c in Corner::ALL {
             assert_eq!(corner_data(p, c), Some(corner_coord(p, c)));
         }

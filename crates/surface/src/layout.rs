@@ -103,7 +103,7 @@ impl SurfaceLayout {
                 let inside: Vec<(i32, i32)> = corners
                     .iter()
                     .copied()
-                    .filter(|&(cx, cy)| cx >= 1 && cx <= 2 * di - 1 && cy >= 1 && cy <= 2 * di - 1)
+                    .filter(|&(cx, cy)| cx >= 1 && cx < 2 * di && cy >= 1 && cy < 2 * di)
                     .collect();
                 let keep = match inside.len() {
                     4 => true,

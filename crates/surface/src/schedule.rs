@@ -941,7 +941,12 @@ mod tests {
             &[(CompactGroup::B, 2), (CompactGroup::D, 0)],
             &[(CompactGroup::B, 3), (CompactGroup::D, 1)],
         ];
-        for group in [CompactGroup::A, CompactGroup::B, CompactGroup::C, CompactGroup::D] {
+        for group in [
+            CompactGroup::A,
+            CompactGroup::B,
+            CompactGroup::C,
+            CompactGroup::D,
+        ] {
             let steps = group_steps(group);
             for (idx, &s) in steps.iter().enumerate() {
                 // Map spill-over steps 9, 10 to 1, 2.
@@ -1017,7 +1022,15 @@ mod tests {
             mc.circuit
                 .instructions
                 .iter()
-                .filter(|i| matches!(i, Instruction::Gate { class: GateClass::LoadStore, .. }))
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Instruction::Gate {
+                            class: GateClass::LoadStore,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         // AAO: init store + 1 load = 2 layers; INT: init store + d loads +
@@ -1061,7 +1074,10 @@ mod tests {
             .sum();
         assert!(cavity_idle > 0.0, "memory setups must idle in the cavity");
         // Baseline has no cavity idles.
-        let base = memory_circuit(MemorySpec::standard(Setup::Baseline, 3, 10, Basis::Z), &hw());
+        let base = memory_circuit(
+            MemorySpec::standard(Setup::Baseline, 3, 10, Basis::Z),
+            &hw(),
+        );
         let base_cavity = base.circuit.instructions.iter().any(|i| {
             matches!(
                 i,
@@ -1081,7 +1097,11 @@ mod tests {
         let mut tm = 0usize;
         let mut tt = 0usize;
         for i in &mc.circuit.instructions {
-            if let Instruction::Gate { gate: CliffordGate::Cnot(..), class } = i {
+            if let Instruction::Gate {
+                gate: CliffordGate::Cnot(..),
+                class,
+            } = i
+            {
                 match class {
                     GateClass::TwoQubitTM => tm += 1,
                     GateClass::TwoQubitTT => tt += 1,

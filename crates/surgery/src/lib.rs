@@ -13,6 +13,6 @@ pub mod transversal;
 
 pub use ops::{LogicalOp, TIMESTEP_ROUNDS};
 pub use transversal::{
-    transversal_cnot_gates, verify_transversal_cnot_statevector,
-    verify_transversal_cnot_tableau, TwoPatchCode,
+    transversal_cnot_gates, verify_transversal_cnot_statevector, verify_transversal_cnot_tableau,
+    TwoPatchCode,
 };

@@ -189,11 +189,7 @@ pub fn verify_transversal_cnot_tableau(d: usize) -> Result<(), String> {
         let diff = conj.mul(&expected);
         match reference.expectation(&diff) {
             Some(false) => {}
-            other => {
-                return Err(format!(
-                    "{name} failed: residual expectation {other:?}"
-                ))
-            }
+            other => return Err(format!("{name} failed: residual expectation {other:?}")),
         }
     }
     Ok(())
@@ -284,8 +280,7 @@ mod tests {
         // NOT a logical CNOT from control to target.
         let code = TwoPatchCode::new(3);
         let d2 = 9;
-        let reversed: Vec<CliffordGate> =
-            (0..d2).map(|i| CliffordGate::Cnot(d2 + i, i)).collect();
+        let reversed: Vec<CliffordGate> = (0..d2).map(|i| CliffordGate::Cnot(d2 + i, i)).collect();
         use vlq_sim::tableau::conjugate_row;
         let xl0 = code.logical(0, PlaquetteKind::X);
         let xl1 = code.logical(1, PlaquetteKind::X);
@@ -295,7 +290,7 @@ mod tests {
         }
         let expected = xl0.mul(&xl1);
         let diff = conj.mul(&expected);
-        let mut reference = code.encoded_tableau();
+        let reference = code.encoded_tableau();
         // The reversed circuit maps X_L0 -> X_L0, so diff = X_L1 mod
         // stabilizers, which is NOT stabilized (expectation random).
         assert_ne!(reference.expectation(&diff), Some(false));
@@ -304,7 +299,7 @@ mod tests {
     #[test]
     fn encoded_tableau_is_code_state() {
         let code = TwoPatchCode::new(3);
-        let mut t = code.encoded_tableau();
+        let t = code.encoded_tableau();
         for s in code.stabilizers() {
             assert!(t.is_stabilized_by(&s));
         }

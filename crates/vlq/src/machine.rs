@@ -388,10 +388,7 @@ impl VlqMachine {
         }
         let limit = self.config.k - 1;
         {
-            let occ = self
-                .stacks
-                .get(&dest)
-                .ok_or(MachineError::OutOfCapacity)?;
+            let occ = self.stacks.get(&dest).ok_or(MachineError::OutOfCapacity)?;
             if occ.len() >= limit {
                 return Err(MachineError::OutOfCapacity);
             }

@@ -58,7 +58,10 @@ impl LogicalCircuit {
 
     /// Number of T gates (magic states needed).
     pub fn t_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, ProgOp::T(_))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, ProgOp::T(_)))
+            .count()
     }
 }
 
@@ -117,7 +120,9 @@ mod tests {
     #[test]
     fn t_count() {
         let mut c = LogicalCircuit::new(2);
-        c.push(ProgOp::T(0)).push(ProgOp::T(1)).push(ProgOp::Cnot(0, 1));
+        c.push(ProgOp::T(0))
+            .push(ProgOp::T(1))
+            .push(ProgOp::Cnot(0, 1));
         assert_eq!(c.t_count(), 2);
     }
 

@@ -123,7 +123,9 @@ fn operating_point_is_below_threshold_for_all_setups() {
 #[test]
 fn decoder_ablation_consistency() {
     let spec = MemorySpec::standard(Setup::CompactInterleaved, 3, 10, Basis::Z);
-    let base = ExperimentConfig::new(spec, 4e-3).with_shots(20_000).with_seed(5);
+    let base = ExperimentConfig::new(spec, 4e-3)
+        .with_shots(20_000)
+        .with_seed(5);
     let mwpm = run_memory_experiment(&base.clone().with_decoder(DecoderKind::Mwpm));
     let uf = run_memory_experiment(&base.with_decoder(DecoderKind::UnionFind));
     let (a, b) = (mwpm.logical_error_rate(), uf.logical_error_rate());

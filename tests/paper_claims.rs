@@ -3,7 +3,9 @@
 use vlq::arch::geometry::{baseline_tiling_transmons, patch_cost, Embedding};
 use vlq::magic::distill::distillation_stats;
 use vlq::magic::factory::{FactoryProtocol, ProtocolKind};
-use vlq::surgery::{verify_transversal_cnot_statevector, verify_transversal_cnot_tableau, LogicalOp};
+use vlq::surgery::{
+    verify_transversal_cnot_statevector, verify_transversal_cnot_tableau, LogicalOp,
+};
 
 /// Abstract: "fast transversal application of CNOT operations ... 6x
 /// faster than standard lattice surgery CNOTs".
@@ -22,7 +24,10 @@ fn claim_10x_and_2x_savings() {
     let com = patch_cost(Embedding::Compact, d, k);
     let base = patch_cost(Embedding::Baseline2D, d, k);
     let nat_savings = (base.transmons * k) as f64 / nat.transmons as f64;
-    assert!((nat_savings - 10.0).abs() < 0.5, "natural savings {nat_savings}");
+    assert!(
+        (nat_savings - 10.0).abs() < 0.5,
+        "natural savings {nat_savings}"
+    );
     let extra = nat.transmons as f64 / com.transmons as f64;
     assert!(extra > 1.6 && extra < 2.0, "compact extra savings {extra}");
 }
@@ -54,9 +59,15 @@ fn claim_table2() {
     assert_eq!(baseline_tiling_transmons(5, 6, 5), 1499);
     assert_eq!(baseline_tiling_transmons(11, 1, 5), 549);
     let vn = FactoryProtocol::new(ProtocolKind::VQubitsNatural).hardware_cost(5, 10);
-    assert_eq!((vn.transmons, vn.cavities, vn.total_qubits()), (49, 25, 299));
+    assert_eq!(
+        (vn.transmons, vn.cavities, vn.total_qubits()),
+        (49, 25, 299)
+    );
     let vc = FactoryProtocol::new(ProtocolKind::VQubitsCompact).hardware_cost(5, 10);
-    assert_eq!((vc.transmons, vc.cavities, vc.total_qubits()), (29, 25, 279));
+    assert_eq!(
+        (vc.transmons, vc.cavities, vc.total_qubits()),
+        (29, 25, 279)
+    );
 }
 
 /// §III-B: the transversal CNOT "which we verified via process

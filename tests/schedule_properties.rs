@@ -40,7 +40,15 @@ fn cnot_counts_match_plaquette_weights() {
                 .circuit
                 .instructions
                 .iter()
-                .filter(|i| matches!(i, Instruction::Gate { gate: CliffordGate::Cnot(..), .. }))
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Instruction::Gate {
+                            gate: CliffordGate::Cnot(..),
+                            ..
+                        }
+                    )
+                })
                 .count();
             // Sum of plaquette weights = 4*(full) + 2*(halves)
             //   full = (d-1)^2, halves = 2(d-1).
@@ -104,7 +112,11 @@ fn validation_sweep_d5_k_variants() {
             let spec = MemorySpec::standard(setup, 5, k, Basis::X);
             let mc = memory_circuit(spec, &hw_for(setup));
             let report = validate_with_tableau(&mc.circuit, &mut rng);
-            assert!(report.passed(), "{setup} k={k}: {:?}", report.violated_detectors);
+            assert!(
+                report.passed(),
+                "{setup} k={k}: {:?}",
+                report.violated_detectors
+            );
         }
     }
 }

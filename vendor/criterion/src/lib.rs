@@ -1,0 +1,201 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion the benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Unlike the real crate there is no statistical analysis: each benchmark
+//! is warmed up once, timed for a bounded number of iterations, and the
+//! mean wall-clock time per iteration is printed. Good enough to compare
+//! hot paths offline; swap the workspace `criterion` path dependency for
+//! the real crates.io package to get confidence intervals and HTML output.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark; keeps `cargo bench` bounded.
+const MEASURE_BUDGET: Duration = Duration::from_secs(3);
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function_name: F, parameter: P) -> Self {
+        let mut id = String::new();
+        let _ = write!(id, "{function_name}/{parameter}");
+        BenchmarkId { id }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes caches / lazy statics).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= MEASURE_BUDGET || iters >= 1000 {
+                break;
+            }
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by wall-clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if b.iters_done == 0 {
+            println!("{}/{}: no iterations recorded", self.name, id.id);
+            return;
+        }
+        let per_iter = b.elapsed / b.iters_done as u32;
+        let mut line = format!(
+            "{}/{}: {:?}/iter over {} iters",
+            self.name, id.id, per_iter, b.iters_done
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let rate = n as f64 * b.iters_done as f64 / b.elapsed.as_secs_f64();
+            let _ = write!(line, " ({rate:.0} elem/s)");
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,8 @@
+//! Offline subset of the `serde` facade.
+//!
+//! Re-exports the no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! and `use serde::{Serialize, Deserialize}` compile without registry access.
+//! Swap the workspace `serde` path dependency for the real crates.io package
+//! to restore actual serialization support.
+
+pub use serde_derive::{Deserialize, Serialize};
