@@ -2,40 +2,88 @@
 //! C2, A2): transversal CNOT speed and verification, hardware savings,
 //! smallest Compact instance, and the merge-direction connectivity
 //! ablation.
+//!
+//! With `--out <dir>`, writes `claims.csv` / `claims.jsonl` artifacts:
+//! one row per checked quantity with the computed value, the expected
+//! value (where the paper pins one), and a pass flag.
+
+use std::path::PathBuf;
 
 use vlq_arch::geometry::{patch_cost, transmon_savings_vs_baseline, Embedding};
+use vlq_bench::Args;
 use vlq_surface::embedding::compact_interaction_graph;
 use vlq_surface::layout::SurfaceLayout;
 use vlq_surgery::{
     verify_transversal_cnot_statevector, verify_transversal_cnot_tableau, LogicalOp,
 };
+use vlq_sweep::artifact::{Table, Value};
+
+const USAGE: &str = "\
+usage: claims [--out DIR]
+  --out  write claims.csv and claims.jsonl artifacts into DIR";
 
 fn main() {
+    let args = Args::parse_validated(USAGE, &["out"], &[]);
+    let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
+    let mut table = Table::new(["claim", "quantity", "value", "expected", "pass"]);
+
     println!("== C1: transversal CNOT ==");
+    let t_trans = LogicalOp::TransversalCnot.timesteps();
+    let t_ls = LogicalOp::LatticeSurgeryCnot.timesteps();
     println!(
-        "latency: transversal = {} timestep, lattice surgery = {} timesteps ({}x)",
-        LogicalOp::TransversalCnot.timesteps(),
-        LogicalOp::LatticeSurgeryCnot.timesteps(),
+        "latency: transversal = {t_trans} timestep, lattice surgery = {t_ls} timesteps ({}x)",
         LogicalOp::transversal_speedup()
     );
+    table.row([
+        "C1".into(),
+        "transversal_cnot_timesteps".into(),
+        t_trans.into(),
+        1usize.into(),
+        (t_trans == 1).into(),
+    ]);
+    table.row([
+        "C1".into(),
+        "lattice_surgery_cnot_timesteps".into(),
+        t_ls.into(),
+        Value::Null,
+        (t_ls > t_trans).into(),
+    ]);
     verify_transversal_cnot_tableau(3).expect("tableau process check d=3");
     verify_transversal_cnot_tableau(5).expect("tableau process check d=5");
     let f = verify_transversal_cnot_statevector(3);
     println!("process verification: tableau exact at d=3,5; statevector tomography d=3 min fidelity = {f:.12}");
+    table.row([
+        "C1".into(),
+        "statevector_min_fidelity_d3".into(),
+        f.into(),
+        1.0.into(),
+        ((f - 1.0).abs() < 1e-9).into(),
+    ]);
 
     println!("\n== C2: hardware savings ==");
     for d in [3usize, 5, 7] {
         let nat = patch_cost(Embedding::Natural, d, 10);
         let com = patch_cost(Embedding::Compact, d, 10);
+        let sav_nat = transmon_savings_vs_baseline(Embedding::Natural, d, 10);
+        let sav_com = transmon_savings_vs_baseline(Embedding::Compact, d, 10);
         println!(
             "d={d}: natural {} transmons + {} cavities | compact {} transmons + {} cavities | savings {:.1}x / {:.1}x",
-            nat.transmons,
-            nat.cavities,
-            com.transmons,
-            com.cavities,
-            transmon_savings_vs_baseline(Embedding::Natural, d, 10),
-            transmon_savings_vs_baseline(Embedding::Compact, d, 10),
+            nat.transmons, nat.cavities, com.transmons, com.cavities, sav_nat, sav_com,
         );
+        table.row([
+            "C2".into(),
+            format!("transmon_savings_natural_d{d}").into(),
+            sav_nat.into(),
+            Value::Null,
+            (sav_nat > 1.0).into(),
+        ]);
+        table.row([
+            "C2".into(),
+            format!("transmon_savings_compact_d{d}").into(),
+            sav_com.into(),
+            Value::Null,
+            (sav_com > sav_nat).into(),
+        ]);
     }
     let c = patch_cost(Embedding::Compact, 3, 10);
     println!(
@@ -43,6 +91,20 @@ fn main() {
         c.transmons, c.cavities
     );
     assert_eq!((c.transmons, c.cavities), (11, 9));
+    table.row([
+        "C2".into(),
+        "smallest_compact_transmons".into(),
+        c.transmons.into(),
+        11usize.into(),
+        (c.transmons == 11).into(),
+    ]);
+    table.row([
+        "C2".into(),
+        "smallest_compact_cavities".into(),
+        c.cavities.into(),
+        9usize.into(),
+        (c.cavities == 9).into(),
+    ]);
 
     println!("\n== A2: merge-direction ablation (paper SIII-C) ==");
     for d in [5usize, 7] {
@@ -58,6 +120,28 @@ fn main() {
         );
         assert!(paper.max_degree() <= 4);
         assert!(naive.max_degree() > 4);
+        table.row([
+            "A2".into(),
+            format!("paper_pairing_max_degree_d{d}").into(),
+            paper.max_degree().into(),
+            Value::Null,
+            (paper.max_degree() <= 4).into(),
+        ]);
+        table.row([
+            "A2".into(),
+            format!("naive_pairing_max_degree_d{d}").into(),
+            naive.max_degree().into(),
+            Value::Null,
+            (naive.max_degree() > 4).into(),
+        ]);
     }
     println!("\nAll claims verified.");
+
+    if let Some(dir) = &out_dir {
+        table.write_dir(dir, "claims").expect("write claims");
+        println!(
+            "artifacts: claims.csv and claims.jsonl in {}",
+            dir.display()
+        );
+    }
 }

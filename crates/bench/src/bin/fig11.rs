@@ -1,80 +1,148 @@
 //! Regenerates Figure 11: error-threshold curves for the baseline and
 //! the four 2.5D variants.
 //!
-//! Usage:
-//!   cargo run --release -p vlq-bench --bin fig11 -- \
-//!     [--trials N] [--dmax D] [--decoder mwpm|uf] [--setup name] [--basis z|x]
+//! The whole scan — every requested setup × decoder × distance × error
+//! rate — expands into ONE `SweepSpec` and runs on the `vlq-sweep`
+//! work-stealing engine, so parallelism spans configs × shots. With
+//! `--out <dir>` the records additionally stream to `fig11.csv` and
+//! `fig11.jsonl`; the printed tables are derived from the same records,
+//! so the artifacts always match the text output.
 //!
 //! The paper runs 2,000,000 trials per point over d in {3..11}; defaults
 //! here are laptop-scale (see EXPERIMENTS.md for the recorded runs).
 
-use vlq_bench::{sci, Args};
-use vlq_qec::{estimate_threshold, threshold_scan, DecoderKind};
+use vlq_bench::{engine_from_args, parse_f64_list, sci, usage_exit, Args, OutSinks};
+use vlq_qec::{estimate_threshold, run_sweep_with, DecoderKind, ThresholdScan};
 use vlq_surface::schedule::{Basis, Setup};
+use vlq_sweep::SweepSpec;
+
+const USAGE: &str = "\
+usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
+             [--decoder mwpm|uf|all] [--setup NAME|all] [--basis z|x]
+             [--rates P1,P2,...] [--workers N] [--out DIR] [--quiet]
+  --decoder  decoder(s) to scan (default mwpm; `all` runs the ablation)
+  --setup    one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
+  --rates    comma-separated physical error rates (default: 8 rates, 8e-4..1.6e-2)
+  --out      write fig11.csv and fig11.jsonl sweep artifacts into DIR";
 
 fn main() {
-    let args = Args::parse();
-    let trials: u64 = args.get("trials", 20_000);
-    let dmax: usize = args.get("dmax", 7);
-    let k: usize = args.get("k", 10);
-    let seed: u64 = args.get("seed", 2020);
+    let args = Args::parse_validated(
+        USAGE,
+        &[
+            "trials", "dmax", "k", "seed", "decoder", "setup", "basis", "rates", "workers", "out",
+        ],
+        &["quiet"],
+    );
+    let trials: u64 = args.get_or_usage(USAGE, "trials", 20_000);
+    let dmax: usize = args.get_or_usage(USAGE, "dmax", 7);
+    let k: usize = args.get_or_usage(USAGE, "k", 10);
+    let seed: u64 = args.get_or_usage(USAGE, "seed", 2020);
+
     let decoder_arg = args.get_str("decoder", "mwpm");
-    let decoder = DecoderKind::parse(&decoder_arg).unwrap_or_else(|| {
-        eprintln!("unknown --decoder {decoder_arg:?}; accepted: mwpm|blossom|matching, uf|unionfind|union-find");
-        std::process::exit(2);
-    });
-    let basis = match args.get_str("basis", "z").as_str() {
-        "x" => Basis::X,
-        _ => Basis::Z,
+    let decoders: Vec<DecoderKind> = if decoder_arg == "all" {
+        DecoderKind::ALL.to_vec()
+    } else {
+        match DecoderKind::parse(&decoder_arg) {
+            Some(d) => vec![d],
+            None => usage_exit(
+                USAGE,
+                &format!(
+                    "unknown --decoder {decoder_arg:?}; accepted: \
+                     mwpm|blossom|matching, uf|unionfind|union-find, all"
+                ),
+            ),
+        }
     };
-    let only: Option<String> = {
-        let s = args.get_str("setup", "");
-        (!s.is_empty()).then_some(s)
+
+    let basis = match args.get_str("basis", "z").as_str() {
+        "z" => Basis::Z,
+        "x" => Basis::X,
+        other => usage_exit(USAGE, &format!("unknown --basis {other:?}; accepted: z|x")),
+    };
+
+    let setup_arg = args.get_str("setup", "all");
+    let setups: Vec<Setup> = if setup_arg == "all" {
+        Setup::ALL.to_vec()
+    } else {
+        match Setup::ALL.into_iter().find(|s| s.to_string() == setup_arg) {
+            Some(s) => vec![s],
+            None => usage_exit(
+                USAGE,
+                &format!(
+                    "unknown --setup {setup_arg:?}; accepted: {}|all",
+                    Setup::ALL.map(|s| s.to_string()).join("|")
+                ),
+            ),
+        }
     };
 
     let distances: Vec<usize> = [3usize, 5, 7, 9, 11]
         .into_iter()
         .filter(|&d| d <= dmax)
         .collect();
-    // Wide sweep: the baseline crosses near 1e-2; under this model's
-    // conservative memory-serialization timing the 2.5D setups cross
-    // lower (1e-3 to 7e-3), so the sweep covers both decades.
-    let rates = [8e-4, 1.2e-3, 2e-3, 3e-3, 5e-3, 8e-3, 1.2e-2, 1.6e-2];
+    if distances.is_empty() {
+        usage_exit(USAGE, &format!("--dmax {dmax} leaves no distances to scan"));
+    }
+    // Wide default sweep: the baseline crosses near 1e-2; under this
+    // model's conservative memory-serialization timing the 2.5D setups
+    // cross lower (1e-3 to 7e-3), so the sweep covers both decades.
+    let rates: Vec<f64> = match args.pairs_get("rates") {
+        None => vec![8e-4, 1.2e-3, 2e-3, 3e-3, 5e-3, 8e-3, 1.2e-2, 1.6e-2],
+        Some(s) => parse_f64_list(&s)
+            .unwrap_or_else(|| usage_exit(USAGE, &format!("invalid --rates {s:?}"))),
+    };
+
+    let spec = SweepSpec::new()
+        .setups(setups.iter().copied())
+        .bases([basis])
+        .distances(distances.iter().copied())
+        .ks([k])
+        .decoders(decoders.iter().copied())
+        .error_rates(rates.iter().copied())
+        .shots(trials)
+        .base_seed(seed);
+
+    let engine = engine_from_args(&args, USAGE);
+    let mut out = OutSinks::from_args(&args, "fig11");
+    let records = run_sweep_with(&spec, &engine, &mut out.as_dyn()).expect("sweep artifacts");
 
     println!(
-        "Figure 11: thresholds ({} trials/point, decoder {:?}, basis {:?}, k={k})",
-        trials, decoder, basis
+        "Figure 11: thresholds ({} trials/point, decoder {}, basis {:?}, k={k}, {} points)",
+        trials,
+        decoder_arg,
+        basis,
+        records.len()
     );
-    for setup in Setup::ALL {
-        if let Some(ref name) = only {
-            if setup.to_string() != *name {
-                continue;
-            }
-        }
-        let scan = threshold_scan(setup, basis, &distances, &rates, k, trials, seed, decoder);
-        println!("\n-- {setup} --");
-        print!("{:>8}", "p \\ d");
-        for &d in &distances {
-            print!("{d:>12}");
-        }
-        println!();
-        for (pi, &p) in rates.iter().enumerate() {
-            print!("{:>8}", sci(p));
+    for setup in &setups {
+        for decoder in &decoders {
+            let scan = ThresholdScan::from_records(
+                *setup, basis, k, *decoder, &distances, &rates, &records,
+            );
+            println!("\n-- {setup} ({decoder}) --");
+            print!("{:>8}", "p \\ d");
             for &d in &distances {
-                let rate = scan.curve(d)[pi];
-                print!("{:>12}", sci(rate));
+                print!("{d:>12}");
             }
             println!();
-        }
-        match estimate_threshold(&scan) {
-            Some(th) => {
-                let paper = match setup {
-                    Setup::Baseline | Setup::NaturalAllAtOnce => 0.009,
-                    _ => 0.008,
-                };
-                println!("threshold ~ {} (paper: {paper})", sci(th));
+            for (pi, &p) in rates.iter().enumerate() {
+                print!("{:>8}", sci(p));
+                for &d in &distances {
+                    let rate = scan.curve(d)[pi];
+                    print!("{:>12}", sci(rate));
+                }
+                println!();
             }
-            None => println!("threshold: no crossing in scanned range"),
+            match estimate_threshold(&scan) {
+                Some(th) => {
+                    let paper = match setup {
+                        Setup::Baseline | Setup::NaturalAllAtOnce => 0.009,
+                        _ => 0.008,
+                    };
+                    println!("threshold ~ {} (paper: {paper})", sci(th));
+                }
+                None => println!("threshold: no crossing in scanned range"),
+            }
         }
     }
+    out.announce();
 }

@@ -1,16 +1,26 @@
 //! Regenerates Figure 12: sensitivity of the Compact, Interleaved logical
 //! error rate to each error source at the p = 2e-3 operating point.
 //!
-//! Usage:
-//!   cargo run --release -p vlq-bench --bin fig12 -- \
-//!     [--panel name|all] [--trials N] [--dmax D] [--extended]
+//! Each panel expands into a `SweepSpec` (knob axis) and runs on the
+//! `vlq-sweep` work-stealing engine. With `--out <dir>` all panels'
+//! records stream into `fig12.csv` / `fig12.jsonl` (the `knob` and
+//! `knob_value` columns identify the panel).
 //!
 //! Panels: sc-sc-error, load-store-error, sc-mode-error, cavity-t1,
 //! transmon-t1, load-store-duration, cavity-size.
 
-use vlq_bench::{sci, Args};
-use vlq_qec::{sensitivity_sweep, DecoderKind, Knob};
+use vlq_bench::{engine_from_args, sci, usage_exit, Args, OutSinks};
+use vlq_qec::{run_sweep_with, sensitivity_spec, DecoderKind, Knob};
 use vlq_surface::schedule::Setup;
+use vlq_sweep::SweepRecord;
+
+const USAGE: &str = "\
+usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
+             [--extended] [--workers N] [--out DIR] [--quiet]
+  --panel    one of sc-sc-error|load-store-error|sc-mode-error|cavity-t1|
+             transmon-t1|load-store-duration|cavity-size|all
+  --extended push the cavity-size panel past the paper's plotted range
+  --out      write fig12.csv and fig12.jsonl sweep artifacts into DIR";
 
 fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
     match knob {
@@ -33,30 +43,53 @@ fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
 }
 
 fn main() {
-    let args = Args::parse();
-    let trials: u64 = args.get("trials", 10_000);
-    let dmax: usize = args.get("dmax", 5);
-    let seed: u64 = args.get("seed", 2020);
+    let args = Args::parse_validated(
+        USAGE,
+        &["panel", "trials", "dmax", "seed", "workers", "out"],
+        &["extended", "quiet"],
+    );
+    let trials: u64 = args.get_or_usage(USAGE, "trials", 10_000);
+    let dmax: usize = args.get_or_usage(USAGE, "dmax", 5);
+    let seed: u64 = args.get_or_usage(USAGE, "seed", 2020);
     let extended = args.has("extended");
-    let panel = args.get_str("panel", "all");
+
+    let panel_arg = args.get_str("panel", "all");
+    let knobs: Vec<Knob> = if panel_arg == "all" {
+        Knob::ALL.to_vec()
+    } else {
+        match Knob::parse(&panel_arg) {
+            Some(k) => vec![k],
+            None => usage_exit(
+                USAGE,
+                &format!(
+                    "unknown --panel {panel_arg:?}; accepted: {}|all",
+                    Knob::ALL.map(|k| k.name()).join("|")
+                ),
+            ),
+        }
+    };
+
     let distances: Vec<usize> = [3usize, 5, 7, 9, 11]
         .into_iter()
         .filter(|&d| d <= dmax)
         .collect();
+    if distances.is_empty() {
+        usage_exit(USAGE, &format!("--dmax {dmax} leaves no distances to scan"));
+    }
+
+    let engine = engine_from_args(&args, USAGE);
+    let mut out = OutSinks::from_args(&args, "fig12");
 
     println!(
         "Figure 12: Compact-Interleaved sensitivity at operating point p=2e-3 ({trials} trials/point)"
     );
-    for knob in Knob::ALL {
-        if panel != "all" && knob.to_string() != panel {
-            continue;
-        }
+    for knob in knobs {
         let values = values_for(knob, extended);
         println!(
             "\n-- panel: {knob} (reference value {}) --",
             sci(knob.reference_value())
         );
-        let points = sensitivity_sweep(
+        let spec = sensitivity_spec(
             Setup::CompactInterleaved,
             knob,
             &values,
@@ -65,6 +98,14 @@ fn main() {
             seed,
             DecoderKind::Mwpm,
         );
+        let records = run_sweep_with(&spec, &engine, &mut out.as_dyn()).expect("sweep artifacts");
+
+        let find = |d: usize, v: f64| -> &SweepRecord {
+            records
+                .iter()
+                .find(|r| r.point.d == d && r.point.knob.as_ref().is_some_and(|kn| kn.value == v))
+                .expect("point")
+        };
         print!("{:>12}", "value \\ d");
         for &d in &distances {
             print!("{d:>12}");
@@ -73,13 +114,10 @@ fn main() {
         for &v in &values {
             print!("{:>12}", sci(v));
             for &d in &distances {
-                let pt = points
-                    .iter()
-                    .find(|pt| pt.d == d && pt.value == v)
-                    .expect("point");
-                print!("{:>12}", sci(pt.estimate.rate()));
+                print!("{:>12}", sci(find(d, v).rate()));
             }
             println!();
         }
     }
+    out.announce();
 }

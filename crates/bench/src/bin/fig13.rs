@@ -1,15 +1,31 @@
 //! Regenerates Figure 13: (a) T-state generation rate with 100 patches;
 //! (b) patches of space needed for one T state per timestep. Also prints
 //! the exact 15-to-1 distillation quality curve (our extension).
+//!
+//! With `--out <dir>`, writes `fig13a`, `fig13b`, and `fig13_distill`
+//! CSV/JSON-lines artifacts mirroring the printed tables.
 
-use vlq_bench::Args;
+use std::path::PathBuf;
+
+use vlq_bench::{usage_exit, Args};
 use vlq_magic::distill::distillation_stats;
 use vlq_magic::factory::{FactoryProtocol, ProtocolKind};
+use vlq_sweep::artifact::Table;
+
+const USAGE: &str = "\
+usage: fig13 [--patches N] [--out DIR]
+  --patches  patch budget for the rate comparison (default 100)
+  --out      write fig13a/fig13b/fig13_distill CSV + JSONL artifacts into DIR";
 
 fn main() {
-    let args = Args::parse();
-    let patches: f64 = args.get("patches", 100.0);
+    let args = Args::parse_validated(USAGE, &["patches", "out"], &[]);
+    let patches: f64 = args.get_or_usage(USAGE, "patches", 100.0);
+    if !(patches.is_finite() && patches > 0.0) {
+        usage_exit(USAGE, &format!("--patches must be positive, got {patches}"));
+    }
+    let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
 
+    let mut fig13a = Table::new(["protocol", "t_per_step", "vs_small_lattice"]);
     println!("Figure 13(a): T-state production rate with {patches} patches");
     println!(
         "{:<22} {:>14} {:>16}",
@@ -29,9 +45,15 @@ fn main() {
             rate,
             rate / small_rate
         );
+        fig13a.row([
+            kind.to_string().into(),
+            rate.into(),
+            (rate / small_rate).into(),
+        ]);
     }
     println!("(paper: VQubits = 1.22x Small Lattice, 1.82x Fast Lattice)");
 
+    let mut fig13b = Table::new(["protocol", "patches"]);
     println!("\nFigure 13(b): space to produce 1 T state per timestep");
     println!("{:<22} {:>10}", "Protocol", "# patches");
     for kind in [
@@ -40,14 +62,13 @@ fn main() {
         ProtocolKind::VQubitsNatural,
     ] {
         let p = FactoryProtocol::new(kind);
-        println!(
-            "{:<22} {:>10.0}",
-            kind.to_string(),
-            p.patches_for_one_t_per_step()
-        );
+        let need = p.patches_for_one_t_per_step();
+        println!("{:<22} {:>10.0}", kind.to_string(), need);
+        fig13b.row([kind.to_string().into(), need.into()]);
     }
     println!("(paper: Fast 180, Small 121, VQubits 99)");
 
+    let mut distill = Table::new(["p_in", "p_out", "first_order_35p3", "acceptance"]);
     println!("\nExtension: exact 15-to-1 distillation quality (GF(2) enumeration)");
     println!(
         "{:<10} {:>12} {:>12} {:>10}",
@@ -61,6 +82,24 @@ fn main() {
             s.p_out,
             35.0 * p.powi(3),
             s.acceptance
+        );
+        distill.row([
+            p.into(),
+            s.p_out.into(),
+            (35.0 * p.powi(3)).into(),
+            s.acceptance.into(),
+        ]);
+    }
+
+    if let Some(dir) = &out_dir {
+        fig13a.write_dir(dir, "fig13a").expect("write fig13a");
+        fig13b.write_dir(dir, "fig13b").expect("write fig13b");
+        distill
+            .write_dir(dir, "fig13_distill")
+            .expect("write fig13_distill");
+        println!(
+            "\nartifacts: fig13a/fig13b/fig13_distill .csv+.jsonl in {}",
+            dir.display()
         );
     }
 }

@@ -1,16 +1,31 @@
 //! Regenerates Table I: hardware parameters of the two device models.
+//!
+//! With `--out <dir>`, writes `table1.csv` / `table1.jsonl` artifacts
+//! (values in SI seconds, `null`/empty for absent parameters).
+
+use std::path::PathBuf;
 
 use vlq_arch::HardwareParams;
+use vlq_bench::Args;
+use vlq_sweep::artifact::{Table, Value};
+
+const USAGE: &str = "\
+usage: table1 [--out DIR]
+  --out  write table1.csv and table1.jsonl artifacts into DIR";
 
 fn main() {
+    let args = Args::parse_validated(USAGE, &["out"], &[]);
+    let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
+
     let b = HardwareParams::baseline();
     let m = HardwareParams::with_memory();
+    let mut table = Table::new(["parameter", "baseline_transmons", "transmons_with_memory"]);
     println!("Table I: starting-point coherence times and constant gate times");
     println!(
         "{:<28} {:>18} {:>22}",
         "Parameter", "Baseline Transmons", "Transmons with Memory"
     );
-    let row = |name: &str, bv: f64, mv: f64, unit: &str, scale: f64| {
+    let mut row = |name: &str, bv: f64, mv: f64, unit: &str, scale: f64| {
         let fmt = |v: f64| {
             if v.is_nan() {
                 "-".to_string()
@@ -21,6 +36,15 @@ fn main() {
             }
         };
         println!("{:<28} {:>18} {:>22}", name, fmt(bv), fmt(mv));
+        // Artifact rows carry raw SI values; NaN renders as null/empty.
+        let cell = |v: f64| {
+            if v.is_nan() {
+                Value::Null
+            } else {
+                Value::Num(v)
+            }
+        };
+        table.row([name.into(), cell(bv), cell(mv)]);
     };
     row(
         "T1,t (transmon T1)",
@@ -59,4 +83,12 @@ fn main() {
         m.t_reset * 1e9
     );
     println!("Paper values: T1,t 100 us | T1,c 1 ms | 200 ns | 50 ns | 200 ns | 150 ns");
+
+    if let Some(dir) = &out_dir {
+        table.write_dir(dir, "table1").expect("write table1");
+        println!(
+            "artifacts: table1.csv and table1.jsonl in {}",
+            dir.display()
+        );
+    }
 }

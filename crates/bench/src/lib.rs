@@ -3,9 +3,11 @@
 //! Each binary in `src/bin/` regenerates one artifact of the paper's
 //! evaluation (see DESIGN.md's experiment index). They print aligned
 //! text tables to stdout so results can be diffed against
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md, and with `--out <dir>` additionally write
+//! machine-readable CSV/JSON-lines artifacts (via `vlq-sweep`) so
+//! future PRs can regression-diff evaluation numbers.
 
-/// Tiny argument parser: `--key value` pairs and flags.
+/// Tiny argument parser: `--key value` pairs and `--flag`s.
 #[derive(Debug, Default)]
 pub struct Args {
     pairs: std::collections::HashMap<String, String>,
@@ -13,7 +15,8 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `std::env::args`.
+    /// Parses `std::env::args` permissively (unknown keys are kept,
+    /// nothing exits). Prefer [`Args::parse_validated`] in binaries.
     pub fn parse() -> Self {
         let mut pairs = std::collections::HashMap::new();
         let mut flags = std::collections::HashSet::new();
@@ -36,12 +39,66 @@ impl Args {
         Args { pairs, flags }
     }
 
-    /// Typed lookup with default.
+    /// Parses `std::env::args` strictly: `keys` name the flags that take
+    /// a value, `flags` the boolean ones. Unknown flags, missing values,
+    /// and stray positional arguments print `usage` to stderr and exit
+    /// with status 2.
+    pub fn parse_validated(usage: &str, keys: &[&str], flags: &[&str]) -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_argv(&argv, usage, keys, flags)
+    }
+
+    fn parse_argv(argv: &[String], usage: &str, keys: &[&str], flags: &[&str]) -> Self {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let Some(key) = a.strip_prefix("--") else {
+                usage_exit(usage, &format!("unexpected argument {a:?}"));
+            };
+            if flags.contains(&key) {
+                out.flags.insert(key.to_string());
+                i += 1;
+            } else if keys.contains(&key) {
+                // Values may be negative numbers ("-5") but never
+                // another option ("--x").
+                match argv.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        out.pairs.insert(key.to_string(), v.clone());
+                        i += 2;
+                    }
+                    _ => usage_exit(usage, &format!("--{key} requires a value")),
+                }
+            } else {
+                usage_exit(usage, &format!("unknown flag --{key}"));
+            }
+        }
+        out
+    }
+
+    /// Typed lookup with default. Silently falls back on parse failure;
+    /// prefer [`Args::get_or_usage`] in binaries.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         self.pairs
             .get(key)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// Typed lookup with default; an unparseable value prints `usage`
+    /// and exits with status 2.
+    pub fn get_or_usage<T: std::str::FromStr>(&self, usage: &str, key: &str, default: T) -> T {
+        match self.pairs.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| usage_exit(usage, &format!("invalid value {v:?} for --{key}"))),
+        }
+    }
+
+    /// Optional string lookup (no default).
+    pub fn pairs_get(&self, key: &str) -> Option<String> {
+        self.pairs.get(key).cloned()
     }
 
     /// String lookup.
@@ -58,6 +115,96 @@ impl Args {
     }
 }
 
+/// Prints an error plus usage to stderr and exits with status 2 (the
+/// figure binaries' contract for bad invocations).
+pub fn usage_exit(usage: &str, error: &str) -> ! {
+    eprintln!("error: {error}\n{usage}");
+    std::process::exit(2);
+}
+
+/// Builds the sweep engine a Monte-Carlo binary should use from its
+/// `--workers` / `--quiet` flags (shared by fig11 and fig12).
+pub fn engine_from_args(args: &Args, usage: &str) -> vlq_sweep::SweepEngine {
+    let mut engine = match args.pairs_get("workers") {
+        Some(_) => {
+            let workers: usize = args.get_or_usage(usage, "workers", 0);
+            if workers == 0 {
+                usage_exit(usage, "--workers must be >= 1");
+            }
+            vlq_sweep::SweepEngine::with_workers(workers)
+        }
+        None => vlq_sweep::SweepEngine::default(),
+    };
+    engine.progress = !args.has("quiet");
+    engine
+}
+
+/// The optional `--out` CSV + JSON-lines sink pair of a Monte-Carlo
+/// binary (shared by fig11 and fig12).
+pub struct OutSinks {
+    /// The `--out` directory, if given.
+    pub dir: Option<std::path::PathBuf>,
+    stem: String,
+    csv: Option<vlq_sweep::CsvSink<std::io::BufWriter<std::fs::File>>>,
+    jsonl: Option<vlq_sweep::JsonlSink<std::io::BufWriter<std::fs::File>>>,
+}
+
+impl OutSinks {
+    /// Creates `<stem>.csv` / `<stem>.jsonl` sinks under the `--out`
+    /// directory, or an inert pair when the flag is absent.
+    pub fn from_args(args: &Args, stem: &str) -> OutSinks {
+        let dir = args.pairs_get("out").map(std::path::PathBuf::from);
+        let (csv, jsonl) = match &dir {
+            Some(d) => (
+                Some(
+                    vlq_sweep::CsvSink::create(&d.join(format!("{stem}.csv")))
+                        .unwrap_or_else(|e| panic!("create {stem}.csv: {e}")),
+                ),
+                Some(
+                    vlq_sweep::JsonlSink::create(&d.join(format!("{stem}.jsonl")))
+                        .unwrap_or_else(|e| panic!("create {stem}.jsonl: {e}")),
+                ),
+            ),
+            None => (None, None),
+        };
+        OutSinks {
+            dir,
+            stem: stem.to_string(),
+            csv,
+            jsonl,
+        }
+    }
+
+    /// The sink list to hand to the engine (empty when `--out` absent).
+    pub fn as_dyn(&mut self) -> Vec<&mut dyn vlq_sweep::RecordSink> {
+        let mut sinks: Vec<&mut dyn vlq_sweep::RecordSink> = Vec::new();
+        if let Some(s) = self.csv.as_mut() {
+            sinks.push(s);
+        }
+        if let Some(s) = self.jsonl.as_mut() {
+            sinks.push(s);
+        }
+        sinks
+    }
+
+    /// Prints the artifact paths (call once, after the sweep).
+    pub fn announce(&self) {
+        if let Some(dir) = &self.dir {
+            println!(
+                "\nartifacts: {} and {}",
+                dir.join(format!("{}.csv", self.stem)).display(),
+                dir.join(format!("{}.jsonl", self.stem)).display()
+            );
+        }
+    }
+}
+
+/// Parses a comma-separated list of floats (for `--rates`-style flags).
+pub fn parse_f64_list(s: &str) -> Option<Vec<f64>> {
+    let vals: Result<Vec<f64>, _> = s.split(',').map(|t| t.trim().parse()).collect();
+    vals.ok().filter(|v| !v.is_empty())
+}
+
 /// Formats a probability in compact scientific notation.
 pub fn sci(p: f64) -> String {
     if p == 0.0 {
@@ -71,9 +218,33 @@ pub fn sci(p: f64) -> String {
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn sci_formats() {
         assert_eq!(sci(0.0), "0");
         assert_eq!(sci(0.0123), "1.23e-2");
+    }
+
+    #[test]
+    fn validated_parse_accepts_known_keys_and_flags() {
+        let a = Args::parse_argv(
+            &argv(&["--trials", "100", "--quiet", "--seed", "-5"]),
+            "usage",
+            &["trials", "seed"],
+            &["quiet"],
+        );
+        assert_eq!(a.get::<u64>("trials", 0), 100);
+        assert_eq!(a.get_str("seed", ""), "-5");
+        assert!(a.has("quiet"));
+    }
+
+    #[test]
+    fn f64_list_parses() {
+        assert_eq!(parse_f64_list("1e-3, 2e-3"), Some(vec![1e-3, 2e-3]));
+        assert_eq!(parse_f64_list("1e-3,x"), None);
+        assert_eq!(parse_f64_list(""), None);
     }
 }

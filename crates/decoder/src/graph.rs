@@ -10,7 +10,7 @@
 //! into known graphlike edges, as modern detector-error-model tooling
 //! does.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vlq_circuit::exec::{propagate_fault, FaultSite};
 use vlq_circuit::ir::{Circuit, Instruction};
@@ -38,7 +38,13 @@ pub struct GraphEdge {
 pub struct DecodingGraph {
     num_nodes: usize,
     /// Edge map keyed by `(a, b)` with `a < b` (`b` may be [`BOUNDARY`]).
-    edges: HashMap<(usize, usize), GraphEdge>,
+    ///
+    /// Ordered map on purpose: [`DecodingGraph::adjacency`] and
+    /// [`DecodingGraph::iter_edges`] must yield a deterministic order,
+    /// because approximate decoders (union-find's first-contact growth)
+    /// break distance ties by visit order — with a hash map, two builds
+    /// of the same circuit could decode the same syndrome differently.
+    edges: BTreeMap<(usize, usize), GraphEdge>,
     /// Count of faults that produced more than two sector detectors and
     /// needed decomposition.
     pub decomposed_faults: usize,
@@ -136,7 +142,7 @@ impl DecodingGraph {
         }
         let mut graph = DecodingGraph {
             num_nodes: sector_detectors.len(),
-            edges: HashMap::new(),
+            edges: BTreeMap::new(),
             decomposed_faults: 0,
             undetectable_logical_mass: 0.0,
         };

@@ -182,9 +182,11 @@ impl UnionFindDecoder {
         contacts: &[Vec<(usize, f64, bool)>],
     ) -> bool {
         let boundary_node = self.num_nodes;
-        // Group defects by cluster root.
-        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        // Group defects by cluster root. Ordered map so pairing runs in
+        // a deterministic cluster order (hash order would vary between
+        // otherwise-identical decoders).
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for &d in defects {
             by_root.entry(dsu.find(d)).or_default().push(d);
         }
@@ -193,7 +195,7 @@ impl UnionFindDecoder {
             // Pair members greedily along contact edges (spanning-tree
             // peeling): repeatedly take the cheapest contact between two
             // unpaired members; leftovers go to the boundary contact.
-            let mut unpaired: std::collections::HashSet<usize> = members.iter().copied().collect();
+            let mut unpaired: std::collections::BTreeSet<usize> = members.iter().copied().collect();
             let mut pairs: Vec<(usize, usize, f64, bool)> = Vec::new();
             for &m in &members {
                 for &(other, d, p) in &contacts[m] {

@@ -23,6 +23,7 @@
 //! ```
 
 pub mod lambda;
+pub mod orchestrate;
 pub mod sensitivity;
 pub mod threshold;
 
@@ -37,8 +38,9 @@ use vlq_math::stats::BinomialEstimate;
 use vlq_surface::schedule::{memory_circuit, MemoryCircuit, MemorySpec};
 
 pub use lambda::{lambda_scan, mean_lambda, LambdaPoint};
-pub use sensitivity::{sensitivity_sweep, Knob, SensitivityPoint};
-pub use threshold::{estimate_threshold, threshold_scan, ScanPoint, ThresholdScan};
+pub use orchestrate::{config_for_point, run_sweep, run_sweep_with, MemoryExecutor};
+pub use sensitivity::{sensitivity_spec, sensitivity_sweep, Knob, SensitivityPoint};
+pub use threshold::{estimate_threshold, threshold_scan, threshold_spec, ScanPoint, ThresholdScan};
 
 // The decoder registry lives with the decoders; re-exported here so the
 // experiment API stays `vlq_qec::DecoderKind` for downstream users.
@@ -171,8 +173,23 @@ impl PreparedExperiment {
     /// Runs `shots` sampled shots with the given base seed, returning the
     /// failure count.
     pub fn run_shots(&self, shots: u64, seed: u64) -> u64 {
+        self.run_shots_with(&[self.decoder.as_ref()], shots, seed)[0]
+    }
+
+    /// Runs `shots` sampled shots through several decoders at once: every
+    /// decoder sees the *identical* defect sets (same circuit, same noise
+    /// realizations). Returns one failure count per decoder.
+    ///
+    /// This is the single batching/defect-extraction loop behind both
+    /// [`PreparedExperiment::run_shots`] and [`compare_decoders`].
+    pub fn run_shots_with(
+        &self,
+        decoders: &[&(dyn Decoder + Send + Sync)],
+        shots: u64,
+        seed: u64,
+    ) -> Vec<u64> {
         const LANES_PER_BATCH: usize = 1024;
-        let mut failures = 0u64;
+        let mut failures = vec![0u64; decoders.len()];
         let mut remaining = shots;
         let mut batch_idx = 0u64;
         while remaining > 0 {
@@ -186,10 +203,11 @@ impl PreparedExperiment {
                         defects.push(local);
                     }
                 }
-                let predicted = self.decoder.decode(&defects);
                 let actual = result.observable_bit(0, lane);
-                if predicted != actual {
-                    failures += 1;
+                for (fi, decoder) in decoders.iter().enumerate() {
+                    if decoder.decode(&defects) != actual {
+                        failures[fi] += 1;
+                    }
                 }
             }
             remaining -= lanes as u64;
@@ -197,6 +215,78 @@ impl PreparedExperiment {
         }
         failures
     }
+}
+
+/// Runs the same sampled syndromes through several decoders, returning
+/// one result per decoder in `kinds` order.
+///
+/// Unlike running [`run_memory_experiment`] once per decoder, every
+/// decoder sees the *identical* defect sets (same circuit, same noise
+/// realizations), so rate differences measure decoding accuracy alone —
+/// the honest way to quantify e.g. the union-find first-contact growth
+/// approximation against exact MWPM.
+///
+/// Shots are split into fixed-size chunks with seeds derived from
+/// `cfg.seed` and the chunk index alone (the sweep-engine discipline),
+/// so results are identical for any `cfg.threads` / machine core count.
+pub fn compare_decoders(cfg: &ExperimentConfig, kinds: &[DecoderKind]) -> Vec<ExperimentResult> {
+    let prepared = PreparedExperiment::prepare(cfg);
+    let decoders: Vec<Box<dyn Decoder + Send + Sync>> =
+        kinds.iter().map(|k| k.build(&prepared.graph)).collect();
+    let decoder_refs: Vec<&(dyn Decoder + Send + Sync)> =
+        decoders.iter().map(|d| d.as_ref()).collect();
+
+    const CHUNK_SHOTS: u64 = 1024;
+    let n_chunks = cfg.shots.div_ceil(CHUNK_SHOTS);
+    let chunk_failures = |c: u64| -> Vec<u64> {
+        let shots = CHUNK_SHOTS.min(cfg.shots - c * CHUNK_SHOTS);
+        let seed = vlq_sweep::splitmix64(cfg.seed ^ vlq_sweep::splitmix64(c));
+        prepared.run_shots_with(&decoder_refs, shots, seed)
+    };
+    let sum = |mut acc: Vec<u64>, part: Vec<u64>| {
+        for (a, p) in acc.iter_mut().zip(part) {
+            *a += p;
+        }
+        acc
+    };
+
+    let threads = cfg.threads.clamp(1, n_chunks.max(1) as usize);
+    let failures: Vec<u64> = if threads <= 1 {
+        (0..n_chunks)
+            .map(chunk_failures)
+            .fold(vec![0u64; kinds.len()], sum)
+    } else {
+        // Chunk seeds don't depend on this round-robin assignment, so
+        // the thread count only affects wall-clock, never results.
+        std::thread::scope(|scope| {
+            let chunk_failures = &chunk_failures;
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    scope.spawn(move || {
+                        (t..n_chunks)
+                            .step_by(threads)
+                            .map(chunk_failures)
+                            .fold(vec![0u64; kinds.len()], sum)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .fold(vec![0u64; kinds.len()], sum)
+        })
+    };
+
+    failures
+        .into_iter()
+        .map(|f| ExperimentResult {
+            failures: f,
+            shots: cfg.shots,
+            estimate: BinomialEstimate::new(f, cfg.shots.max(1)),
+            guard_detectors: prepared.graph.num_nodes(),
+            graph_edges: prepared.graph.num_edges(),
+        })
+        .collect()
 }
 
 /// Runs a complete memory experiment (possibly multi-threaded).

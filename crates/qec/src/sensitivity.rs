@@ -10,9 +10,11 @@
 use vlq_arch::params::{ErrorRates, HardwareParams, REFERENCE_ERROR_RATE};
 use vlq_circuit::noise::NoiseModel;
 use vlq_math::stats::BinomialEstimate;
-use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+use vlq_surface::schedule::{Basis, Setup};
+use vlq_sweep::SweepSpec;
 
-use crate::{run_memory_experiment, DecoderKind, ExperimentConfig};
+use crate::orchestrate::run_sweep;
+use crate::DecoderKind;
 
 /// The knob a sensitivity panel varies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -45,6 +47,26 @@ impl Knob {
         Knob::CavitySize,
     ];
 
+    /// Stable knob name (used by `--panel` flags and sweep artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Knob::ScScError => "sc-sc-error",
+            Knob::LoadStoreError => "load-store-error",
+            Knob::ScModeError => "sc-mode-error",
+            Knob::CavityT1 => "cavity-t1",
+            Knob::TransmonT1 => "transmon-t1",
+            Knob::LoadStoreDuration => "load-store-duration",
+            Knob::CavitySize => "cavity-size",
+        }
+    }
+
+    /// Parses a knob name (the inverse of [`Knob::name`]).
+    pub fn parse(s: &str) -> Option<Knob> {
+        Knob::ALL
+            .into_iter()
+            .find(|k| k.name() == s.to_ascii_lowercase())
+    }
+
     /// The paper's marked reference value at the operating point.
     pub fn reference_value(self) -> f64 {
         let hw = HardwareParams::with_memory();
@@ -60,16 +82,7 @@ impl Knob {
 
 impl std::fmt::Display for Knob {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            Knob::ScScError => "sc-sc-error",
-            Knob::LoadStoreError => "load-store-error",
-            Knob::ScModeError => "sc-mode-error",
-            Knob::CavityT1 => "cavity-t1",
-            Knob::TransmonT1 => "transmon-t1",
-            Knob::LoadStoreDuration => "load-store-duration",
-            Knob::CavitySize => "cavity-size",
-        };
-        write!(f, "{s}")
+        f.write_str(self.name())
     }
 }
 
@@ -110,9 +123,36 @@ pub fn noise_with_knob(knob: Knob, value: f64) -> (NoiseModel, usize) {
     (NoiseModel::new(hw, rates), k)
 }
 
+/// The sweep spec a sensitivity panel expands to: `p` pinned at the
+/// operating point, the named knob swept over `values`.
+pub fn sensitivity_spec(
+    setup: Setup,
+    knob: Knob,
+    values: &[f64],
+    distances: &[usize],
+    shots: u64,
+    seed: u64,
+    decoder: DecoderKind,
+) -> SweepSpec {
+    SweepSpec::new()
+        .setups([setup])
+        .bases([Basis::Z])
+        .distances(distances.iter().copied())
+        // Nominal depth; the executor recomputes k from the knob (the
+        // cavity-size panel overrides it per point).
+        .ks([10])
+        .decoders([decoder])
+        .knob(REFERENCE_ERROR_RATE, knob.name(), values.iter().copied())
+        .shots(shots)
+        .base_seed(seed)
+}
+
 /// Runs one sensitivity panel for the given setup (the paper uses
 /// Compact, Interleaved) over `values` of the knob and several code
 /// distances.
+///
+/// Thin adapter over the `vlq-sweep` work-stealing engine; points run
+/// in parallel across configs × shots with deterministic seeding.
 #[allow(clippy::too_many_arguments)]
 pub fn sensitivity_sweep(
     setup: Setup,
@@ -123,25 +163,17 @@ pub fn sensitivity_sweep(
     seed: u64,
     decoder: DecoderKind,
 ) -> Vec<SensitivityPoint> {
-    let mut out = Vec::new();
-    for &d in distances {
-        for &v in values {
-            let (noise, k) = noise_with_knob(knob, v);
-            let spec = MemorySpec::standard(setup, d, k, Basis::Z);
-            let cfg = ExperimentConfig::new(spec, REFERENCE_ERROR_RATE)
-                .with_noise(noise)
-                .with_shots(shots)
-                .with_seed(seed ^ ((d as u64) << 40) ^ v.to_bits())
-                .with_decoder(decoder);
-            let res = run_memory_experiment(&cfg);
-            out.push(SensitivityPoint {
-                d,
-                value: v,
-                estimate: res.estimate,
-            });
-        }
-    }
-    out
+    let spec = sensitivity_spec(setup, knob, values, distances, shots, seed, decoder);
+    run_sweep(&spec)
+        .into_iter()
+        .map(|rec| SensitivityPoint {
+            d: rec.point.d,
+            value: rec.point.knob.as_ref().expect("knob sweep").value,
+            estimate: rec
+                .estimate()
+                .unwrap_or_else(|| BinomialEstimate::new(0, 1)),
+        })
+        .collect()
 }
 
 #[cfg(test)]

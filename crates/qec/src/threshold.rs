@@ -5,9 +5,11 @@
 //! pairwise crossings of consecutive-distance curves in log-log space.
 
 use vlq_math::stats::{log_log_crossing, BinomialEstimate};
-use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+use vlq_surface::schedule::{Basis, Setup};
+use vlq_sweep::{SweepRecord, SweepSpec};
 
-use crate::{run_memory_experiment, DecoderKind, ExperimentConfig};
+use crate::orchestrate::run_sweep;
+use crate::DecoderKind;
 
 /// One sampled point of a threshold scan.
 #[derive(Clone, Debug)]
@@ -46,9 +48,83 @@ impl ThresholdScan {
             .map(|pt| pt.estimate.rate())
             .collect()
     }
+
+    /// Assembles a scan from sweep records (e.g. one setup's slice of a
+    /// multi-setup, multi-decoder sweep). Points are laid out row-major
+    /// (`d` outer, `p` inner) regardless of record order; records for
+    /// other setups, bases, cavity depths, or decoders are ignored.
+    pub fn from_records(
+        setup: Setup,
+        basis: Basis,
+        k: usize,
+        decoder: DecoderKind,
+        distances: &[usize],
+        error_rates: &[f64],
+        records: &[SweepRecord],
+    ) -> ThresholdScan {
+        let mut points = Vec::with_capacity(distances.len() * error_rates.len());
+        for &d in distances {
+            for &p in error_rates {
+                let rec = records
+                    .iter()
+                    .find(|r| {
+                        r.point.setup == setup
+                            && r.point.basis == basis
+                            && r.point.k == k
+                            && r.point.decoder == decoder
+                            && r.point.d == d
+                            && r.point.p == p
+                    })
+                    .unwrap_or_else(|| panic!("sweep records missing point d={d} p={p}"));
+                points.push(ScanPoint {
+                    d,
+                    p,
+                    estimate: rec
+                        .estimate()
+                        .unwrap_or_else(|| BinomialEstimate::new(0, 1)),
+                });
+            }
+        }
+        ThresholdScan {
+            setup,
+            basis,
+            k,
+            points,
+            distances: distances.to_vec(),
+            error_rates: error_rates.to_vec(),
+        }
+    }
+}
+
+/// The sweep spec a threshold scan expands to (one setup, the full
+/// `distances × error_rates` grid).
+#[allow(clippy::too_many_arguments)]
+pub fn threshold_spec(
+    setup: Setup,
+    basis: Basis,
+    distances: &[usize],
+    error_rates: &[f64],
+    k: usize,
+    shots: u64,
+    seed: u64,
+    decoder: DecoderKind,
+) -> SweepSpec {
+    SweepSpec::new()
+        .setups([setup])
+        .bases([basis])
+        .distances(distances.iter().copied())
+        .error_rates(error_rates.iter().copied())
+        .ks([k])
+        .decoders([decoder])
+        .shots(shots)
+        .base_seed(seed)
 }
 
 /// Runs a threshold scan.
+///
+/// Thin adapter over the `vlq-sweep` work-stealing engine: the grid
+/// runs with parallelism across *configs × shots* and deterministic
+/// per-point seeding, so results are independent of worker count.
 #[allow(clippy::too_many_arguments)]
 pub fn threshold_scan(
     setup: Setup,
@@ -60,30 +136,18 @@ pub fn threshold_scan(
     seed: u64,
     decoder: DecoderKind,
 ) -> ThresholdScan {
-    let mut points = Vec::new();
-    for &d in distances {
-        for &p in error_rates {
-            let spec = MemorySpec::standard(setup, d, k, basis);
-            let cfg = ExperimentConfig::new(spec, p)
-                .with_shots(shots)
-                .with_seed(seed ^ ((d as u64) << 32) ^ p.to_bits())
-                .with_decoder(decoder);
-            let res = run_memory_experiment(&cfg);
-            points.push(ScanPoint {
-                d,
-                p,
-                estimate: res.estimate,
-            });
-        }
-    }
-    ThresholdScan {
+    let spec = threshold_spec(
         setup,
         basis,
+        distances,
+        error_rates,
         k,
-        points,
-        distances: distances.to_vec(),
-        error_rates: error_rates.to_vec(),
-    }
+        shots,
+        seed,
+        decoder,
+    );
+    let records = run_sweep(&spec);
+    ThresholdScan::from_records(setup, basis, k, decoder, distances, error_rates, &records)
 }
 
 /// Estimates the threshold from a scan: the median crossing point of

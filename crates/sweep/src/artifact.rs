@@ -1,0 +1,278 @@
+//! Low-level machine-readable artifact helpers: CSV field quoting, JSON
+//! string/number formatting, and a small [`Table`] builder the analytic
+//! figure binaries (fig13, table1, table2, claims) use to emit CSV and
+//! JSON-lines files next to their text tables.
+//!
+//! The vendored `serde` is a no-op facade (no registry access), so the
+//! formats are written by hand. Numbers use Rust's shortest-roundtrip
+//! `Display`, which both `f64::from_str` and any JSON parser read back
+//! exactly.
+
+use std::io::{self, Write};
+
+/// Quotes a CSV field per RFC 4180 when it contains a comma, quote, or
+/// newline; passes it through verbatim otherwise.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Formats a JSON string literal (with escaping).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` prints integral floats without a decimal point or
+        // exponent; keep them valid-but-unambiguous JSON numbers as-is.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One cell of a [`Table`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A string cell.
+    Str(String),
+    /// A float cell.
+    Num(f64),
+    /// An integer cell.
+    Int(i64),
+    /// A boolean cell.
+    Bool(bool),
+    /// An empty cell (CSV: empty field, JSON: null).
+    Null,
+}
+
+impl Value {
+    fn csv(&self) -> String {
+        match self {
+            Value::Str(s) => csv_field(s),
+            Value::Num(v) => format!("{v}"),
+            Value::Int(v) => format!("{v}"),
+            Value::Bool(b) => format!("{b}"),
+            Value::Null => String::new(),
+        }
+    }
+
+    fn json(&self) -> String {
+        match self {
+            Value::Str(s) => json_string(s),
+            Value::Num(v) => json_f64(*v),
+            Value::Int(v) => format!("{v}"),
+            Value::Bool(b) => format!("{b}"),
+            Value::Null => "null".to_string(),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A named-column table that renders to CSV and JSON-lines.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_sweep::artifact::Table;
+///
+/// let mut t = Table::new(["protocol", "rate"]);
+/// t.row(["small-lattice".into(), 0.125.into()]);
+/// let mut csv = Vec::new();
+/// t.write_csv(&mut csv).unwrap();
+/// assert_eq!(String::from_utf8(csv).unwrap(), "protocol,rate\nsmall-lattice,0.125\n");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// A table with the given column names.
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn row(&mut self, cells: impl IntoIterator<Item = Value>) -> &mut Self {
+        let cells: Vec<Value> = cells.into_iter().collect();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity does not match table columns"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Writes the table as CSV (header + rows).
+    pub fn write_csv<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let header: Vec<String> = self.columns.iter().map(|c| csv_field(c)).collect();
+        writeln!(w, "{}", header.join(","))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Value::csv).collect();
+            writeln!(w, "{}", cells.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Writes the table as JSON-lines (one object per row).
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for row in &self.rows {
+            let fields: Vec<String> = self
+                .columns
+                .iter()
+                .zip(row)
+                .map(|(c, v)| format!("{}:{}", json_string(c), v.json()))
+                .collect();
+            writeln!(w, "{{{}}}", fields.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Writes `<stem>.csv` and `<stem>.jsonl` under `dir`, creating the
+    /// directory if needed. Returns the two paths.
+    pub fn write_dir(
+        &self,
+        dir: &std::path::Path,
+        stem: &str,
+    ) -> io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let csv_path = dir.join(format!("{stem}.csv"));
+        let jsonl_path = dir.join(format!("{stem}.jsonl"));
+        let mut csv = std::io::BufWriter::new(std::fs::File::create(&csv_path)?);
+        self.write_csv(&mut csv)?;
+        csv.flush()?;
+        let mut jsonl = std::io::BufWriter::new(std::fs::File::create(&jsonl_path)?);
+        self.write_jsonl(&mut jsonl)?;
+        jsonl.flush()?;
+        Ok((csv_path, jsonl_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn table_round_trips() {
+        let mut t = Table::new(["name", "x", "ok"]);
+        t.row(["a,b".into(), 0.25.into(), true.into()]);
+        t.row(["c".into(), Value::Null, false.into()]);
+        assert_eq!(t.len(), 2);
+
+        let mut csv = Vec::new();
+        t.write_csv(&mut csv).unwrap();
+        assert_eq!(
+            String::from_utf8(csv).unwrap(),
+            "name,x,ok\n\"a,b\",0.25,true\nc,,false\n"
+        );
+
+        let mut jsonl = Vec::new();
+        t.write_jsonl(&mut jsonl).unwrap();
+        assert_eq!(
+            String::from_utf8(jsonl).unwrap(),
+            "{\"name\":\"a,b\",\"x\":0.25,\"ok\":true}\n{\"name\":\"c\",\"x\":null,\"ok\":false}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only-one".into()]);
+    }
+}

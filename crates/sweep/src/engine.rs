@@ -1,0 +1,458 @@
+//! The work-stealing sweep engine.
+//!
+//! Expanded grid points are split into fixed-size shot chunks, pushed
+//! onto a shared injector deque, and drained by a pool of workers that
+//! keep small local deques and steal from each other when both their
+//! deque and the injector run dry. Parallelism therefore spans
+//! *configs × shots*: a scan of many small configs saturates the pool
+//! just as well as one huge config.
+//!
+//! Determinism: chunk boundaries and per-chunk seeds depend only on the
+//! spec and the engine's `chunk_shots` (never on worker count or steal
+//! order), and per-point failure counts are sums of per-chunk counts —
+//! a commutative reduction — so any schedule produces identical
+//! records. The engine additionally buffers out-of-order completions
+//! and emits records to sinks in expansion order, making file artifacts
+//! byte-identical across runs.
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::sink::{RecordSink, SweepRecord};
+use crate::spec::{SweepPoint, SweepSpec};
+
+/// Runs the domain side of a sweep: turning a point into a prepared
+/// experiment once, then running seeded shot chunks against it.
+///
+/// The engine guarantees `prepare` is called at most once per point
+/// (workers share the result), and that `run_chunk` sees chunk seeds
+/// derived deterministically from the spec.
+pub trait SweepExecutor: Sync {
+    /// Expensive per-point state shared by all of the point's chunks
+    /// (e.g. a noisy circuit plus its decoder).
+    type Prepared: Send + Sync;
+
+    /// Builds the per-point state.
+    fn prepare(&self, point: &SweepPoint) -> Self::Prepared;
+
+    /// Runs `shots` seeded shots, returning the failure count.
+    fn run_chunk(
+        &self,
+        prepared: &Self::Prepared,
+        point: &SweepPoint,
+        shots: u64,
+        seed: u64,
+    ) -> u64;
+}
+
+/// One unit of schedulable work: a chunk of one point's shots.
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    point: usize,
+    chunk: u64,
+    shots: u64,
+}
+
+/// How many tasks a worker moves from the injector to its local deque
+/// per refill. Small enough to keep late stealers fed, large enough to
+/// amortize the injector lock.
+const REFILL_BATCH: usize = 4;
+
+/// The work-stealing orchestration engine.
+#[derive(Clone, Debug)]
+pub struct SweepEngine {
+    /// Worker thread count (clamped to ≥ 1).
+    pub workers: usize,
+    /// Shots per task chunk. Part of the deterministic schedule-
+    /// independent chunking; changing it re-chunks (and re-seeds) the
+    /// sweep.
+    pub chunk_shots: u64,
+    /// Whether to report progress (completed/total, ETA) on stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            chunk_shots: 1024,
+            progress: false,
+        }
+    }
+}
+
+struct Shared<'a, E: SweepExecutor> {
+    executor: &'a E,
+    points: &'a [SweepPoint],
+    base_seed: u64,
+    prepared: Vec<OnceLock<E::Prepared>>,
+    injector: Mutex<VecDeque<Task>>,
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    failures: Vec<AtomicU64>,
+    chunks_left: Vec<AtomicUsize>,
+}
+
+impl<E: SweepExecutor> Shared<'_, E> {
+    /// Claims the next task for worker `me`: local deque first (LIFO
+    /// for cache warmth), then an injector refill, then stealing FIFO
+    /// from the other workers.
+    fn next_task(&self, me: usize) -> Option<Task> {
+        if let Some(t) = self.locals[me].lock().expect("local deque").pop_back() {
+            return Some(t);
+        }
+        {
+            let mut injector = self.injector.lock().expect("injector");
+            if !injector.is_empty() {
+                let first = injector.pop_front();
+                let mut local = self.locals[me].lock().expect("local deque");
+                for _ in 1..REFILL_BATCH {
+                    match injector.pop_front() {
+                        Some(t) => local.push_back(t),
+                        None => break,
+                    }
+                }
+                return first;
+            }
+        }
+        for off in 1..self.locals.len() {
+            let victim = (me + off) % self.locals.len();
+            if let Some(t) = self.locals[victim]
+                .lock()
+                .expect("victim deque")
+                .pop_front()
+            {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn run_worker(&self, me: usize, done: &mpsc::Sender<usize>) {
+        while let Some(task) = self.next_task(me) {
+            let point = &self.points[task.point];
+            let prepared = self.prepared[task.point].get_or_init(|| self.executor.prepare(point));
+            let seed = point.chunk_seed(self.base_seed, task.chunk);
+            let failures = self.executor.run_chunk(prepared, point, task.shots, seed);
+            self.failures[task.point].fetch_add(failures, Ordering::Relaxed);
+            if self.chunks_left[task.point].fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last chunk of this point; the receiver may already be
+                // gone if a sink error aborted the run.
+                let _ = done.send(task.point);
+            }
+        }
+    }
+}
+
+/// Reorder buffer: emits completed records to sinks in expansion order.
+struct InOrderEmitter<'s, 'r> {
+    sinks: &'s mut [&'r mut dyn RecordSink],
+    pending: Vec<Option<SweepRecord>>,
+    next: usize,
+    emitted: Vec<SweepRecord>,
+}
+
+impl<'s, 'r> InOrderEmitter<'s, 'r> {
+    fn new(total: usize, sinks: &'s mut [&'r mut dyn RecordSink]) -> Self {
+        InOrderEmitter {
+            sinks,
+            pending: (0..total).map(|_| None).collect(),
+            next: 0,
+            emitted: Vec::with_capacity(total),
+        }
+    }
+
+    fn complete(&mut self, record: SweepRecord) -> io::Result<()> {
+        let idx = record.index;
+        debug_assert!(self.pending[idx].is_none(), "point completed twice");
+        self.pending[idx] = Some(record);
+        while self.next < self.pending.len() {
+            match self.pending[self.next].take() {
+                Some(r) => {
+                    for sink in self.sinks.iter_mut() {
+                        sink.write(&r)?;
+                    }
+                    self.emitted.push(r);
+                    self.next += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Progress {
+    enabled: bool,
+    started: Instant,
+    last_print: Option<Instant>,
+    total: usize,
+}
+
+impl Progress {
+    fn new(enabled: bool, total: usize) -> Self {
+        Progress {
+            enabled,
+            started: Instant::now(),
+            last_print: None,
+            total,
+        }
+    }
+
+    fn update(&mut self, completed: usize) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let due = match self.last_print {
+            Some(last) => now.duration_since(last) >= Duration::from_millis(250),
+            None => true,
+        };
+        if !due && completed < self.total {
+            return;
+        }
+        self.last_print = Some(now);
+        let elapsed = now.duration_since(self.started).as_secs_f64();
+        let eta = if completed > 0 && completed < self.total {
+            let rate = elapsed / completed as f64;
+            format!("{:.1}s", rate * (self.total - completed) as f64)
+        } else if completed >= self.total {
+            "done".to_string()
+        } else {
+            "?".to_string()
+        };
+        eprintln!(
+            "sweep: {completed}/{} points ({:.0}%) elapsed {elapsed:.1}s eta {eta}",
+            self.total,
+            100.0 * completed as f64 / self.total.max(1) as f64,
+        );
+    }
+}
+
+impl SweepEngine {
+    /// A single-threaded engine (useful for determinism baselines).
+    pub fn serial() -> Self {
+        SweepEngine {
+            workers: 1,
+            ..SweepEngine::default()
+        }
+    }
+
+    /// An engine with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        SweepEngine {
+            workers: workers.max(1),
+            ..SweepEngine::default()
+        }
+    }
+
+    /// Enables or disables stderr progress reporting.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Runs the spec to completion, streaming records to `sinks` in
+    /// expansion order and returning them in the same order.
+    ///
+    /// Errors are sink I/O errors only; the sweep itself cannot fail.
+    pub fn run<E: SweepExecutor>(
+        &self,
+        spec: &SweepSpec,
+        executor: &E,
+        sinks: &mut [&mut dyn RecordSink],
+    ) -> io::Result<Vec<SweepRecord>> {
+        let points = spec.expand();
+        self.run_points(&points, spec.base_seed, executor, sinks)
+    }
+
+    /// Runs an explicit point list (already expanded) under `base_seed`.
+    pub fn run_points<E: SweepExecutor>(
+        &self,
+        points: &[SweepPoint],
+        base_seed: u64,
+        executor: &E,
+        sinks: &mut [&mut dyn RecordSink],
+    ) -> io::Result<Vec<SweepRecord>> {
+        let workers = self.workers.max(1);
+        let chunk_shots = self.chunk_shots.max(1);
+
+        // Chunk every point; zero-shot points complete immediately.
+        let mut tasks: VecDeque<Task> = VecDeque::new();
+        let mut chunks_left: Vec<AtomicUsize> = Vec::with_capacity(points.len());
+        for (i, pt) in points.iter().enumerate() {
+            let n_chunks = pt.shots.div_ceil(chunk_shots);
+            for chunk in 0..n_chunks {
+                let shots = chunk_shots.min(pt.shots - chunk * chunk_shots);
+                tasks.push_back(Task {
+                    point: i,
+                    chunk,
+                    shots,
+                });
+            }
+            chunks_left.push(AtomicUsize::new(n_chunks as usize));
+        }
+
+        let shared = Shared {
+            executor,
+            points,
+            base_seed,
+            prepared: (0..points.len()).map(|_| OnceLock::new()).collect(),
+            injector: Mutex::new(tasks),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            failures: (0..points.len()).map(|_| AtomicU64::new(0)).collect(),
+            chunks_left,
+        };
+
+        let (tx, rx) = mpsc::channel::<usize>();
+        let mut emitter = InOrderEmitter::new(points.len(), sinks);
+        let mut progress = Progress::new(self.progress, points.len());
+        let mut io_result = Ok(());
+
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            for w in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || shared.run_worker(w, &tx));
+            }
+            drop(tx);
+
+            // Zero-chunk points never pass through a worker.
+            let mut completed = 0usize;
+            for (i, pt) in points.iter().enumerate() {
+                if pt.shots == 0 {
+                    let record = SweepRecord {
+                        index: i,
+                        point: pt.clone(),
+                        shots: 0,
+                        failures: 0,
+                    };
+                    if let Err(e) = emitter.complete(record) {
+                        io_result = Err(e);
+                        return;
+                    }
+                    completed += 1;
+                }
+            }
+
+            while let Ok(point_idx) = rx.recv() {
+                let record = SweepRecord {
+                    index: point_idx,
+                    point: points[point_idx].clone(),
+                    shots: points[point_idx].shots,
+                    failures: shared.failures[point_idx].load(Ordering::Acquire),
+                };
+                if let Err(e) = emitter.complete(record) {
+                    io_result = Err(e);
+                    // Workers keep draining tasks; their sends fail
+                    // silently once the receiver drops.
+                    return;
+                }
+                completed += 1;
+                progress.update(completed);
+            }
+        });
+
+        io_result?;
+        for sink in emitter.sinks.iter_mut() {
+            sink.finish()?;
+        }
+        debug_assert_eq!(emitter.emitted.len(), points.len());
+        Ok(emitter.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::splitmix64;
+
+    /// Synthetic executor: failures are a pure function of
+    /// (point fingerprint, chunk seed), so any schedule must agree.
+    struct HashExecutor;
+
+    impl SweepExecutor for HashExecutor {
+        type Prepared = u64;
+
+        fn prepare(&self, point: &SweepPoint) -> u64 {
+            point.fingerprint()
+        }
+
+        fn run_chunk(&self, prepared: &u64, _point: &SweepPoint, shots: u64, seed: u64) -> u64 {
+            splitmix64(*prepared ^ seed) % (shots + 1)
+        }
+    }
+
+    fn demo_spec() -> SweepSpec {
+        SweepSpec::new()
+            .distances([3, 5, 7])
+            .error_rates([1e-3, 2e-3, 5e-3, 1e-2])
+            .shots(5000)
+            .base_seed(42)
+    }
+
+    #[test]
+    fn engine_completes_all_points_in_order() {
+        let spec = demo_spec();
+        let records = SweepEngine::with_workers(4)
+            .run(&spec, &HashExecutor, &mut [])
+            .unwrap();
+        assert_eq!(records.len(), 12);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.shots, 5000);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let spec = demo_spec();
+        let serial = SweepEngine::serial()
+            .run(&spec, &HashExecutor, &mut [])
+            .unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = SweepEngine::with_workers(workers)
+                .run(&spec, &HashExecutor, &mut [])
+                .unwrap();
+            assert_eq!(serial, parallel, "{workers} workers diverged from serial");
+        }
+    }
+
+    #[test]
+    fn zero_shot_points_yield_empty_records() {
+        let spec = SweepSpec::new().shots(0);
+        let records = SweepEngine::default()
+            .run(&spec, &HashExecutor, &mut [])
+            .unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].shots, 0);
+        assert_eq!(records[0].failures, 0);
+        assert_eq!(records[0].rate(), 0.0);
+    }
+
+    #[test]
+    fn ragged_final_chunk_covers_all_shots() {
+        // shots not a multiple of chunk_shots: the task shot counts must
+        // sum to the requested total.
+        struct CountingExecutor;
+        impl SweepExecutor for CountingExecutor {
+            type Prepared = ();
+            fn prepare(&self, _point: &SweepPoint) {}
+            fn run_chunk(&self, _p: &(), _pt: &SweepPoint, shots: u64, _seed: u64) -> u64 {
+                shots // every shot "fails" => failures == shots iff coverage is exact
+            }
+        }
+        let spec = SweepSpec::new().shots(2500);
+        let engine = SweepEngine {
+            chunk_shots: 1024,
+            ..SweepEngine::with_workers(3)
+        };
+        let records = engine.run(&spec, &CountingExecutor, &mut []).unwrap();
+        assert_eq!(records[0].failures, 2500);
+        assert_eq!(records[0].rate(), 1.0);
+    }
+}

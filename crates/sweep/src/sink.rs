@@ -1,0 +1,302 @@
+//! Typed sweep records and the pluggable sinks they stream to.
+//!
+//! The engine emits one [`SweepRecord`] per grid point, in expansion
+//! order (it buffers out-of-order completions), so file sinks produce
+//! byte-identical artifacts regardless of worker count or steal order.
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use vlq_math::stats::BinomialEstimate;
+
+use crate::artifact::{csv_field, json_f64, json_string};
+use crate::spec::SweepPoint;
+
+/// Result of one completed grid point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRecord {
+    /// Index of the point in the spec's expansion order.
+    pub index: usize,
+    /// The point's coordinates.
+    pub point: SweepPoint,
+    /// Shots actually run.
+    pub shots: u64,
+    /// Logical failures observed.
+    pub failures: u64,
+}
+
+impl SweepRecord {
+    /// Binomial estimate of the failure rate (`None` for zero shots).
+    pub fn estimate(&self) -> Option<BinomialEstimate> {
+        (self.shots > 0).then(|| BinomialEstimate::new(self.failures, self.shots))
+    }
+
+    /// Point estimate of the logical error rate (0 for zero shots).
+    pub fn rate(&self) -> f64 {
+        self.estimate().map_or(0.0, |e| e.rate())
+    }
+
+    /// Standard error of the rate estimate (0 for zero shots).
+    pub fn std_error(&self) -> f64 {
+        self.estimate().map_or(0.0, |e| e.std_error())
+    }
+
+    /// Effective syndrome-round count (`rounds = d` when unspecified).
+    pub fn rounds(&self) -> usize {
+        self.point.rounds.unwrap_or(self.point.d)
+    }
+}
+
+/// Column names shared by the CSV header and the JSON-lines keys.
+pub const RECORD_COLUMNS: [&str; 14] = [
+    "index",
+    "setup",
+    "basis",
+    "d",
+    "p",
+    "k",
+    "rounds",
+    "decoder",
+    "knob",
+    "knob_value",
+    "shots",
+    "failures",
+    "rate",
+    "std_error",
+];
+
+fn basis_name(record: &SweepRecord) -> &'static str {
+    match record.point.basis {
+        vlq_surface::schedule::Basis::Z => "z",
+        vlq_surface::schedule::Basis::X => "x",
+    }
+}
+
+/// A streaming consumer of completed sweep records.
+pub trait RecordSink {
+    /// Consumes one record (called in expansion order).
+    fn write(&mut self, record: &SweepRecord) -> io::Result<()>;
+
+    /// Flushes any buffered output; called once after the last record.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// CSV sink: header on construction, one row per record.
+pub struct CsvSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps a writer and emits the header line.
+    pub fn new(mut w: W) -> io::Result<Self> {
+        writeln!(w, "{}", RECORD_COLUMNS.join(","))?;
+        Ok(CsvSink { w })
+    }
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Consumes the sink, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl CsvSink<BufWriter<std::fs::File>> {
+    /// Creates (or truncates) a CSV file sink at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        CsvSink::new(BufWriter::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> RecordSink for CsvSink<W> {
+    fn write(&mut self, r: &SweepRecord) -> io::Result<()> {
+        let (knob, knob_value) = match &r.point.knob {
+            Some(kn) => (csv_field(&kn.name), format!("{}", kn.value)),
+            None => (String::new(), String::new()),
+        };
+        writeln!(
+            self.w,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.index,
+            csv_field(&r.point.setup.to_string()),
+            basis_name(r),
+            r.point.d,
+            r.point.p,
+            r.point.k,
+            r.rounds(),
+            csv_field(r.point.decoder.name()),
+            knob,
+            knob_value,
+            r.shots,
+            r.failures,
+            r.rate(),
+            r.std_error(),
+        )
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// JSON-lines sink: one object per record, keys matching
+/// [`RECORD_COLUMNS`].
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Consumes the sink, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl JsonlSink<BufWriter<std::fs::File>> {
+    /// Creates (or truncates) a JSON-lines file sink at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(JsonlSink::new(BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> RecordSink for JsonlSink<W> {
+    fn write(&mut self, r: &SweepRecord) -> io::Result<()> {
+        let (knob, knob_value) = match &r.point.knob {
+            Some(kn) => (json_string(&kn.name), json_f64(kn.value)),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        writeln!(
+            self.w,
+            concat!(
+                "{{\"index\":{},\"setup\":{},\"basis\":{},\"d\":{},\"p\":{},\"k\":{},",
+                "\"rounds\":{},\"decoder\":{},\"knob\":{},\"knob_value\":{},",
+                "\"shots\":{},\"failures\":{},\"rate\":{},\"std_error\":{}}}"
+            ),
+            r.index,
+            json_string(&r.point.setup.to_string()),
+            json_string(basis_name(r)),
+            r.point.d,
+            json_f64(r.point.p),
+            r.point.k,
+            r.rounds(),
+            json_string(r.point.decoder.name()),
+            knob,
+            knob_value,
+            r.shots,
+            r.failures,
+            json_f64(r.rate()),
+            json_f64(r.std_error()),
+        )
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// In-memory sink collecting records into a `Vec`.
+#[derive(Default)]
+pub struct MemorySink {
+    records: Vec<SweepRecord>,
+}
+
+impl MemorySink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected records, in emission (= expansion) order.
+    pub fn records(&self) -> &[SweepRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning the records.
+    pub fn into_records(self) -> Vec<SweepRecord> {
+        self.records
+    }
+}
+
+impl RecordSink for MemorySink {
+    fn write(&mut self, record: &SweepRecord) -> io::Result<()> {
+        self.records.push(record.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlq_decoder::DecoderKind;
+    use vlq_surface::schedule::{Basis, Setup};
+
+    fn record() -> SweepRecord {
+        SweepRecord {
+            index: 3,
+            point: SweepPoint {
+                setup: Setup::CompactInterleaved,
+                basis: Basis::Z,
+                d: 5,
+                p: 0.002,
+                k: 10,
+                rounds: None,
+                decoder: DecoderKind::Mwpm,
+                shots: 1000,
+                knob: None,
+            },
+            shots: 1000,
+            failures: 25,
+        }
+    }
+
+    #[test]
+    fn csv_row_shape() {
+        let mut sink = CsvSink::new(Vec::new()).unwrap();
+        sink.write(&record()).unwrap();
+        let text = String::from_utf8(sink.w).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), RECORD_COLUMNS.join(","));
+        let row = lines.next().unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), RECORD_COLUMNS.len());
+        assert_eq!(fields[0], "3");
+        assert_eq!(fields[1], "compact-int");
+        assert_eq!(fields[6], "5"); // rounds defaults to d
+        assert_eq!(fields[12], "0.025");
+    }
+
+    #[test]
+    fn jsonl_row_is_wellformed() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.write(&record()).unwrap();
+        let text = String::from_utf8(sink.w).unwrap();
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"setup\":\"compact-int\""));
+        assert!(line.contains("\"knob\":null"));
+        assert!(line.contains("\"rate\":0.025"));
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let mut sink = MemorySink::new();
+        sink.write(&record()).unwrap();
+        assert_eq!(sink.records().len(), 1);
+        assert_eq!(sink.records()[0].failures, 25);
+    }
+}

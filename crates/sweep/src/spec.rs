@@ -1,0 +1,406 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names the cartesian grid of an experiment scan —
+//! setups × bases × cavity depths × decoders × distances × values —
+//! plus any explicit extra points, and expands it into an ordered list
+//! of [`SweepPoint`]s. Expansion order is part of the contract: record
+//! indices, per-point seeds, and artifact row order all derive from it,
+//! so the same spec always produces the same points in the same order
+//! regardless of how the engine schedules them.
+
+use vlq_decoder::DecoderKind;
+use vlq_surface::schedule::{Basis, Setup};
+
+/// A knob override swept instead of the physical error rate.
+///
+/// The engine itself does not interpret the knob; the executor does
+/// (for memory experiments, `vlq-qec` maps the name onto its
+/// sensitivity `Knob` registry). The name is part of the per-point
+/// seed, so distinct knobs get distinct random streams.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnobSetting {
+    /// Stable knob name (e.g. `"cavity-t1"`).
+    pub name: String,
+    /// The overridden value.
+    pub value: f64,
+}
+
+/// One fully-specified grid point of a sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Hardware/schedule setup.
+    pub setup: Setup,
+    /// Memory basis.
+    pub basis: Basis,
+    /// Code distance.
+    pub d: usize,
+    /// Physical error rate (SC-SC scale). For knob sweeps this is the
+    /// pinned operating point and `knob` carries the varied value.
+    pub p: f64,
+    /// Cavity depth (modes per cavity).
+    pub k: usize,
+    /// Syndrome rounds; `None` means the standard `rounds = d`.
+    pub rounds: Option<usize>,
+    /// Decoder choice.
+    pub decoder: DecoderKind,
+    /// Monte-Carlo shots for this point.
+    pub shots: u64,
+    /// Optional knob override (sensitivity sweeps).
+    pub knob: Option<KnobSetting>,
+}
+
+impl SweepPoint {
+    /// A stable 64-bit fingerprint of the point's coordinates.
+    ///
+    /// Folds every coordinate through an FNV-1a/splitmix combination.
+    /// Deliberately excludes `shots` so shot-count changes refine the
+    /// same random stream rather than replacing it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |x: u64| {
+            h = splitmix64(h ^ x);
+        };
+        fold(setup_index(self.setup) as u64);
+        fold(match self.basis {
+            Basis::Z => 0,
+            Basis::X => 1,
+        });
+        fold(self.d as u64);
+        fold(self.p.to_bits());
+        fold(self.k as u64);
+        fold(self.rounds.map_or(u64::MAX, |r| r as u64));
+        fold(decoder_index(self.decoder) as u64);
+        if let Some(knob) = &self.knob {
+            for b in knob.name.bytes() {
+                fold(b as u64);
+            }
+            fold(knob.value.to_bits());
+        }
+        h
+    }
+
+    /// Deterministic seed for one chunk of this point's shots.
+    ///
+    /// Depends only on the base seed, the point coordinates, and the
+    /// chunk index — never on worker count, steal order, or expansion
+    /// index — so sweep results are reproducible under any schedule.
+    pub fn chunk_seed(&self, base_seed: u64, chunk: u64) -> u64 {
+        splitmix64(base_seed ^ self.fingerprint().rotate_left(17) ^ splitmix64(chunk))
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash step.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn setup_index(s: Setup) -> usize {
+    Setup::ALL
+        .iter()
+        .position(|&x| x == s)
+        .unwrap_or(usize::MAX)
+}
+
+fn decoder_index(d: DecoderKind) -> usize {
+    DecoderKind::ALL
+        .iter()
+        .position(|&x| x == d)
+        .unwrap_or(usize::MAX)
+}
+
+/// The varied innermost dimension of the grid.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepAxis {
+    /// Sweep the physical error rate (threshold scans).
+    ErrorRates(Vec<f64>),
+    /// Pin `p` at an operating point and sweep one named knob
+    /// (sensitivity scans).
+    Knob {
+        /// Pinned physical error rate.
+        p: f64,
+        /// Knob name (interpreted by the executor).
+        name: String,
+        /// Swept knob values.
+        values: Vec<f64>,
+    },
+}
+
+/// Declarative description of a sweep: a cartesian grid plus explicit
+/// extra points.
+///
+/// # Examples
+///
+/// ```
+/// use vlq_sweep::SweepSpec;
+/// use vlq_decoder::DecoderKind;
+/// use vlq_surface::schedule::Setup;
+///
+/// let spec = SweepSpec::new()
+///     .setups([Setup::Baseline, Setup::CompactInterleaved])
+///     .distances([3, 5])
+///     .error_rates([5e-3, 1e-2])
+///     .decoders([DecoderKind::Mwpm])
+///     .shots(1000)
+///     .base_seed(7);
+/// assert_eq!(spec.expand().len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Setups to scan.
+    pub setups: Vec<Setup>,
+    /// Memory bases to scan.
+    pub bases: Vec<Basis>,
+    /// Code distances to scan.
+    pub distances: Vec<usize>,
+    /// Cavity depths to scan.
+    pub ks: Vec<usize>,
+    /// Decoders to scan.
+    pub decoders: Vec<DecoderKind>,
+    /// The innermost swept dimension.
+    pub axis: SweepAxis,
+    /// Syndrome rounds override (`None` = standard `rounds = d`).
+    pub rounds: Option<usize>,
+    /// Shots per grid point.
+    pub shots: u64,
+    /// Base RNG seed all per-point seeds derive from.
+    pub base_seed: u64,
+    /// Explicit points appended after the grid (escape hatch for
+    /// non-rectangular scans).
+    pub extra_points: Vec<SweepPoint>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            setups: vec![Setup::Baseline],
+            bases: vec![Basis::Z],
+            distances: vec![3],
+            ks: vec![1],
+            decoders: vec![DecoderKind::Mwpm],
+            axis: SweepAxis::ErrorRates(vec![1e-3]),
+            rounds: None,
+            shots: 10_000,
+            base_seed: 2020,
+            extra_points: Vec::new(),
+        }
+    }
+}
+
+impl SweepSpec {
+    /// A new spec with single-point defaults; chain the builder methods.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the setups dimension.
+    pub fn setups(mut self, setups: impl IntoIterator<Item = Setup>) -> Self {
+        self.setups = setups.into_iter().collect();
+        self
+    }
+
+    /// Sets the bases dimension.
+    pub fn bases(mut self, bases: impl IntoIterator<Item = Basis>) -> Self {
+        self.bases = bases.into_iter().collect();
+        self
+    }
+
+    /// Sets the distances dimension.
+    pub fn distances(mut self, distances: impl IntoIterator<Item = usize>) -> Self {
+        self.distances = distances.into_iter().collect();
+        self
+    }
+
+    /// Sets the cavity-depth dimension.
+    pub fn ks(mut self, ks: impl IntoIterator<Item = usize>) -> Self {
+        self.ks = ks.into_iter().collect();
+        self
+    }
+
+    /// Sets the decoder dimension.
+    pub fn decoders(mut self, decoders: impl IntoIterator<Item = DecoderKind>) -> Self {
+        self.decoders = decoders.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the physical error rate (threshold-style scan).
+    pub fn error_rates(mut self, rates: impl IntoIterator<Item = f64>) -> Self {
+        self.axis = SweepAxis::ErrorRates(rates.into_iter().collect());
+        self
+    }
+
+    /// Sweeps a named knob at a pinned operating point `p`
+    /// (sensitivity-style scan).
+    pub fn knob(
+        mut self,
+        p: f64,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = f64>,
+    ) -> Self {
+        self.axis = SweepAxis::Knob {
+            p,
+            name: name.into(),
+            values: values.into_iter().collect(),
+        };
+        self
+    }
+
+    /// Overrides the syndrome-round count for every point.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = Some(rounds);
+        self
+    }
+
+    /// Sets shots per point.
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Appends an explicit point after the grid.
+    pub fn point(mut self, point: SweepPoint) -> Self {
+        self.extra_points.push(point);
+        self
+    }
+
+    /// Number of points the spec expands to.
+    pub fn len(&self) -> usize {
+        let axis = match &self.axis {
+            SweepAxis::ErrorRates(v) => v.len(),
+            SweepAxis::Knob { values, .. } => values.len(),
+        };
+        self.setups.len()
+            * self.bases.len()
+            * self.ks.len()
+            * self.decoders.len()
+            * self.distances.len()
+            * axis
+            + self.extra_points.len()
+    }
+
+    /// Whether the spec expands to no points at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into its ordered point list.
+    ///
+    /// Order: setups ▸ bases ▸ ks ▸ decoders ▸ distances ▸ axis values,
+    /// then `extra_points`. Distance-major over the innermost axis keeps
+    /// the layout row-major per threshold curve, matching the paper's
+    /// tables.
+    pub fn expand(&self) -> Vec<SweepPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        for &setup in &self.setups {
+            for &basis in &self.bases {
+                for &k in &self.ks {
+                    for &decoder in &self.decoders {
+                        for &d in &self.distances {
+                            match &self.axis {
+                                SweepAxis::ErrorRates(rates) => {
+                                    for &p in rates {
+                                        out.push(SweepPoint {
+                                            setup,
+                                            basis,
+                                            d,
+                                            p,
+                                            k,
+                                            rounds: self.rounds,
+                                            decoder,
+                                            shots: self.shots,
+                                            knob: None,
+                                        });
+                                    }
+                                }
+                                SweepAxis::Knob { p, name, values } => {
+                                    for &v in values {
+                                        out.push(SweepPoint {
+                                            setup,
+                                            basis,
+                                            d,
+                                            p: *p,
+                                            k,
+                                            rounds: self.rounds,
+                                            decoder,
+                                            shots: self.shots,
+                                            knob: Some(KnobSetting {
+                                                name: name.clone(),
+                                                value: v,
+                                            }),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.extend(self.extra_points.iter().cloned());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_order_is_stable_and_row_major() {
+        let spec = SweepSpec::new()
+            .distances([3, 5])
+            .error_rates([1e-3, 2e-3, 3e-3])
+            .shots(10);
+        let pts = spec.expand();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(spec.len(), 6);
+        // d-major, p-minor.
+        assert_eq!((pts[0].d, pts[0].p), (3, 1e-3));
+        assert_eq!((pts[2].d, pts[2].p), (3, 3e-3));
+        assert_eq!((pts[3].d, pts[3].p), (5, 1e-3));
+    }
+
+    #[test]
+    fn knob_axis_expands_with_pinned_p() {
+        let spec = SweepSpec::new().knob(2e-3, "cavity-t1", [1e-4, 1e-3]);
+        let pts = spec.expand();
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|pt| pt.p == 2e-3));
+        assert_eq!(pts[0].knob.as_ref().unwrap().name, "cavity-t1");
+        assert_eq!(pts[1].knob.as_ref().unwrap().value, 1e-3);
+    }
+
+    #[test]
+    fn seeds_differ_across_points_and_chunks_but_not_runs() {
+        let spec = SweepSpec::new().distances([3, 5]).error_rates([1e-3, 2e-3]);
+        let pts = spec.expand();
+        let seeds: Vec<u64> = pts.iter().map(|pt| pt.chunk_seed(7, 0)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "per-point seeds collide");
+        // Re-expansion yields identical seeds.
+        let again: Vec<u64> = spec.expand().iter().map(|pt| pt.chunk_seed(7, 0)).collect();
+        assert_eq!(seeds, again);
+        // Chunks of one point get distinct seeds.
+        assert_ne!(pts[0].chunk_seed(7, 0), pts[0].chunk_seed(7, 1));
+        // Base seed matters.
+        assert_ne!(pts[0].chunk_seed(7, 0), pts[0].chunk_seed(8, 0));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_knobs() {
+        let mut a = SweepSpec::new().knob(2e-3, "cavity-t1", [1e-3]).expand();
+        let mut b = SweepSpec::new().knob(2e-3, "transmon-t1", [1e-3]).expand();
+        let (a, b) = (a.remove(0), b.remove(0));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,83 @@
+//! Work-stealing behavior of the engine, demonstrated with a
+//! latency-bound executor so the test is meaningful on any core count:
+//! chunks that *wait* (rather than burn CPU) overlap across workers,
+//! so an 8-config scan must finish several times faster with 4+ workers
+//! than serially. CPU-bound speedup follows the same schedule (see
+//! `examples/sweep_speedup.rs` for the Monte-Carlo measurement).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use vlq_sweep::{SweepEngine, SweepExecutor, SweepPoint, SweepSpec};
+
+/// Each chunk parks for a fixed latency — a stand-in for any
+/// per-config work whose duration the scheduler cannot shrink.
+struct SleepExecutor {
+    per_chunk: Duration,
+    prepares: AtomicUsize,
+}
+
+impl SweepExecutor for SleepExecutor {
+    type Prepared = ();
+
+    fn prepare(&self, _point: &SweepPoint) {
+        self.prepares.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn run_chunk(&self, _prep: &(), _pt: &SweepPoint, shots: u64, seed: u64) -> u64 {
+        std::thread::sleep(self.per_chunk);
+        seed % (shots + 1)
+    }
+}
+
+/// A threshold-style scan shape: 8 configs (2 distances x 2 rates x
+/// 2 decoders), 4 chunks each = 32 tasks.
+fn spec() -> SweepSpec {
+    use vlq_decoder::DecoderKind;
+    SweepSpec::new()
+        .distances([3, 5])
+        .error_rates([5e-3, 1e-2])
+        .decoders([DecoderKind::Mwpm, DecoderKind::UnionFind])
+        .shots(4 * 64)
+        .base_seed(9)
+}
+
+fn run(workers: usize) -> (Duration, usize, Vec<vlq_sweep::SweepRecord>) {
+    let executor = SleepExecutor {
+        per_chunk: Duration::from_millis(10),
+        prepares: AtomicUsize::new(0),
+    };
+    let engine = SweepEngine {
+        chunk_shots: 64,
+        ..SweepEngine::with_workers(workers)
+    };
+    let t0 = Instant::now();
+    let records = engine.run(&spec(), &executor, &mut []).unwrap();
+    (
+        t0.elapsed(),
+        executor.prepares.load(Ordering::Relaxed),
+        records,
+    )
+}
+
+#[test]
+fn four_workers_overlap_an_eight_config_scan() {
+    let (t1, prepares1, recs1) = run(1);
+    let (t4, prepares4, recs4) = run(4);
+
+    // Identical results under any schedule.
+    assert_eq!(recs1, recs4);
+    assert_eq!(recs1.len(), 8);
+
+    // prepare() ran exactly once per point regardless of contention.
+    assert_eq!(prepares1, 8);
+    assert_eq!(prepares4, 8);
+
+    // 32 chunks x 10 ms: serial needs >= 320 ms; 4 workers have a
+    // critical path of ~80 ms. Require >= 2x to leave a wide margin for
+    // slow CI machines — the point is overlap, not a precise ratio.
+    assert!(
+        t4 < t1 / 2,
+        "4 workers ({t4:?}) should overlap the scan vs 1 worker ({t1:?})"
+    );
+}

@@ -54,3 +54,4 @@ pub use vlq_qec as qec;
 pub use vlq_sim as sim;
 pub use vlq_surface as surface;
 pub use vlq_surgery as surgery;
+pub use vlq_sweep as sweep;

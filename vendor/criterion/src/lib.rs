@@ -10,12 +10,30 @@
 //! mean wall-clock time per iteration is printed. Good enough to compare
 //! hot paths offline; swap the workspace `criterion` path dependency for
 //! the real crates.io package to get confidence intervals and HTML output.
+//!
+//! Set `VLQ_BENCH_QUICK=1` (any value other than `0`/empty) to shrink
+//! the per-bench budget from 3 s to 150 ms — a smoke setting for CI,
+//! where the goal is "benches still run", not stable timings.
 
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Wall-clock budget per benchmark; keeps `cargo bench` bounded.
-const MEASURE_BUDGET: Duration = Duration::from_secs(3);
+/// `VLQ_BENCH_QUICK` shrinks it for CI smoke runs.
+fn measure_budget() -> Duration {
+    static BUDGET: OnceLock<Duration> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let quick = std::env::var("VLQ_BENCH_QUICK")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        if quick {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_secs(3)
+        }
+    })
+}
 
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
@@ -70,12 +88,13 @@ impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up (also primes caches / lazy statics).
         black_box(routine());
+        let budget = measure_budget();
         let start = Instant::now();
         let mut iters = 0u64;
         loop {
             black_box(routine());
             iters += 1;
-            if start.elapsed() >= MEASURE_BUDGET || iters >= 1000 {
+            if start.elapsed() >= budget || iters >= 1000 {
                 break;
             }
         }
