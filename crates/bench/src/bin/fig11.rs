@@ -11,19 +11,24 @@
 //! The paper runs 2,000,000 trials per point over d in {3..11}; defaults
 //! here are laptop-scale (see EXPERIMENTS.md for the recorded runs).
 
-use vlq_bench::{engine_from_args, parse_f64_list, sci, usage_exit, Args, OutSinks};
-use vlq_qec::{estimate_threshold, run_sweep_with, DecoderKind, ThresholdScan};
+use vlq_bench::{
+    engine_from_args, parse_f64_list, resume_cache_from_args, resumed_points, sci, usage_exit,
+    Args, OutSinks,
+};
+use vlq_qec::{estimate_threshold, run_sweep_resumable, DecoderKind, ThresholdScan};
 use vlq_surface::schedule::{Basis, Setup};
 use vlq_sweep::SweepSpec;
 
 const USAGE: &str = "\
 usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
              [--decoder mwpm|uf|all] [--setup NAME|all] [--basis z|x]
-             [--rates P1,P2,...] [--workers N] [--out DIR] [--quiet]
+             [--rates P1,P2,...] [--workers N] [--out DIR] [--resume] [--quiet]
   --decoder  decoder(s) to scan (default mwpm; `all` runs the ablation)
   --setup    one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
   --rates    comma-separated physical error rates (default: 8 rates, 8e-4..1.6e-2)
-  --out      write fig11.csv and fig11.jsonl sweep artifacts into DIR";
+  --out      write fig11.csv and fig11.jsonl sweep artifacts into DIR
+  --resume   skip grid points already present in DIR/fig11.jsonl (needs --out;
+             deterministic seeding keeps resumed artifacts byte-identical)";
 
 fn main() {
     let args = Args::parse_validated(
@@ -31,7 +36,7 @@ fn main() {
         &[
             "trials", "dmax", "k", "seed", "decoder", "setup", "basis", "rates", "workers", "out",
         ],
-        &["quiet"],
+        &["quiet", "resume"],
     );
     let trials: u64 = args.get_or_usage(USAGE, "trials", 20_000);
     let dmax: usize = args.get_or_usage(USAGE, "dmax", 7);
@@ -103,8 +108,16 @@ fn main() {
         .base_seed(seed);
 
     let engine = engine_from_args(&args, USAGE);
+    // Read the previous artifact (if resuming) before the sinks
+    // truncate it.
+    let cache = resume_cache_from_args(&args, USAGE, "fig11");
+    let skipped = resumed_points(&spec, &cache);
+    if skipped > 0 {
+        eprintln!("resume: {skipped}/{} points already complete", spec.len());
+    }
     let mut out = OutSinks::from_args(&args, "fig11");
-    let records = run_sweep_with(&spec, &engine, &mut out.as_dyn()).expect("sweep artifacts");
+    let records =
+        run_sweep_resumable(&spec, &engine, &mut out.as_dyn(), &cache).expect("sweep artifacts");
 
     println!(
         "Figure 11: thresholds ({} trials/point, decoder {}, basis {:?}, k={k}, {} points)",

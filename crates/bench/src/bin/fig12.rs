@@ -9,18 +9,22 @@
 //! Panels: sc-sc-error, load-store-error, sc-mode-error, cavity-t1,
 //! transmon-t1, load-store-duration, cavity-size.
 
-use vlq_bench::{engine_from_args, sci, usage_exit, Args, OutSinks};
-use vlq_qec::{run_sweep_with, sensitivity_spec, DecoderKind, Knob};
+use vlq_bench::{
+    engine_from_args, resume_cache_from_args, resumed_points, sci, usage_exit, Args, OutSinks,
+};
+use vlq_qec::{run_sweep_resumable, sensitivity_spec, DecoderKind, Knob};
 use vlq_surface::schedule::Setup;
 use vlq_sweep::SweepRecord;
 
 const USAGE: &str = "\
 usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
-             [--extended] [--workers N] [--out DIR] [--quiet]
+             [--extended] [--workers N] [--out DIR] [--resume] [--quiet]
   --panel    one of sc-sc-error|load-store-error|sc-mode-error|cavity-t1|
              transmon-t1|load-store-duration|cavity-size|all
   --extended push the cavity-size panel past the paper's plotted range
-  --out      write fig12.csv and fig12.jsonl sweep artifacts into DIR";
+  --out      write fig12.csv and fig12.jsonl sweep artifacts into DIR
+  --resume   skip panel points already present in DIR/fig12.jsonl (needs --out;
+             deterministic seeding keeps resumed artifacts byte-identical)";
 
 fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
     match knob {
@@ -46,7 +50,7 @@ fn main() {
     let args = Args::parse_validated(
         USAGE,
         &["panel", "trials", "dmax", "seed", "workers", "out"],
-        &["extended", "quiet"],
+        &["extended", "quiet", "resume"],
     );
     let trials: u64 = args.get_or_usage(USAGE, "trials", 10_000);
     let dmax: usize = args.get_or_usage(USAGE, "dmax", 5);
@@ -78,6 +82,9 @@ fn main() {
     }
 
     let engine = engine_from_args(&args, USAGE);
+    // Read the previous artifact (if resuming) before the sinks
+    // truncate it.
+    let cache = resume_cache_from_args(&args, USAGE, "fig12");
     let mut out = OutSinks::from_args(&args, "fig12");
 
     println!(
@@ -98,7 +105,12 @@ fn main() {
             seed,
             DecoderKind::Mwpm,
         );
-        let records = run_sweep_with(&spec, &engine, &mut out.as_dyn()).expect("sweep artifacts");
+        let skipped = resumed_points(&spec, &cache);
+        if skipped > 0 {
+            eprintln!("resume: {skipped}/{} points already complete", spec.len());
+        }
+        let records = run_sweep_resumable(&spec, &engine, &mut out.as_dyn(), &cache)
+            .expect("sweep artifacts");
 
         let find = |d: usize, v: f64| -> &SweepRecord {
             records

@@ -139,6 +139,59 @@ pub fn engine_from_args(args: &Args, usage: &str) -> vlq_sweep::SweepEngine {
     engine
 }
 
+/// Loads the `--resume` cache of a sweep-backed binary: completed grid
+/// points from a previous run's `<out>/<stem>.jsonl` artifact.
+///
+/// Must be called *before* [`OutSinks::from_args`], which truncates the
+/// artifact files. Returns an empty cache when `--resume` is absent;
+/// exits with usage status 2 when `--resume` is given without `--out`.
+/// A missing artifact (nothing to resume from) is fine — the run is
+/// simply a full one.
+pub fn resume_cache_from_args(args: &Args, usage: &str, stem: &str) -> vlq_sweep::ResumeCache {
+    if !args.has("resume") {
+        return vlq_sweep::ResumeCache::new();
+    }
+    let Some(dir) = args.pairs_get("out") else {
+        usage_exit(
+            usage,
+            "--resume requires --out (the artifact to resume from)",
+        );
+    };
+    let path = std::path::Path::new(&dir).join(format!("{stem}.jsonl"));
+    if !path.exists() {
+        eprintln!("resume: no {} yet, running the full sweep", path.display());
+        return vlq_sweep::ResumeCache::new();
+    }
+    match vlq_sweep::ResumeCache::load_jsonl(&path) {
+        Ok(cache) => {
+            eprintln!(
+                "resume: loaded {} completed point(s) from {}",
+                cache.len(),
+                path.display()
+            );
+            cache
+        }
+        Err(e) => {
+            eprintln!(
+                "resume: cannot read {} ({e}), running the full sweep",
+                path.display()
+            );
+            vlq_sweep::ResumeCache::new()
+        }
+    }
+}
+
+/// How many of a spec's points a resume cache satisfies.
+pub fn resumed_points(spec: &vlq_sweep::SweepSpec, cache: &vlq_sweep::ResumeCache) -> usize {
+    if cache.is_empty() {
+        return 0;
+    }
+    spec.expand()
+        .iter()
+        .filter(|pt| cache.failures_for(pt, spec.base_seed).is_some())
+        .count()
+}
+
 /// The optional `--out` CSV + JSON-lines sink pair of a Monte-Carlo
 /// binary (shared by fig11 and fig12).
 pub struct OutSinks {

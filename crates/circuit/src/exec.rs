@@ -42,6 +42,12 @@ impl BatchResult {
         self.observables[o][lane / 64] >> (lane % 64) & 1 == 1
     }
 
+    /// The packed per-lane flip words of observable `o` (one bit per
+    /// lane; tail bits beyond `n_lanes` are zero).
+    pub fn observable_words(&self, o: usize) -> &[u64] {
+        &self.observables[o]
+    }
+
     /// The defect list (flipped detectors) of one lane.
     pub fn defects_of_lane(&self, lane: usize) -> Vec<usize> {
         (0..self.detectors.len())

@@ -11,7 +11,11 @@
 //! log-odds weights by 2^20 and rounds). Vertex duals are stored doubled
 //! so that all arithmetic stays integral.
 
-use std::collections::{HashMap, HashSet};
+// BTree (not hash) containers: blossom tie-breaking follows container
+// iteration order, and equally-minimal matchings can differ in logical
+// class — hash iteration order varies per process (`RandomState`), which
+// made shared-syndrome decoder comparisons flaky across runs.
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Computes a maximum-weight matching of an undirected graph.
 ///
@@ -83,17 +87,17 @@ struct Matcher {
     n: usize,
     max_cardinality: bool,
     neighbors: Vec<Vec<usize>>,
-    wt: HashMap<(usize, usize), i64>,
+    wt: BTreeMap<(usize, usize), i64>,
     mate: Vec<Option<usize>>,
-    label: HashMap<Node, u8>,
-    labeledge: HashMap<Node, Option<(usize, usize)>>,
+    label: BTreeMap<Node, u8>,
+    labeledge: BTreeMap<Node, Option<(usize, usize)>>,
     inblossom: Vec<Node>,
-    blossomparent: HashMap<Node, Option<Node>>,
-    blossombase: HashMap<Node, usize>,
-    bestedge: HashMap<Node, Option<(usize, usize)>>,
+    blossomparent: BTreeMap<Node, Option<Node>>,
+    blossombase: BTreeMap<Node, usize>,
+    bestedge: BTreeMap<Node, Option<(usize, usize)>>,
     dualvar: Vec<i64>,
-    blossomdual: HashMap<Node, i64>,
-    allowedge: HashSet<(usize, usize)>,
+    blossomdual: BTreeMap<Node, i64>,
+    allowedge: BTreeSet<(usize, usize)>,
     queue: Vec<usize>,
     blossoms: Vec<BlossomData>,
     free_blossoms: Vec<Node>,
@@ -102,7 +106,7 @@ struct Matcher {
 impl Matcher {
     fn new(n: usize, edges: &[(usize, usize, i64)], max_cardinality: bool) -> Self {
         let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut wt = HashMap::new();
+        let mut wt = BTreeMap::new();
         let mut maxweight = 0i64;
         for &(i, j, w) in edges {
             if wt.insert(key(i, j), w).is_none() {
@@ -117,15 +121,15 @@ impl Matcher {
             neighbors,
             wt,
             mate: vec![None; n],
-            label: HashMap::new(),
-            labeledge: HashMap::new(),
+            label: BTreeMap::new(),
+            labeledge: BTreeMap::new(),
             inblossom: (0..n).collect(),
             blossomparent: (0..n).map(|v| (v, None)).collect(),
             blossombase: (0..n).map(|v| (v, v)).collect(),
-            bestedge: HashMap::new(),
+            bestedge: BTreeMap::new(),
             dualvar: vec![maxweight; n],
-            blossomdual: HashMap::new(),
-            allowedge: HashSet::new(),
+            blossomdual: BTreeMap::new(),
+            allowedge: BTreeSet::new(),
             queue: Vec::new(),
             blossoms: Vec::new(),
             free_blossoms: Vec::new(),
@@ -307,7 +311,7 @@ impl Matcher {
             self.inblossom[x] = b;
         }
         // Compute b.mybestedges.
-        let mut bestedgeto: HashMap<Node, (usize, usize)> = HashMap::new();
+        let mut bestedgeto: BTreeMap<Node, (usize, usize)> = BTreeMap::new();
         for &bv in &path {
             let nblist: Vec<(usize, usize)> = if self.is_blossom(bv) {
                 if let Some(best) = self.bdata(bv).mybestedges.clone() {

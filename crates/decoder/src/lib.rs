@@ -9,7 +9,7 @@
 //!    with edge weights `ln((1-p)/p)`.
 //! 2. [`mwpm`] decodes a defect set by Dijkstra distances on that graph
 //!    followed by exact minimum-weight perfect matching ([`blossom`]) —
-//!    the paper's "usual maximum likelihood [matching] decoder".
+//!    the paper's "usual maximum likelihood \[matching\] decoder".
 //! 3. [`unionfind`] offers the weighted Union-Find decoder as a faster
 //!    alternative (used in the decoder ablation bench).
 

@@ -3,9 +3,9 @@
 //!
 //! Three ways to lay out the 15-to-1 circuit:
 //!
-//! * **Fast Lattice** (paper ref [21], Litinski's speed-optimized lattice
+//! * **Fast Lattice** (paper ref \[21\], Litinski's speed-optimized lattice
 //!   surgery): 1 T state every 6 timesteps using 30 patches of space.
-//! * **Small Lattice** (paper ref [12], Litinski's space-optimized
+//! * **Small Lattice** (paper ref \[12\], Litinski's space-optimized
 //!   surgery): 1 T state every 11 timesteps using 11 patches.
 //! * **VQubits** (this paper): the whole circuit runs on a *single*
 //!   transmon patch with 6 logical qubits stored in the attached

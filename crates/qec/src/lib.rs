@@ -38,7 +38,9 @@ use vlq_math::stats::BinomialEstimate;
 use vlq_surface::schedule::{memory_circuit, MemoryCircuit, MemorySpec};
 
 pub use lambda::{lambda_scan, mean_lambda, LambdaPoint};
-pub use orchestrate::{config_for_point, run_sweep, run_sweep_with, MemoryExecutor};
+pub use orchestrate::{
+    config_for_point, run_sweep, run_sweep_resumable, run_sweep_with, MemoryExecutor,
+};
 pub use sensitivity::{sensitivity_spec, sensitivity_sweep, Knob, SensitivityPoint};
 pub use threshold::{estimate_threshold, threshold_scan, threshold_spec, ScanPoint, ThresholdScan};
 
@@ -176,12 +178,66 @@ impl PreparedExperiment {
         self.run_shots_with(&[self.decoder.as_ref()], shots, seed)[0]
     }
 
+    /// Samples one seeded batch of `lanes` shots and returns packed
+    /// per-lane *failure words* for the configured decoder: bit `l` is
+    /// set when the decoder's predicted logical flip disagrees with the
+    /// actual one in lane `l` — i.e. when decoding left a residual
+    /// logical error.
+    ///
+    /// This is the shared execution core of the crate: memory
+    /// experiments sum the failure bits, and schedule-replay backends
+    /// (the `vlq` crate's `FrameExecutor`) XOR them into logical Pauli
+    /// frames, so both workloads run the identical sample-and-decode
+    /// path.
+    pub fn sample_failure_words(&self, lanes: usize, seed: u64) -> Vec<u64> {
+        self.sample_failure_words_with(&[self.decoder.as_ref()], lanes, seed)
+            .pop()
+            .expect("one decoder in, one word vector out")
+    }
+
+    /// [`PreparedExperiment::sample_failure_words`] for several decoders
+    /// over the *identical* defect sets (same circuit, same noise
+    /// realizations).
+    pub fn sample_failure_words_with(
+        &self,
+        decoders: &[&(dyn Decoder + Send + Sync)],
+        lanes: usize,
+        seed: u64,
+    ) -> Vec<Vec<u64>> {
+        let words = lanes.div_ceil(64).max(1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let result = sample_batch(&self.noisy, lanes, &mut rng);
+        // Predicted flips per decoder, packed like the observable words.
+        let mut predictions = vec![vec![0u64; words]; decoders.len()];
+        for lane in 0..lanes {
+            let mut defects: Vec<usize> = Vec::new();
+            for (local, &global) in self.guard.iter().enumerate() {
+                if result.detector_bit(global, lane) {
+                    defects.push(local);
+                }
+            }
+            for (fi, decoder) in decoders.iter().enumerate() {
+                if decoder.decode(&defects) {
+                    predictions[fi][lane / 64] |= 1u64 << (lane % 64);
+                }
+            }
+        }
+        let actual = result.observable_words(0);
+        for pred in &mut predictions {
+            for (p, a) in pred.iter_mut().zip(actual) {
+                *p ^= a;
+            }
+        }
+        predictions
+    }
+
     /// Runs `shots` sampled shots through several decoders at once: every
     /// decoder sees the *identical* defect sets (same circuit, same noise
     /// realizations). Returns one failure count per decoder.
     ///
-    /// This is the single batching/defect-extraction loop behind both
-    /// [`PreparedExperiment::run_shots`] and [`compare_decoders`].
+    /// A thin batching loop over
+    /// [`PreparedExperiment::sample_failure_words_with`], the shared
+    /// sample-and-decode core.
     pub fn run_shots_with(
         &self,
         decoders: &[&(dyn Decoder + Send + Sync)],
@@ -194,21 +250,13 @@ impl PreparedExperiment {
         let mut batch_idx = 0u64;
         while remaining > 0 {
             let lanes = (remaining as usize).min(LANES_PER_BATCH);
-            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(batch_idx));
-            let result = sample_batch(&self.noisy, lanes, &mut rng);
-            for lane in 0..lanes {
-                let mut defects: Vec<usize> = Vec::new();
-                for (local, &global) in self.guard.iter().enumerate() {
-                    if result.detector_bit(global, lane) {
-                        defects.push(local);
-                    }
-                }
-                let actual = result.observable_bit(0, lane);
-                for (fi, decoder) in decoders.iter().enumerate() {
-                    if decoder.decode(&defects) != actual {
-                        failures[fi] += 1;
-                    }
-                }
+            let words =
+                self.sample_failure_words_with(decoders, lanes, seed.wrapping_add(batch_idx));
+            for (fi, decoder_words) in words.iter().enumerate() {
+                failures[fi] += decoder_words
+                    .iter()
+                    .map(|w| w.count_ones() as u64)
+                    .sum::<u64>();
             }
             remaining -= lanes as u64;
             batch_idx += 1;

@@ -26,10 +26,17 @@ use crate::{ExperimentConfig, PreparedExperiment};
 ///
 /// # Panics
 ///
-/// Panics if the point names an unknown knob — specs are validated at
-/// construction by the figure binaries, so an unknown name reaching the
-/// executor is a programming error.
+/// Panics if the point names an unknown knob, or carries a program
+/// workload (program points belong to the `vlq` crate's
+/// `ProgramSweepExecutor`, not the memory executor) — specs are
+/// validated at construction by the figure binaries, so either reaching
+/// this executor is a programming error.
 pub fn config_for_point(pt: &SweepPoint) -> ExperimentConfig {
+    assert!(
+        pt.program.is_none(),
+        "memory executor got a program point ({:?}); run it on a program executor",
+        pt.program
+    );
     let cfg = match &pt.knob {
         None => {
             let mut spec = MemorySpec::standard(pt.setup, pt.d, pt.k, pt.basis);
@@ -92,6 +99,19 @@ pub fn run_sweep_with(
     engine.run(spec, &MemoryExecutor, sinks)
 }
 
+/// [`run_sweep_with`], reusing completed points from a previous run's
+/// artifact (`--resume`). Deterministic seeding makes the merged
+/// records — and the re-written artifacts — byte-identical to a fresh
+/// full run.
+pub fn run_sweep_resumable(
+    spec: &SweepSpec,
+    engine: &SweepEngine,
+    sinks: &mut [&mut dyn RecordSink],
+    cache: &vlq_sweep::ResumeCache,
+) -> io::Result<Vec<SweepRecord>> {
+    engine.run_resumable(spec, &MemoryExecutor, sinks, cache)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +131,7 @@ mod tests {
             decoder: DecoderKind::UnionFind,
             shots: 123,
             knob: None,
+            program: None,
         };
         let cfg = config_for_point(&pt);
         assert_eq!(cfg.spec.d, 5);
@@ -136,6 +157,7 @@ mod tests {
                 name: "cavity-size".to_string(),
                 value: 25.0,
             }),
+            program: None,
         };
         let cfg = config_for_point(&pt);
         // The cavity-size knob overrides k, not the error rates.
@@ -155,8 +177,27 @@ mod tests {
             decoder: DecoderKind::Mwpm,
             shots: 1,
             knob: None,
+            program: None,
         };
         assert_eq!(config_for_point(&pt).spec.rounds, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "program point")]
+    fn program_point_is_rejected() {
+        let pt = SweepPoint {
+            setup: Setup::Baseline,
+            basis: Basis::Z,
+            d: 3,
+            p: 1e-3,
+            k: 1,
+            rounds: None,
+            decoder: DecoderKind::Mwpm,
+            shots: 1,
+            knob: None,
+            program: Some("ghz4".to_string()),
+        };
+        config_for_point(&pt);
     }
 
     #[test]
@@ -175,6 +216,7 @@ mod tests {
                 name: "bogus".to_string(),
                 value: 1.0,
             }),
+            program: None,
         };
         config_for_point(&pt);
     }

@@ -204,6 +204,34 @@ impl FrameBatch {
         self.z[r].fill(0);
     }
 
+    /// The packed X-component words of `qubit` (one bit per lane).
+    pub fn x_words(&self, qubit: usize) -> &[u64] {
+        &self.x[self.range(qubit)]
+    }
+
+    /// The packed Z-component words of `qubit`.
+    pub fn z_words(&self, qubit: usize) -> &[u64] {
+        &self.z[self.range(qubit)]
+    }
+
+    /// XORs packed per-lane X flips into `qubit` (logical-level error
+    /// injection: one bit per lane, e.g. a block of decoded syndrome
+    /// rounds whose residual was a logical X).
+    pub fn xor_x_words(&mut self, qubit: usize, flips: &[u64]) {
+        let r = self.range(qubit);
+        for (dst, src) in self.x[r].iter_mut().zip(flips) {
+            *dst ^= src;
+        }
+    }
+
+    /// XORs packed per-lane Z flips into `qubit`.
+    pub fn xor_z_words(&mut self, qubit: usize, flips: &[u64]) {
+        let r = self.range(qubit);
+        for (dst, src) in self.z[r].iter_mut().zip(flips) {
+            *dst ^= src;
+        }
+    }
+
     /// Depolarizing noise on one qubit: with probability `p` per lane,
     /// multiplies a uniformly random non-identity Pauli into the frame.
     pub fn apply_1q_noise<R: Rng + ?Sized>(&mut self, qubit: usize, p: f64, rng: &mut R) {
@@ -526,6 +554,28 @@ mod tests {
         fb.reset_qubit(0);
         assert_eq!(fb.pauli(0, 3), Pauli::I);
         assert_eq!(fb.pauli(0, 64), Pauli::I);
+    }
+
+    #[test]
+    fn word_level_injection_matches_per_lane() {
+        let mut a = FrameBatch::new(2, 130);
+        let mut b = FrameBatch::new(2, 130);
+        let flips = [0b1011u64, 0, 1 << 1];
+        a.xor_x_words(1, &flips);
+        a.xor_z_words(0, &flips);
+        for (w, word) in flips.iter().enumerate() {
+            for bit in 0..64 {
+                if word >> bit & 1 == 1 {
+                    b.set_pauli(1, w * 64 + bit, Pauli::X);
+                    b.set_pauli(0, w * 64 + bit, Pauli::Z);
+                }
+            }
+        }
+        assert_eq!(a.x_words(1), b.x_words(1));
+        assert_eq!(a.z_words(0), b.z_words(0));
+        // Double injection cancels (XOR semantics).
+        a.xor_x_words(1, &flips);
+        assert_eq!(a.x_words(1), &[0, 0, 0]);
     }
 
     #[test]

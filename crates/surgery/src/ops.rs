@@ -31,6 +31,10 @@ pub enum LogicalOp {
     Measure,
     /// Logical initialization (|0> or |+>): one timestep.
     Initialize,
+    /// Magic-state consumption (T gate by teleportation): one
+    /// transversal interaction with the factory output plus a
+    /// measurement, two timesteps total.
+    ConsumeMagic,
 }
 
 impl LogicalOp {
@@ -44,6 +48,7 @@ impl LogicalOp {
             LogicalOp::MoveTransversalCnotReturn => 3,
             LogicalOp::Merge | LogicalOp::Split => 1,
             LogicalOp::Measure | LogicalOp::Initialize => 1,
+            LogicalOp::ConsumeMagic => 2,
         }
     }
 
@@ -86,6 +91,15 @@ mod tests {
             .map(|(op, _)| op.timesteps())
             .sum();
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn consume_magic_matches_teleportation_cost() {
+        // T by teleportation: transversal interaction + measurement.
+        assert_eq!(
+            LogicalOp::ConsumeMagic.timesteps(),
+            LogicalOp::TransversalCnot.timesteps() + LogicalOp::Measure.timesteps()
+        );
     }
 
     #[test]

@@ -278,14 +278,50 @@ impl SweepEngine {
         executor: &E,
         sinks: &mut [&mut dyn RecordSink],
     ) -> io::Result<Vec<SweepRecord>> {
+        self.run_points_cached(points, base_seed, executor, sinks, &|_| None)
+    }
+
+    /// Runs the spec, reusing completed points from a
+    /// [`crate::resume::ResumeCache`] (loaded from a previous run's
+    /// JSONL artifact). Cached points are
+    /// emitted without running any shots; because per-point seeds are
+    /// schedule-independent, the merged record stream — and therefore
+    /// the final artifacts — is byte-identical to a full fresh run.
+    pub fn run_resumable<E: SweepExecutor>(
+        &self,
+        spec: &SweepSpec,
+        executor: &E,
+        sinks: &mut [&mut dyn RecordSink],
+        cache: &crate::resume::ResumeCache,
+    ) -> io::Result<Vec<SweepRecord>> {
+        let points = spec.expand();
+        self.run_points_cached(&points, spec.base_seed, executor, sinks, &|pt| {
+            cache.failures_for(pt, spec.base_seed)
+        })
+    }
+
+    fn run_points_cached<E: SweepExecutor>(
+        &self,
+        points: &[SweepPoint],
+        base_seed: u64,
+        executor: &E,
+        sinks: &mut [&mut dyn RecordSink],
+        cached: &dyn Fn(&SweepPoint) -> Option<u64>,
+    ) -> io::Result<Vec<SweepRecord>> {
         let workers = self.workers.max(1);
         let chunk_shots = self.chunk_shots.max(1);
 
-        // Chunk every point; zero-shot points complete immediately.
+        // Chunk every point; zero-shot and cache-satisfied points
+        // complete immediately.
         let mut tasks: VecDeque<Task> = VecDeque::new();
         let mut chunks_left: Vec<AtomicUsize> = Vec::with_capacity(points.len());
+        let prefilled: Vec<Option<u64>> = points.iter().map(cached).collect();
         for (i, pt) in points.iter().enumerate() {
-            let n_chunks = pt.shots.div_ceil(chunk_shots);
+            let n_chunks = if prefilled[i].is_some() {
+                0
+            } else {
+                pt.shots.div_ceil(chunk_shots)
+            };
             for chunk in 0..n_chunks {
                 let shots = chunk_shots.min(pt.shots - chunk * chunk_shots);
                 tasks.push_back(Task {
@@ -321,28 +357,39 @@ impl SweepEngine {
             }
             drop(tx);
 
-            // Zero-chunk points never pass through a worker.
+            // Zero-chunk points (no shots, or satisfied from the resume
+            // cache) never pass through a worker.
             let mut completed = 0usize;
             for (i, pt) in points.iter().enumerate() {
-                if pt.shots == 0 {
-                    let record = SweepRecord {
+                let record = match prefilled[i] {
+                    Some(failures) => SweepRecord {
                         index: i,
                         point: pt.clone(),
+                        base_seed,
+                        shots: pt.shots,
+                        failures,
+                    },
+                    None if pt.shots == 0 => SweepRecord {
+                        index: i,
+                        point: pt.clone(),
+                        base_seed,
                         shots: 0,
                         failures: 0,
-                    };
-                    if let Err(e) = emitter.complete(record) {
-                        io_result = Err(e);
-                        return;
-                    }
-                    completed += 1;
+                    },
+                    None => continue,
+                };
+                if let Err(e) = emitter.complete(record) {
+                    io_result = Err(e);
+                    return;
                 }
+                completed += 1;
             }
 
             while let Ok(point_idx) = rx.recv() {
                 let record = SweepRecord {
                     index: point_idx,
                     point: points[point_idx].clone(),
+                    base_seed,
                     shots: points[point_idx].shots,
                     failures: shared.failures[point_idx].load(Ordering::Acquire),
                 };
@@ -432,6 +479,82 @@ mod tests {
         assert_eq!(records[0].shots, 0);
         assert_eq!(records[0].failures, 0);
         assert_eq!(records[0].rate(), 0.0);
+    }
+
+    #[test]
+    fn resumed_run_reuses_cached_points_and_matches_fresh_run() {
+        let spec = demo_spec();
+        let engine = SweepEngine::with_workers(4);
+        let fresh = engine.run(&spec, &HashExecutor, &mut []).unwrap();
+
+        // Round-trip the first half of the records through a JSONL
+        // artifact, then resume: cached points must come back verbatim
+        // and the merged stream must equal the fresh run's.
+        let mut sink = crate::sink::JsonlSink::new(Vec::new());
+        for r in &fresh[..6] {
+            use crate::sink::RecordSink;
+            sink.write(r).unwrap();
+        }
+        let dir = std::env::temp_dir().join("vlq-engine-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("partial.jsonl");
+        std::fs::write(&path, sink.into_inner()).unwrap();
+        let cache = crate::resume::ResumeCache::load_jsonl(&path).unwrap();
+        assert_eq!(cache.len(), 6);
+
+        struct PanicOnCached;
+        impl SweepExecutor for PanicOnCached {
+            type Prepared = u64;
+            fn prepare(&self, point: &SweepPoint) -> u64 {
+                point.fingerprint()
+            }
+            fn run_chunk(&self, prepared: &u64, pt: &SweepPoint, shots: u64, seed: u64) -> u64 {
+                assert!(pt.d == 7, "cached point {pt:?} was re-run");
+                HashExecutor.run_chunk(prepared, pt, shots, seed)
+            }
+        }
+        // demo_spec: d in {3,5,7} x 4 rates; records 0..6 cover d=3 and
+        // half of d=5... (records 0..6 are d=3 x4 + d=5 x2).
+        let resumed = engine
+            .run_resumable(
+                &SweepSpec {
+                    distances: vec![3, 7],
+                    ..spec.clone()
+                },
+                &PanicOnCached,
+                &mut [],
+                &cache,
+            )
+            .unwrap();
+        assert_eq!(resumed.len(), 8);
+        // d=3 rows came from the cache and match the fresh run.
+        for (r, f) in resumed[..4].iter().zip(&fresh[..4]) {
+            assert_eq!(r.failures, f.failures);
+            assert_eq!(r.shots, f.shots);
+        }
+        // Full resume over the original spec reproduces it exactly.
+        let full_cache_sink = {
+            let mut s = crate::sink::JsonlSink::new(Vec::new());
+            for r in &fresh {
+                use crate::sink::RecordSink;
+                s.write(r).unwrap();
+            }
+            s.into_inner()
+        };
+        std::fs::write(&path, full_cache_sink).unwrap();
+        let cache = crate::resume::ResumeCache::load_jsonl(&path).unwrap();
+        struct NeverRun;
+        impl SweepExecutor for NeverRun {
+            type Prepared = ();
+            fn prepare(&self, _point: &SweepPoint) {}
+            fn run_chunk(&self, _p: &(), pt: &SweepPoint, _shots: u64, _seed: u64) -> u64 {
+                panic!("fully-cached sweep ran a chunk for {pt:?}")
+            }
+        }
+        let replayed = engine
+            .run_resumable(&spec, &NeverRun, &mut [], &cache)
+            .unwrap();
+        assert_eq!(replayed, fresh);
     }
 
     #[test]

@@ -54,9 +54,11 @@
 
 pub mod artifact;
 pub mod engine;
+pub mod resume;
 pub mod sink;
 pub mod spec;
 
 pub use engine::{SweepEngine, SweepExecutor};
+pub use resume::{ResumeCache, ResumeKey};
 pub use sink::{CsvSink, JsonlSink, MemorySink, RecordSink, SweepRecord, RECORD_COLUMNS};
 pub use spec::{splitmix64, KnobSetting, SweepAxis, SweepPoint, SweepSpec};

@@ -1,0 +1,353 @@
+//! Resuming sweeps from existing JSON-lines artifacts.
+//!
+//! Deterministic per-point seeding means a grid point's result depends
+//! only on the spec and the base seed — never on which run computed it.
+//! A [`ResumeCache`] therefore lets a figure binary skip every grid
+//! point already present in a previous `--out` artifact and still emit
+//! byte-identical final artifacts: cached points are emitted from the
+//! cache, missing points are computed, and the merged record stream is
+//! written in expansion order as usual.
+//!
+//! The vendored `serde` is a no-op facade, so the JSONL rows (flat
+//! objects of strings/numbers/nulls/bools, written by
+//! [`crate::sink::JsonlSink`]) are parsed by hand.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead};
+use std::path::Path;
+
+use crate::spec::SweepPoint;
+
+/// The identity of a completed grid point, as recoverable from one
+/// artifact row. `shots` and the sweep's base `seed` are part of the
+/// key: a record with a different shot count — or sampled under a
+/// different seed — is not a valid substitute.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ResumeKey {
+    setup: String,
+    basis: String,
+    d: u64,
+    /// Bit pattern of the physical error rate (exact float identity).
+    p_bits: u64,
+    k: u64,
+    rounds: u64,
+    decoder: String,
+    knob: Option<(String, u64)>,
+    program: Option<String>,
+    shots: u64,
+    seed: u64,
+}
+
+impl ResumeKey {
+    /// The key a sweep point will be recorded under when run with
+    /// `base_seed`.
+    pub fn of_point(pt: &SweepPoint, base_seed: u64) -> Self {
+        ResumeKey {
+            setup: pt.setup.to_string(),
+            basis: match pt.basis {
+                vlq_surface::schedule::Basis::Z => "z".to_string(),
+                vlq_surface::schedule::Basis::X => "x".to_string(),
+            },
+            d: pt.d as u64,
+            p_bits: pt.p.to_bits(),
+            k: pt.k as u64,
+            rounds: pt.rounds.unwrap_or(pt.d) as u64,
+            decoder: pt.decoder.name().to_string(),
+            knob: pt
+                .knob
+                .as_ref()
+                .map(|kn| (kn.name.clone(), kn.value.to_bits())),
+            program: pt.program.clone(),
+            shots: pt.shots,
+            seed: base_seed,
+        }
+    }
+}
+
+/// Completed points loaded from a previous artifact: key → failures.
+#[derive(Clone, Debug, Default)]
+pub struct ResumeCache {
+    completed: HashMap<ResumeKey, u64>,
+}
+
+impl ResumeCache {
+    /// An empty cache (every point runs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether the cache holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// The cached failure count for a point, if its exact coordinates
+    /// (including shots and the base seed) were completed before.
+    pub fn failures_for(&self, pt: &SweepPoint, base_seed: u64) -> Option<u64> {
+        self.completed
+            .get(&ResumeKey::of_point(pt, base_seed))
+            .copied()
+    }
+
+    /// Loads a cache from a `JsonlSink`-format artifact. Rows that
+    /// don't parse as sweep records are skipped (robustness against
+    /// truncated final lines from interrupted runs).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file.
+    pub fn load_jsonl(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let mut cache = ResumeCache::new();
+        for line in io::BufReader::new(file).lines() {
+            let line = line?;
+            let Some(obj) = parse_flat_json(&line) else {
+                continue;
+            };
+            let Some(key) = key_of_row(&obj) else {
+                continue;
+            };
+            if let Some(JsonValue::Num(f)) = obj.get("failures") {
+                cache.completed.insert(key, *f as u64);
+            }
+        }
+        Ok(cache)
+    }
+}
+
+fn key_of_row(obj: &HashMap<String, JsonValue>) -> Option<ResumeKey> {
+    let s = |k: &str| -> Option<String> {
+        match obj.get(k)? {
+            JsonValue::Str(v) => Some(v.clone()),
+            _ => None,
+        }
+    };
+    let n = |k: &str| -> Option<f64> {
+        match obj.get(k)? {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    };
+    let knob = match (obj.get("knob"), obj.get("knob_value")) {
+        (Some(JsonValue::Str(name)), Some(JsonValue::Num(v))) => Some((name.clone(), v.to_bits())),
+        _ => None,
+    };
+    let program = match obj.get("program") {
+        Some(JsonValue::Str(name)) => Some(name.clone()),
+        _ => None,
+    };
+    Some(ResumeKey {
+        setup: s("setup")?,
+        basis: s("basis")?,
+        d: n("d")? as u64,
+        p_bits: n("p")?.to_bits(),
+        k: n("k")? as u64,
+        rounds: n("rounds")? as u64,
+        decoder: s("decoder")?,
+        knob,
+        program,
+        shots: n("shots")? as u64,
+        // Rows from before the seed column existed don't parse — a
+        // conservative full rerun beats silently mixing seeds.
+        seed: n("seed")? as u64,
+    })
+}
+
+/// A parsed flat-JSON value (no nested containers — the record schema
+/// is flat by construction).
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+/// Parses one flat JSON object (`{"key":value,...}` with string,
+/// number, boolean, and null values). Returns `None` on any syntax it
+/// doesn't recognize.
+fn parse_flat_json(line: &str) -> Option<HashMap<String, JsonValue>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = HashMap::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                return chars.next().is_none().then_some(out);
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        let value = parse_value(&mut chars)?;
+        out.insert(key, value);
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(s),
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                'u' => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let v = u32::from_str_radix(&code, 16).ok()?;
+                    s.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            c => s.push(c),
+        }
+    }
+}
+
+fn parse_value(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<JsonValue> {
+    match *chars.peek()? {
+        '"' => Some(JsonValue::Str(parse_string(chars)?)),
+        'n' => {
+            for expect in "null".chars() {
+                if chars.next()? != expect {
+                    return None;
+                }
+            }
+            Some(JsonValue::Null)
+        }
+        't' | 'f' => {
+            let word = if *chars.peek()? == 't' {
+                "true"
+            } else {
+                "false"
+            };
+            for expect in word.chars() {
+                if chars.next()? != expect {
+                    return None;
+                }
+            }
+            Some(JsonValue::Bool(word == "true"))
+        }
+        _ => {
+            let mut num = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_digit() || "+-.eE".contains(c) {
+                    num.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            num.parse().ok().map(JsonValue::Num)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{JsonlSink, RecordSink, SweepRecord};
+    use vlq_decoder::DecoderKind;
+    use vlq_surface::schedule::{Basis, Setup};
+
+    fn point(d: usize, p: f64) -> SweepPoint {
+        SweepPoint {
+            setup: Setup::CompactInterleaved,
+            basis: Basis::Z,
+            d,
+            p,
+            k: 10,
+            rounds: None,
+            decoder: DecoderKind::UnionFind,
+            shots: 500,
+            knob: None,
+            program: None,
+        }
+    }
+
+    #[test]
+    fn parses_sink_output_back() {
+        let records = vec![
+            SweepRecord {
+                index: 0,
+                point: point(3, 1e-3),
+                base_seed: 2020,
+                shots: 500,
+                failures: 7,
+            },
+            SweepRecord {
+                index: 1,
+                point: SweepPoint {
+                    program: Some("ghz4".to_string()),
+                    ..point(5, 2e-3)
+                },
+                base_seed: 2020,
+                shots: 500,
+                failures: 2,
+            },
+        ];
+        let mut sink = JsonlSink::new(Vec::new());
+        for r in &records {
+            sink.write(r).unwrap();
+        }
+        let dir = std::env::temp_dir().join("vlq-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        std::fs::write(&path, sink.into_inner()).unwrap();
+
+        let cache = ResumeCache::load_jsonl(&path).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.failures_for(&records[0].point, 2020), Some(7));
+        assert_eq!(cache.failures_for(&records[1].point, 2020), Some(2));
+        // Different shots, distance, seed, or program: no match.
+        let mut other = records[0].point.clone();
+        other.shots = 501;
+        assert_eq!(cache.failures_for(&other, 2020), None);
+        assert_eq!(cache.failures_for(&point(7, 1e-3), 2020), None);
+        assert_eq!(
+            cache.failures_for(&records[0].point, 2021),
+            None,
+            "rows sampled under another base seed must not be reused"
+        );
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped() {
+        let dir = std::env::temp_dir().join("vlq-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        std::fs::write(&path, "not json\n{\"d\":3\n{\"truncated\":").unwrap();
+        let cache = ResumeCache::load_jsonl(&path).unwrap();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn flat_json_parser_handles_escapes_and_types() {
+        let obj =
+            parse_flat_json("{\"a\":\"x\\\"y\",\"b\":-1.5e-3,\"c\":null,\"d\":true}").unwrap();
+        assert_eq!(obj["a"], JsonValue::Str("x\"y".to_string()));
+        assert_eq!(obj["b"], JsonValue::Num(-1.5e-3));
+        assert_eq!(obj["c"], JsonValue::Null);
+        assert_eq!(obj["d"], JsonValue::Bool(true));
+        assert!(parse_flat_json("{\"a\":1} trailing").is_none());
+    }
+}

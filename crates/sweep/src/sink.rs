@@ -19,6 +19,10 @@ pub struct SweepRecord {
     pub index: usize,
     /// The point's coordinates.
     pub point: SweepPoint,
+    /// The sweep's base seed (all of the point's chunk seeds derive
+    /// from it; a result-determining coordinate, so `--resume` refuses
+    /// to reuse rows recorded under a different seed).
+    pub base_seed: u64,
     /// Shots actually run.
     pub shots: u64,
     /// Logical failures observed.
@@ -48,7 +52,9 @@ impl SweepRecord {
 }
 
 /// Column names shared by the CSV header and the JSON-lines keys.
-pub const RECORD_COLUMNS: [&str; 14] = [
+/// `program` and `seed` are last so pre-existing column indices stay
+/// stable.
+pub const RECORD_COLUMNS: [&str; 16] = [
     "index",
     "setup",
     "basis",
@@ -63,6 +69,8 @@ pub const RECORD_COLUMNS: [&str; 14] = [
     "failures",
     "rate",
     "std_error",
+    "program",
+    "seed",
 ];
 
 fn basis_name(record: &SweepRecord) -> &'static str {
@@ -121,7 +129,7 @@ impl<W: Write> RecordSink for CsvSink<W> {
         };
         writeln!(
             self.w,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.index,
             csv_field(&r.point.setup.to_string()),
             basis_name(r),
@@ -136,6 +144,8 @@ impl<W: Write> RecordSink for CsvSink<W> {
             r.failures,
             r.rate(),
             r.std_error(),
+            r.point.program.as_deref().map_or(String::new(), csv_field),
+            r.base_seed,
         )
     }
 
@@ -185,7 +195,8 @@ impl<W: Write> RecordSink for JsonlSink<W> {
             concat!(
                 "{{\"index\":{},\"setup\":{},\"basis\":{},\"d\":{},\"p\":{},\"k\":{},",
                 "\"rounds\":{},\"decoder\":{},\"knob\":{},\"knob_value\":{},",
-                "\"shots\":{},\"failures\":{},\"rate\":{},\"std_error\":{}}}"
+                "\"shots\":{},\"failures\":{},\"rate\":{},\"std_error\":{},",
+                "\"program\":{},\"seed\":{}}}"
             ),
             r.index,
             json_string(&r.point.setup.to_string()),
@@ -201,6 +212,11 @@ impl<W: Write> RecordSink for JsonlSink<W> {
             r.failures,
             json_f64(r.rate()),
             json_f64(r.std_error()),
+            r.point
+                .program
+                .as_deref()
+                .map_or("null".to_string(), json_string),
+            r.base_seed,
         )
     }
 
@@ -258,7 +274,9 @@ mod tests {
                 decoder: DecoderKind::Mwpm,
                 shots: 1000,
                 knob: None,
+                program: None,
             },
+            base_seed: 2020,
             shots: 1000,
             failures: 25,
         }
@@ -278,6 +296,21 @@ mod tests {
         assert_eq!(fields[1], "compact-int");
         assert_eq!(fields[6], "5"); // rounds defaults to d
         assert_eq!(fields[12], "0.025");
+        assert_eq!(fields[14], ""); // memory experiments have no program
+    }
+
+    #[test]
+    fn program_column_round_trips() {
+        let mut rec = record();
+        rec.point.program = Some("ghz4".to_string());
+        let mut csv = CsvSink::new(Vec::new()).unwrap();
+        csv.write(&rec).unwrap();
+        let text = String::from_utf8(csv.w).unwrap();
+        assert!(text.lines().nth(1).unwrap().ends_with(",ghz4,2020"));
+        let mut jsonl = JsonlSink::new(Vec::new());
+        jsonl.write(&rec).unwrap();
+        let text = String::from_utf8(jsonl.w).unwrap();
+        assert!(text.contains("\"program\":\"ghz4\""));
     }
 
     #[test]

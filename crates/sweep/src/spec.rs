@@ -47,6 +47,11 @@ pub struct SweepPoint {
     pub shots: u64,
     /// Optional knob override (sensitivity sweeps).
     pub knob: Option<KnobSetting>,
+    /// Optional program workload (program-level sweeps). `None` runs a
+    /// memory experiment; `Some(name)` compiles and frame-replays the
+    /// named logical program (the `vlq` crate's executor registry
+    /// interprets the name, mirroring how knobs work).
+    pub program: Option<String>,
 }
 
 impl SweepPoint {
@@ -75,6 +80,15 @@ impl SweepPoint {
                 fold(b as u64);
             }
             fold(knob.value.to_bits());
+        }
+        // Folded only when present so memory-experiment fingerprints
+        // (and therefore their seeded random streams) are unchanged
+        // from before program sweeps existed.
+        if let Some(program) = &self.program {
+            fold(0x70726f67); // "prog" domain separator
+            for b in program.bytes() {
+                fold(b as u64);
+            }
         }
         h
     }
@@ -159,6 +173,11 @@ pub struct SweepSpec {
     pub ks: Vec<usize>,
     /// Decoders to scan.
     pub decoders: Vec<DecoderKind>,
+    /// Program workloads to scan (empty = memory experiments). When
+    /// non-empty this is the outermost grid dimension; every point
+    /// carries one program name for a program-capable executor (the
+    /// `vlq` crate's `ProgramSweepExecutor`).
+    pub programs: Vec<String>,
     /// The innermost swept dimension.
     pub axis: SweepAxis,
     /// Syndrome rounds override (`None` = standard `rounds = d`).
@@ -180,6 +199,7 @@ impl Default for SweepSpec {
             distances: vec![3],
             ks: vec![1],
             decoders: vec![DecoderKind::Mwpm],
+            programs: Vec::new(),
             axis: SweepAxis::ErrorRates(vec![1e-3]),
             rounds: None,
             shots: 10_000,
@@ -222,6 +242,12 @@ impl SweepSpec {
     /// Sets the decoder dimension.
     pub fn decoders(mut self, decoders: impl IntoIterator<Item = DecoderKind>) -> Self {
         self.decoders = decoders.into_iter().collect();
+        self
+    }
+
+    /// Sets the program-workload dimension (program-level sweeps).
+    pub fn programs<S: Into<String>>(mut self, programs: impl IntoIterator<Item = S>) -> Self {
+        self.programs = programs.into_iter().map(Into::into).collect();
         self
     }
 
@@ -277,7 +303,8 @@ impl SweepSpec {
             SweepAxis::ErrorRates(v) => v.len(),
             SweepAxis::Knob { values, .. } => values.len(),
         };
-        self.setups.len()
+        self.programs.len().max(1)
+            * self.setups.len()
             * self.bases.len()
             * self.ks.len()
             * self.decoders.len()
@@ -293,49 +320,59 @@ impl SweepSpec {
 
     /// Expands the grid into its ordered point list.
     ///
-    /// Order: setups ▸ bases ▸ ks ▸ decoders ▸ distances ▸ axis values,
-    /// then `extra_points`. Distance-major over the innermost axis keeps
-    /// the layout row-major per threshold curve, matching the paper's
-    /// tables.
+    /// Order: programs ▸ setups ▸ bases ▸ ks ▸ decoders ▸ distances ▸
+    /// axis values, then `extra_points`. Distance-major over the
+    /// innermost axis keeps the layout row-major per threshold curve,
+    /// matching the paper's tables; an empty program dimension expands
+    /// to plain memory-experiment points.
     pub fn expand(&self) -> Vec<SweepPoint> {
+        let programs: Vec<Option<String>> = if self.programs.is_empty() {
+            vec![None]
+        } else {
+            self.programs.iter().cloned().map(Some).collect()
+        };
         let mut out = Vec::with_capacity(self.len());
-        for &setup in &self.setups {
-            for &basis in &self.bases {
-                for &k in &self.ks {
-                    for &decoder in &self.decoders {
-                        for &d in &self.distances {
-                            match &self.axis {
-                                SweepAxis::ErrorRates(rates) => {
-                                    for &p in rates {
-                                        out.push(SweepPoint {
-                                            setup,
-                                            basis,
-                                            d,
-                                            p,
-                                            k,
-                                            rounds: self.rounds,
-                                            decoder,
-                                            shots: self.shots,
-                                            knob: None,
-                                        });
+        for program in &programs {
+            for &setup in &self.setups {
+                for &basis in &self.bases {
+                    for &k in &self.ks {
+                        for &decoder in &self.decoders {
+                            for &d in &self.distances {
+                                match &self.axis {
+                                    SweepAxis::ErrorRates(rates) => {
+                                        for &p in rates {
+                                            out.push(SweepPoint {
+                                                setup,
+                                                basis,
+                                                d,
+                                                p,
+                                                k,
+                                                rounds: self.rounds,
+                                                decoder,
+                                                shots: self.shots,
+                                                knob: None,
+                                                program: program.clone(),
+                                            });
+                                        }
                                     }
-                                }
-                                SweepAxis::Knob { p, name, values } => {
-                                    for &v in values {
-                                        out.push(SweepPoint {
-                                            setup,
-                                            basis,
-                                            d,
-                                            p: *p,
-                                            k,
-                                            rounds: self.rounds,
-                                            decoder,
-                                            shots: self.shots,
-                                            knob: Some(KnobSetting {
-                                                name: name.clone(),
-                                                value: v,
-                                            }),
-                                        });
+                                    SweepAxis::Knob { p, name, values } => {
+                                        for &v in values {
+                                            out.push(SweepPoint {
+                                                setup,
+                                                basis,
+                                                d,
+                                                p: *p,
+                                                k,
+                                                rounds: self.rounds,
+                                                decoder,
+                                                shots: self.shots,
+                                                knob: Some(KnobSetting {
+                                                    name: name.clone(),
+                                                    value: v,
+                                                }),
+                                                program: program.clone(),
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -394,6 +431,24 @@ mod tests {
         assert_ne!(pts[0].chunk_seed(7, 0), pts[0].chunk_seed(7, 1));
         // Base seed matters.
         assert_ne!(pts[0].chunk_seed(7, 0), pts[0].chunk_seed(8, 0));
+    }
+
+    #[test]
+    fn program_dimension_is_outermost_and_preserves_memory_seeds() {
+        let memory = SweepSpec::new().distances([3, 5]).error_rates([1e-3]);
+        let programs = memory.clone().programs(["ghz4", "teleport"]);
+        assert_eq!(programs.len(), 2 * memory.len());
+        let pts = programs.expand();
+        assert_eq!(pts[0].program.as_deref(), Some("ghz4"));
+        assert_eq!(pts[2].program.as_deref(), Some("teleport"));
+        // Program coordinates change the random stream...
+        assert_ne!(pts[0].fingerprint(), pts[2].fingerprint());
+        // ...but memory points hash exactly as they did before the
+        // program dimension existed (program = None folds nothing).
+        let mem_pt = &memory.expand()[0];
+        let mut like_mem = pts[0].clone();
+        like_mem.program = None;
+        assert_eq!(mem_pt.fingerprint(), like_mem.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,948 @@
+//! Pluggable executor backends for typed VLQ schedules.
+//!
+//! A [`Schedule`] (emitted by [`crate::machine::VlqMachine`] or
+//! [`crate::program::compile`]) is pure data; everything that *runs* one
+//! implements [`Executor`]:
+//!
+//! * [`CostExecutor`] — replays the schedule against the paper's latency
+//!   model, producing the legacy [`MachineReport`] (timeline, op counts,
+//!   refresh staleness, deadline misses). Table-2-style compilation
+//!   numbers come from here.
+//! * [`FrameExecutor`] — replays the schedule on the Pauli-frame
+//!   simulator under a [`vlq_circuit::noise::NoiseModel`]: every refresh
+//!   pass and logical operation samples a block of noisy syndrome
+//!   rounds through the decoder (the shared
+//!   `vlq_qec::PreparedExperiment` core), and the surviving residual
+//!   logical errors accumulate in per-shot logical Pauli frames. The
+//!   result is a *program-level* logical error rate — the fig-11-style
+//!   Monte-Carlo machinery applied to whole logical programs.
+//! * [`TraceExecutor`] — renders the schedule as a
+//!   [`vlq_sweep::artifact::Table`] (CSV / JSON-lines) for diffing and
+//!   visualization.
+//!
+//! [`ProgramSweepExecutor`] additionally adapts the frame backend to the
+//! `vlq-sweep` work-stealing engine so program workloads (GHZ, teleport,
+//! adder) can be scanned across distances and error rates exactly like
+//! memory experiments.
+//!
+//! # Fidelity model
+//!
+//! The frame backend is a two-level simulation. At the physical level,
+//! each exposure of a logical qubit — a background refresh pass, or one
+//! timestep of a logical operation — is sampled as a seeded Monte-Carlo
+//! block: the setup's noisy syndrome-extraction circuit (built by
+//! `vlq-surface`, noise-annotated by `vlq-circuit`) is run on the
+//! bit-parallel Pauli-frame simulator and decoded per shot lane, in both
+//! the Z and the X guard sector. At the logical level, each lane keeps
+//! one Pauli frame per logical qubit; a block whose decode left a
+//! residual logical flip XORs that flip into the lane's frame, and
+//! Clifford schedule instructions propagate the frames (a transversal
+//! CNOT copies X errors control→target and Z errors target→control,
+//! etc.). Blocks are sampled independently (no correlations across block
+//! boundaries), a surgery *merge* propagates frames as a logical CNOT
+//! (a split only adds exposure), and `ConsumeMagic` counts exposure
+//! only (Pauli frames cannot
+//! track non-Clifford gates exactly). A shot fails when any measured
+//! logical outcome flips, or any qubit still live at the end of the
+//! program carries a non-identity frame.
+
+use std::collections::BTreeMap;
+
+use vlq_decoder::DecoderKind;
+use vlq_math::stats::BinomialEstimate;
+use vlq_qec::{ExperimentConfig, PreparedExperiment};
+use vlq_sim::{CliffordGate, FrameBatch};
+use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+use vlq_surgery::LogicalOp;
+use vlq_sweep::artifact::{Table, Value};
+use vlq_sweep::{splitmix64, SweepExecutor, SweepPoint};
+
+use crate::isa::{Instr, LogicalGate1Q, Schedule};
+use crate::machine::{
+    LogicalId, MachineConfig, MachineError, MachineReport, RefreshPolicy, TimelineEvent,
+};
+use crate::program::{compile, LogicalCircuit};
+use vlq_arch::geometry::Embedding;
+use vlq_arch::params::HardwareParams;
+
+/// A backend that consumes a typed schedule.
+pub trait Executor {
+    /// What the backend produces.
+    type Output;
+
+    /// Executes the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Schedule`] when the schedule fails
+    /// structural validation (hand-built schedules; machine-emitted ones
+    /// are valid by construction).
+    fn run(&self, schedule: &Schedule) -> Result<Self::Output, MachineError>;
+}
+
+/// The `Setup` a machine configuration's memory experiments use.
+pub fn setup_for_config(config: &MachineConfig) -> Setup {
+    match (config.embedding, config.refresh) {
+        (Embedding::Baseline2D, _) => Setup::Baseline,
+        (Embedding::Natural, RefreshPolicy::Interleaved) => Setup::NaturalInterleaved,
+        (Embedding::Natural, RefreshPolicy::AllAtOnce) => Setup::NaturalAllAtOnce,
+        (Embedding::Compact, RefreshPolicy::Interleaved) => Setup::CompactInterleaved,
+        (Embedding::Compact, RefreshPolicy::AllAtOnce) => Setup::CompactAllAtOnce,
+    }
+}
+
+/// The embedding + refresh policy behind a `Setup`.
+pub fn config_for_setup(setup: Setup) -> (Embedding, RefreshPolicy) {
+    match setup {
+        Setup::Baseline => (Embedding::Baseline2D, RefreshPolicy::Interleaved),
+        Setup::NaturalInterleaved => (Embedding::Natural, RefreshPolicy::Interleaved),
+        Setup::NaturalAllAtOnce => (Embedding::Natural, RefreshPolicy::AllAtOnce),
+        Setup::CompactInterleaved => (Embedding::Compact, RefreshPolicy::Interleaved),
+        Setup::CompactAllAtOnce => (Embedding::Compact, RefreshPolicy::AllAtOnce),
+    }
+}
+
+// ---------------------------------------------------------------------
+// CostExecutor
+// ---------------------------------------------------------------------
+
+/// Replays a schedule against the latency model, reproducing the legacy
+/// eager-path [`MachineReport`] exactly (pinned by
+/// `tests/executor_golden.rs`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostExecutor;
+
+impl Executor for CostExecutor {
+    type Output = MachineReport;
+
+    fn run(&self, schedule: &Schedule) -> Result<MachineReport, MachineError> {
+        schedule.validate()?;
+        Ok(replay_costs(schedule))
+    }
+}
+
+/// The lenient (non-validating) cost replay behind both
+/// [`CostExecutor`] and [`crate::machine::VlqMachine::finish`].
+pub fn replay_costs(schedule: &Schedule) -> MachineReport {
+    let k = schedule.config().k as u64;
+    let mut report = MachineReport {
+        total_timesteps: schedule.duration(),
+        ..MachineReport::default()
+    };
+    // Per-qubit bookkeeping reconstructed from the schedule.
+    let mut last_ec: BTreeMap<LogicalId, u64> = BTreeMap::new();
+    let mut location: BTreeMap<LogicalId, vlq_arch::address::StackCoord> = BTreeMap::new();
+    // Deferred legacy timeline events (ConsumeMagic renders as the two
+    // eager-path Initialize ops it replaced, the second one interleaved
+    // after the refresh passes of its first timestep).
+    let mut deferred: std::collections::VecDeque<(u64, TimelineEvent)> =
+        std::collections::VecDeque::new();
+    let emit = |timeline: &mut Vec<TimelineEvent>,
+                deferred: &mut std::collections::VecDeque<(u64, TimelineEvent)>,
+                t: u64,
+                event: TimelineEvent| {
+        while deferred.front().is_some_and(|(dt, _)| *dt < t) {
+            let (_, e) = deferred.pop_front().expect("checked non-empty");
+            timeline.push(e);
+        }
+        timeline.push(event);
+    };
+
+    for instr in schedule.instrs() {
+        match *instr {
+            Instr::PageIn { qubit, addr, t } => {
+                last_ec.insert(qubit, t);
+                location.insert(qubit, addr.stack);
+            }
+            Instr::PageOut { qubit, .. } => {
+                location.remove(&qubit);
+            }
+            Instr::Correction { qubit, t } => {
+                last_ec.insert(qubit, t);
+            }
+            Instr::RefreshRound {
+                stack,
+                qubit,
+                rounds,
+                t,
+            } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Refresh(t, stack, rounds),
+                );
+                report.refresh_passes += 1;
+                last_ec.insert(qubit, t);
+                for (&q, &s) in &location {
+                    if s != stack {
+                        continue;
+                    }
+                    let staleness = t.saturating_sub(*last_ec.entry(q).or_insert(t));
+                    if staleness > report.max_staleness {
+                        report.max_staleness = staleness;
+                    }
+                    if staleness > k {
+                        report.deadline_misses += 1;
+                    }
+                }
+            }
+            Instr::Logical1Q { qubit, t, .. } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Op(t, LogicalOp::Initialize, vec![qubit]),
+                );
+            }
+            Instr::TransversalCnot {
+                control, target, t, ..
+            } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Op(t, LogicalOp::TransversalCnot, vec![control, target]),
+                );
+                report.transversal_cnots += 1;
+            }
+            Instr::LatticeSurgeryCnot {
+                control, target, t, ..
+            } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Op(t, LogicalOp::LatticeSurgeryCnot, vec![control, target]),
+                );
+                report.surgery_cnots += 1;
+            }
+            Instr::SurgeryMerge { a, b, t } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Op(t, LogicalOp::Merge, vec![a, b]),
+                );
+            }
+            Instr::SurgerySplit { a, b, t } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Op(t, LogicalOp::Split, vec![a, b]),
+                );
+            }
+            Instr::Move {
+                qubit,
+                from,
+                to,
+                to_addr,
+                t,
+            } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Move(t, qubit, from, to),
+                );
+                report.moves += 1;
+                last_ec.insert(qubit, t);
+                location.insert(qubit, to_addr.stack);
+            }
+            Instr::ConsumeMagic { qubit, t } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Op(t, LogicalOp::Initialize, vec![qubit]),
+                );
+                deferred.push_back((
+                    t + 1,
+                    TimelineEvent::Op(t + 1, LogicalOp::Initialize, vec![qubit]),
+                ));
+            }
+            Instr::MeasureLogical { qubit, t, .. } => {
+                emit(
+                    &mut report.timeline,
+                    &mut deferred,
+                    t,
+                    TimelineEvent::Op(t, LogicalOp::Measure, vec![qubit]),
+                );
+            }
+        }
+    }
+    for (_, event) in deferred {
+        report.timeline.push(event);
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// TraceExecutor
+// ---------------------------------------------------------------------
+
+/// Renders a schedule as a machine-readable table (one row per
+/// instruction) for diffing and visualization; write it with
+/// [`Table::write_dir`] or the CSV/JSONL writers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceExecutor;
+
+/// Column names of the trace table.
+pub const TRACE_COLUMNS: [&str; 8] = [
+    "i", "t", "span", "instr", "qubits", "stack_x", "stack_y", "rounds",
+];
+
+impl Executor for TraceExecutor {
+    type Output = Table;
+
+    fn run(&self, schedule: &Schedule) -> Result<Table, MachineError> {
+        schedule.validate()?;
+        let mut table = Table::new(TRACE_COLUMNS);
+        for (i, instr) in schedule.instrs().iter().enumerate() {
+            let qubits = instr
+                .qubits()
+                .iter()
+                .map(|q| format!("L{}", q.0))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let (stack, rounds) = match *instr {
+                Instr::PageIn { addr, .. }
+                | Instr::PageOut { addr, .. }
+                | Instr::MeasureLogical { addr, .. } => (Some(addr.stack), None),
+                Instr::RefreshRound { stack, rounds, .. } => (Some(stack), Some(rounds)),
+                Instr::TransversalCnot { stack, .. } => (Some(stack), None),
+                Instr::Move { to, .. } => (Some(to), None),
+                Instr::LatticeSurgeryCnot { control_stack, .. } => (Some(control_stack), None),
+                _ => (None, None),
+            };
+            table.row([
+                i.into(),
+                instr.t().into(),
+                instr.span().into(),
+                instr.mnemonic().into(),
+                qubits.into(),
+                stack.map_or(Value::Null, |s| (s.x as u64).into()),
+                stack.map_or(Value::Null, |s| (s.y as u64).into()),
+                rounds.map_or(Value::Null, Into::into),
+            ]);
+        }
+        Ok(table)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FrameExecutor
+// ---------------------------------------------------------------------
+
+/// Program-level Monte-Carlo result from [`FrameExecutor`].
+#[derive(Clone, Debug)]
+pub struct ProgramReport {
+    /// Monte-Carlo shots run.
+    pub shots: u64,
+    /// Shots in which the program's logical output was corrupted.
+    pub failures: u64,
+    /// Syndrome-block samples taken per shot (each one a decoded
+    /// Monte-Carlo memory block in both guard sectors).
+    pub blocks_per_shot: u64,
+}
+
+impl ProgramReport {
+    /// The program-level logical error rate.
+    pub fn logical_error_rate(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.shots as f64
+        }
+    }
+
+    /// Binomial estimate with confidence machinery.
+    pub fn estimate(&self) -> BinomialEstimate {
+        BinomialEstimate::new(self.failures, self.shots.max(1))
+    }
+}
+
+/// Replays a schedule on the Pauli-frame simulator with a noise model,
+/// decoding every syndrome block, and reports the program-level logical
+/// error rate.
+///
+/// # Examples
+///
+/// ```no_run
+/// use vlq::exec::{Executor, FrameExecutor};
+/// use vlq::machine::MachineConfig;
+/// use vlq::program::{compile, LogicalCircuit};
+///
+/// let compiled = compile(&LogicalCircuit::ghz(4), MachineConfig::compact_demo()).unwrap();
+/// let report = FrameExecutor::at_scale(1e-3)
+///     .with_shots(1000)
+///     .run(&compiled.schedule)
+///     .unwrap();
+/// println!("GHZ-4 logical error rate: {:.3e}", report.logical_error_rate());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FrameExecutor {
+    /// Physical error scale `p` (the SC-SC two-qubit rate; all other
+    /// rates derive from it through the setup's noise model).
+    pub p: f64,
+    /// Decoder run on every syndrome block.
+    pub decoder: DecoderKind,
+    /// Monte-Carlo shots.
+    pub shots: u64,
+    /// Base RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl FrameExecutor {
+    /// A frame executor at physical error scale `p` (union-find decoder,
+    /// 1024 shots, the workspace's default seed).
+    pub fn at_scale(p: f64) -> Self {
+        FrameExecutor {
+            p,
+            decoder: DecoderKind::UnionFind,
+            shots: 1024,
+            seed: 2020,
+        }
+    }
+
+    /// Sets the shot count.
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the decoder.
+    pub fn with_decoder(mut self, decoder: DecoderKind) -> Self {
+        self.decoder = decoder;
+        self
+    }
+}
+
+impl Executor for FrameExecutor {
+    type Output = ProgramReport;
+
+    fn run(&self, schedule: &Schedule) -> Result<ProgramReport, MachineError> {
+        schedule.validate()?;
+        let prepared = FramePrepared::new(schedule.clone(), self.p, self.decoder);
+        let failures = prepared.run_failures(self.shots, self.seed);
+        Ok(ProgramReport {
+            shots: self.shots,
+            failures,
+            blocks_per_shot: prepared.blocks_per_shot(),
+        })
+    }
+}
+
+/// A schedule prepared for repeated seeded frame replay: the noisy
+/// syndrome-block circuits, decoding graphs, and decoders for every
+/// block length the schedule needs, in both guard sectors.
+///
+/// Shared between [`FrameExecutor`] (one-shot runs) and
+/// [`ProgramSweepExecutor`] (the engine calls `run_failures` once per
+/// shot chunk).
+pub struct FramePrepared {
+    schedule: Schedule,
+    /// Dense frame-lane slot per logical qubit.
+    slots: BTreeMap<LogicalId, usize>,
+    /// Prepared (Z-basis, X-basis) block experiments keyed by round
+    /// count. The Z-basis guard failure is a residual logical X flip,
+    /// and vice versa.
+    blocks: BTreeMap<usize, (PreparedExperiment, PreparedExperiment)>,
+}
+
+impl FramePrepared {
+    /// Builds all block experiments a schedule needs.
+    pub fn new(schedule: Schedule, p: f64, decoder: DecoderKind) -> Self {
+        let config = *schedule.config();
+        let setup = setup_for_config(&config);
+        let mut slots = BTreeMap::new();
+        let mut round_counts: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for instr in schedule.instrs() {
+            for q in instr.qubits() {
+                let next = slots.len();
+                slots.entry(q).or_insert(next);
+            }
+            match instr {
+                Instr::RefreshRound { rounds, .. } => {
+                    round_counts.insert(*rounds);
+                }
+                _ if instr.span() > 0 => {
+                    // Operations expose participants one timestep (= d
+                    // rounds) at a time.
+                    round_counts.insert(config.d);
+                }
+                _ => {}
+            }
+        }
+        let prepare = |rounds: usize, basis: Basis| {
+            let mut spec = MemorySpec::standard(setup, config.d, config.k, basis);
+            spec.rounds = rounds;
+            PreparedExperiment::prepare(&ExperimentConfig::new(spec, p).with_decoder(decoder))
+        };
+        let blocks = round_counts
+            .into_iter()
+            .map(|r| (r, (prepare(r, Basis::Z), prepare(r, Basis::X))))
+            .collect();
+        FramePrepared {
+            schedule,
+            slots,
+            blocks,
+        }
+    }
+
+    /// Syndrome-block samples per shot (both sectors of one exposure
+    /// count as one block).
+    pub fn blocks_per_shot(&self) -> u64 {
+        self.schedule
+            .instrs()
+            .iter()
+            .map(|i| match i {
+                Instr::RefreshRound { .. } => 1,
+                _ => i.span() * i.qubits().len() as u64,
+            })
+            .sum()
+    }
+
+    /// Runs `shots` seeded shots and returns the number of corrupted
+    /// programs. Deterministic given `seed`, independent of batching.
+    pub fn run_failures(&self, shots: u64, seed: u64) -> u64 {
+        const LANES_PER_BATCH: usize = 1024;
+        let mut failures = 0u64;
+        let mut remaining = shots;
+        let mut batch_idx = 0u64;
+        while remaining > 0 {
+            let lanes = (remaining as usize).min(LANES_PER_BATCH);
+            let batch_seed = splitmix64(seed ^ splitmix64(batch_idx));
+            failures += self.run_batch(lanes, batch_seed);
+            remaining -= lanes as u64;
+            batch_idx += 1;
+        }
+        failures
+    }
+
+    /// Exposes one qubit slot to `reps` sampled blocks of `rounds`
+    /// syndrome rounds each, in both guard sectors, XORing residual
+    /// logical flips into the frames.
+    fn expose(
+        &self,
+        frames: &mut FrameBatch,
+        slot: usize,
+        rounds: usize,
+        reps: u64,
+        lanes: usize,
+        instr_seed: u64,
+    ) {
+        let (z_block, x_block) = &self.blocks[&rounds];
+        for rep in 0..reps {
+            let rep_seed = splitmix64(instr_seed ^ splitmix64(0x5851_f42d ^ rep));
+            // Z-basis guard failure = residual logical X error.
+            let x_flips = z_block.sample_failure_words(lanes, rep_seed);
+            frames.xor_x_words(slot, &x_flips);
+            let z_flips = x_block.sample_failure_words(lanes, splitmix64(rep_seed ^ 0x9e37));
+            frames.xor_z_words(slot, &z_flips);
+        }
+    }
+
+    fn run_batch(&self, lanes: usize, batch_seed: u64) -> u64 {
+        let words = lanes.div_ceil(64).max(1);
+        let n_slots = self.slots.len().max(1);
+        let mut frames = FrameBatch::new(n_slots, lanes);
+        // Per-lane program-failure accumulator.
+        let mut failed = vec![0u64; words];
+        let mut measured: std::collections::BTreeSet<LogicalId> = std::collections::BTreeSet::new();
+        let slot = |q: LogicalId| self.slots[&q];
+        for (idx, instr) in self.schedule.instrs().iter().enumerate() {
+            let instr_seed = splitmix64(batch_seed ^ splitmix64(idx as u64));
+            let span = instr.span();
+            match *instr {
+                Instr::PageIn { qubit, .. } => frames.reset_qubit(slot(qubit)),
+                Instr::PageOut { qubit, .. } => frames.reset_qubit(slot(qubit)),
+                Instr::Correction { .. } => {}
+                Instr::RefreshRound { qubit, rounds, .. } => {
+                    self.expose(&mut frames, slot(qubit), rounds, 1, lanes, instr_seed);
+                }
+                Instr::Logical1Q { qubit, gate, .. } => {
+                    if gate == LogicalGate1Q::H {
+                        frames.apply(CliffordGate::H(slot(qubit)));
+                    }
+                    let d = self.schedule.config().d;
+                    self.expose(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                }
+                Instr::TransversalCnot {
+                    control, target, ..
+                }
+                | Instr::LatticeSurgeryCnot {
+                    control, target, ..
+                } => {
+                    frames.apply(CliffordGate::Cnot(slot(control), slot(target)));
+                    let d = self.schedule.config().d;
+                    self.expose(&mut frames, slot(control), d, span, lanes, instr_seed);
+                    self.expose(
+                        &mut frames,
+                        slot(target),
+                        d,
+                        span,
+                        lanes,
+                        splitmix64(instr_seed ^ 0x7fb5),
+                    );
+                }
+                Instr::SurgeryMerge { a, b, .. } => {
+                    // A merge's joint parity measurement spreads errors
+                    // between the fused patches; the logical-level view
+                    // of that spread is CNOT propagation.
+                    frames.apply(CliffordGate::Cnot(slot(a), slot(b)));
+                    let d = self.schedule.config().d;
+                    self.expose(&mut frames, slot(a), d, span, lanes, instr_seed);
+                    self.expose(
+                        &mut frames,
+                        slot(b),
+                        d,
+                        span,
+                        lanes,
+                        splitmix64(instr_seed ^ 0x7fb5),
+                    );
+                }
+                Instr::SurgerySplit { a, b, .. } => {
+                    let d = self.schedule.config().d;
+                    self.expose(&mut frames, slot(a), d, span, lanes, instr_seed);
+                    self.expose(
+                        &mut frames,
+                        slot(b),
+                        d,
+                        span,
+                        lanes,
+                        splitmix64(instr_seed ^ 0x7fb5),
+                    );
+                }
+                Instr::Move { qubit, .. } | Instr::ConsumeMagic { qubit, .. } => {
+                    let d = self.schedule.config().d;
+                    self.expose(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                }
+                Instr::MeasureLogical { qubit, .. } => {
+                    let d = self.schedule.config().d;
+                    self.expose(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                    // A destructive Z readout is corrupted by the
+                    // frame's X component; Z errors are harmless here.
+                    let outcome_flips = frames.measure_z(slot(qubit));
+                    for (f, o) in failed.iter_mut().zip(&outcome_flips) {
+                        *f |= o;
+                    }
+                    measured.insert(qubit);
+                }
+            }
+        }
+        // Qubits still live at the end of the program must carry the
+        // identity frame, else the prepared logical state is corrupted.
+        for (&qubit, &s) in &self.slots {
+            if measured.contains(&qubit) {
+                continue;
+            }
+            for w in 0..words {
+                failed[w] |= frames.x_words(s)[w] | frames.z_words(s)[w];
+            }
+        }
+        failed.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Program sweeps on the work-stealing engine
+// ---------------------------------------------------------------------
+
+/// Names of the registered program workloads (`SweepSpec::programs`).
+/// `ghz<N>` and `adder<N>` accept any width.
+pub const PROGRAM_NAMES: [&str; 4] = ["ghz4", "ghz8", "teleport", "adder2"];
+
+/// Looks up a program workload by registry name.
+pub fn program_by_name(name: &str) -> Option<LogicalCircuit> {
+    if let Some(n) = name.strip_prefix("ghz") {
+        let n: usize = n.parse().ok()?;
+        return (n >= 2).then(|| LogicalCircuit::ghz(n));
+    }
+    if let Some(n) = name.strip_prefix("adder") {
+        let n: usize = n.parse().ok()?;
+        return (n >= 1).then(|| LogicalCircuit::adder(n));
+    }
+    (name == "teleport").then(LogicalCircuit::teleport)
+}
+
+/// The machine shape a program sweep point compiles onto: the point's
+/// setup picks embedding + refresh policy, `d`/`k` come straight from
+/// the grid, and the stack count grows to fit the program (2 stacks per
+/// row, one mode per stack kept free).
+///
+/// # Panics
+///
+/// Panics when `point.k < 2`: the machine needs one storage + one free
+/// mode per stack, and silently simulating a deeper stack than the
+/// point's `k` column records would mislabel the artifact. Program
+/// specs must set `SweepSpec::ks` explicitly (the spec default of
+/// `ks = [1]` is a memory-experiment convention).
+pub fn machine_config_for_point(point: &SweepPoint, num_qubits: usize) -> MachineConfig {
+    let (embedding, refresh) = config_for_setup(point.setup);
+    assert!(
+        point.k >= 2,
+        "program sweep points need k >= 2 (one storage + one free mode per stack);          got k = {} — set SweepSpec::ks explicitly",
+        point.k
+    );
+    let k = point.k;
+    let per_stack = k - 1;
+    let stacks = num_qubits.div_ceil(per_stack).max(4);
+    MachineConfig {
+        stacks_x: 2,
+        stacks_y: stacks.div_ceil(2) as u32,
+        k,
+        d: point.d,
+        embedding,
+        refresh,
+        prefer_transversal: true,
+        hw: HardwareParams::with_memory(),
+    }
+}
+
+/// [`SweepExecutor`] running program workloads through
+/// [`FramePrepared`]: `prepare` compiles the point's program at the
+/// point's distance/depth and builds the block experiments once;
+/// `run_chunk` replays seeded shot chunks.
+///
+/// # Panics
+///
+/// `prepare` panics when the point carries no program name or an
+/// unregistered one — specs are validated at construction, so this
+/// mirrors the unknown-knob contract of `vlq-qec`'s `MemoryExecutor`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProgramSweepExecutor;
+
+impl SweepExecutor for ProgramSweepExecutor {
+    type Prepared = FramePrepared;
+
+    fn prepare(&self, point: &SweepPoint) -> FramePrepared {
+        let name = point
+            .program
+            .as_deref()
+            .expect("program sweep point without a program name");
+        let circuit = program_by_name(name)
+            .unwrap_or_else(|| panic!("sweep point names unknown program {name:?}"));
+        let config = machine_config_for_point(point, circuit.num_qubits);
+        let compiled = compile(&circuit, config).expect("registered programs fit their machines");
+        FramePrepared::new(compiled.schedule, point.p, point.decoder)
+    }
+
+    fn run_chunk(
+        &self,
+        prepared: &FramePrepared,
+        _point: &SweepPoint,
+        shots: u64,
+        seed: u64,
+    ) -> u64 {
+        prepared.run_failures(shots, seed)
+    }
+}
+
+/// A single-qubit idle-memory schedule: one logical qubit paged in and
+/// refreshed for `cycles` scheduler cycles, then measured.
+///
+/// Replaying it through [`FrameExecutor`] runs the same Monte-Carlo
+/// blocks as `vlq_qec::run_memory_experiment` — the memory experiment is
+/// the degenerate program, which is the point of the shared execution
+/// path (see `docs/executors.md`).
+pub fn memory_schedule(config: MachineConfig, cycles: u64) -> Schedule {
+    let mut machine = crate::machine::VlqMachine::new(config);
+    let q = machine.alloc().expect("empty machine has room");
+    machine.advance(cycles);
+    machine.measure(q).expect("qubit is alive");
+    machine.into_schedule()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::VlqMachine;
+    use vlq_arch::address::StackCoord;
+
+    #[test]
+    fn setup_mapping_round_trips() {
+        for setup in Setup::ALL {
+            let (embedding, refresh) = config_for_setup(setup);
+            let cfg = MachineConfig {
+                embedding,
+                refresh,
+                ..MachineConfig::compact_demo()
+            };
+            assert_eq!(setup_for_config(&cfg), setup);
+        }
+    }
+
+    #[test]
+    fn cost_executor_rejects_invalid_schedules() {
+        let mut s = Schedule::new(MachineConfig::compact_demo());
+        s.push(Instr::Correction {
+            qubit: LogicalId(3),
+            t: 0,
+        });
+        assert!(matches!(
+            CostExecutor.run(&s),
+            Err(MachineError::Schedule { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_has_one_row_per_instruction() {
+        let mut m = VlqMachine::new(MachineConfig::compact_demo());
+        let a = m.alloc_in(StackCoord::new(0, 0)).unwrap();
+        let b = m.alloc_in(StackCoord::new(0, 0)).unwrap();
+        m.cnot(a, b).unwrap();
+        let schedule = m.into_schedule();
+        let table = TraceExecutor.run(&schedule).unwrap();
+        assert_eq!(table.len(), schedule.len());
+        let mut csv = Vec::new();
+        table.write_csv(&mut csv).unwrap();
+        let text = String::from_utf8(csv).unwrap();
+        assert!(text.starts_with("i,t,span,instr,"));
+        assert!(text.contains("transversal-cnot"));
+        assert!(text.contains("page-in"));
+    }
+
+    #[test]
+    fn program_registry_parses_names() {
+        assert_eq!(program_by_name("ghz4").unwrap().num_qubits, 4);
+        assert_eq!(program_by_name("ghz12").unwrap().num_qubits, 12);
+        assert_eq!(program_by_name("teleport").unwrap().num_qubits, 3);
+        assert!(program_by_name("adder2").unwrap().t_count() > 0);
+        assert!(program_by_name("ghz1").is_none());
+        assert!(program_by_name("bogus").is_none());
+        for name in PROGRAM_NAMES {
+            assert!(program_by_name(name).is_some(), "{name} not resolvable");
+        }
+    }
+
+    #[test]
+    fn noiseless_frame_replay_never_fails() {
+        let compiled = compile(&LogicalCircuit::ghz(4), MachineConfig::compact_demo()).unwrap();
+        let report = FrameExecutor::at_scale(0.0)
+            .with_shots(256)
+            .run(&compiled.schedule)
+            .unwrap();
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.shots, 256);
+        assert!(report.blocks_per_shot > 0);
+    }
+
+    #[test]
+    fn frame_replay_is_deterministic_and_batch_independent() {
+        let compiled = compile(&LogicalCircuit::ghz(3), MachineConfig::compact_demo()).unwrap();
+        let prepared = FramePrepared::new(compiled.schedule, 5e-3, DecoderKind::UnionFind);
+        let a = prepared.run_failures(300, 7);
+        let b = prepared.run_failures(300, 7);
+        assert_eq!(a, b);
+        assert_ne!(prepared.run_failures(300, 8), a, "seed must matter");
+    }
+
+    #[test]
+    fn surgery_merge_propagates_errors_between_patches() {
+        // A/B with identical exposure structure: both schedules refresh
+        // patch `a` five times, run one span-1 surgery primitive over
+        // (a, b), read out `b`, and discard `a` unmeasured. The merge
+        // propagates a's accumulated X errors into b's readout; the
+        // split exposes identically but propagates nothing.
+        use vlq_arch::address::{ModeIndex, VirtAddr};
+        let build = |merge: bool| {
+            let cfg = MachineConfig::compact_demo();
+            let (a, b) = (LogicalId(0), LogicalId(1));
+            let addr_a = VirtAddr::new(StackCoord::new(0, 0), ModeIndex(0));
+            let addr_b = VirtAddr::new(StackCoord::new(0, 0), ModeIndex(1));
+            let mut s = Schedule::new(cfg);
+            s.push(Instr::PageIn {
+                qubit: a,
+                addr: addr_a,
+                t: 0,
+            });
+            s.push(Instr::PageIn {
+                qubit: b,
+                addr: addr_b,
+                t: 0,
+            });
+            for t in 1..=5 {
+                s.push(Instr::RefreshRound {
+                    stack: addr_a.stack,
+                    qubit: a,
+                    rounds: 3,
+                    t,
+                });
+            }
+            s.push(if merge {
+                Instr::SurgeryMerge { a, b, t: 6 }
+            } else {
+                Instr::SurgerySplit { a, b, t: 6 }
+            });
+            s.push(Instr::MeasureLogical {
+                qubit: b,
+                addr: addr_b,
+                t: 7,
+            });
+            s.push(Instr::PageOut {
+                qubit: b,
+                addr: addr_b,
+                t: 8,
+            });
+            s.push(Instr::PageOut {
+                qubit: a,
+                addr: addr_a,
+                t: 8,
+            });
+            s
+        };
+        let run = |merge: bool| {
+            FrameExecutor::at_scale(5e-3)
+                .with_shots(4000)
+                .with_seed(17)
+                .run(&build(merge))
+                .expect("valid schedule")
+                .failures
+        };
+        let (with_merge, with_split) = (run(true), run(false));
+        assert!(
+            with_merge > with_split,
+            "merge must copy a's errors into b's readout: merge {with_merge} !> split {with_split}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn program_points_with_memory_default_depth_are_rejected() {
+        // ks = [1] is the memory-experiment default; simulating a deeper
+        // stack than the recorded k would mislabel the artifact.
+        let pt = SweepPoint {
+            setup: Setup::CompactInterleaved,
+            basis: vlq_surface::schedule::Basis::Z,
+            d: 3,
+            p: 1e-3,
+            k: 1,
+            rounds: None,
+            decoder: DecoderKind::UnionFind,
+            shots: 10,
+            knob: None,
+            program: Some("ghz3".to_string()),
+        };
+        machine_config_for_point(&pt, 3);
+    }
+
+    #[test]
+    fn memory_schedule_degenerates_to_the_memory_experiment_shape() {
+        let schedule = memory_schedule(MachineConfig::compact_demo(), 10);
+        schedule.validate().unwrap();
+        let refreshes = schedule.count(|i| matches!(i, Instr::RefreshRound { .. }));
+        assert!(refreshes >= 10, "one refresh pass per idle cycle");
+        assert_eq!(
+            schedule.count(|i| matches!(i, Instr::MeasureLogical { .. })),
+            1
+        );
+    }
+}

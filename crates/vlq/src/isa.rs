@@ -1,0 +1,517 @@
+//! The typed VLQ instruction set: replayable schedules.
+//!
+//! The two-phase execution model splits *scheduling* from *execution*:
+//! [`crate::machine::VlqMachine`] (and [`crate::program::compile`]) act
+//! as schedulers that emit a [`Schedule`] — an ordered list of typed
+//! [`Instr`]uctions, each carrying stack/mode addresses and timestep
+//! positions — and the pluggable backends in [`crate::exec`] consume
+//! the schedule:
+//!
+//! * [`crate::exec::CostExecutor`] replays it against the paper's
+//!   latency model and reproduces the legacy
+//!   [`crate::machine::MachineReport`] exactly;
+//! * [`crate::exec::FrameExecutor`] replays it on the Pauli-frame
+//!   simulator with a [`vlq_circuit::noise::NoiseModel`], running the
+//!   decoder per refresh round, and reports program-level logical error
+//!   rates;
+//! * [`crate::exec::TraceExecutor`] renders it as a
+//!   [`vlq_sweep::artifact::Table`] for diffing and visualization.
+//!
+//! Instruction latencies come from the [`vlq_surgery::LogicalOp`] cost
+//! model (one timestep = `d` syndrome-extraction rounds), so the ISA and
+//! the lattice-surgery layer can never disagree about spans.
+
+use vlq_arch::address::{StackCoord, VirtAddr};
+use vlq_surgery::LogicalOp;
+
+use crate::machine::{LogicalId, MachineConfig, MachineError};
+
+/// A transversal single-logical-qubit gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LogicalGate1Q {
+    /// Logical Pauli X (transversal).
+    X,
+    /// Logical Pauli Z (transversal).
+    Z,
+    /// Logical Hadamard (transversal + patch rotation, 1-timestep class).
+    H,
+}
+
+/// One typed, addressed, time-stamped instruction of a VLQ schedule.
+///
+/// Every variant carries `t`, the logical timestep at which it starts;
+/// its duration is [`Instr::span`] timesteps. Bookkeeping instructions
+/// (`PageIn`, `PageOut`, `Correction`, `RefreshRound`) have span 0: they
+/// happen *within* the background refresh cycle at `t` rather than
+/// occupying the stack's transmon layer for a full timestep.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// A logical qubit is paged into a cavity mode (allocation /
+    /// initialization to a fresh logical state).
+    PageIn {
+        /// The qubit.
+        qubit: LogicalId,
+        /// Its virtual address.
+        addr: VirtAddr,
+        /// Start timestep.
+        t: u64,
+    },
+    /// A logical qubit leaves the machine (its mode is freed).
+    PageOut {
+        /// The qubit.
+        qubit: LogicalId,
+        /// The address being vacated.
+        addr: VirtAddr,
+        /// Start timestep.
+        t: u64,
+    },
+    /// One background error-correction pass: `rounds` syndrome rounds on
+    /// one stored qubit of `stack` (the DRAM-refresh analogy; paper
+    /// §III-A).
+    RefreshRound {
+        /// The stack being refreshed.
+        stack: StackCoord,
+        /// The qubit receiving this pass.
+        qubit: LogicalId,
+        /// Syndrome rounds in this pass (1 under Interleaved, `d` under
+        /// All-at-once).
+        rounds: usize,
+        /// Scheduler cycle of the pass.
+        t: u64,
+    },
+    /// A logical operation doubled as an error-correction touch for
+    /// `qubit` at `t` (e.g. the transversal CNOT corrects both
+    /// participants). Resets the refresh-deadline clock without a
+    /// dedicated refresh pass.
+    Correction {
+        /// The corrected qubit.
+        qubit: LogicalId,
+        /// Cycle of the touch.
+        t: u64,
+    },
+    /// A transversal single-qubit logical gate.
+    Logical1Q {
+        /// Target qubit.
+        qubit: LogicalId,
+        /// Which gate.
+        gate: LogicalGate1Q,
+        /// Start timestep.
+        t: u64,
+    },
+    /// The transversal CNOT between two co-located qubits (paper §III-B).
+    TransversalCnot {
+        /// Control qubit.
+        control: LogicalId,
+        /// Target qubit.
+        target: LogicalId,
+        /// The shared stack.
+        stack: StackCoord,
+        /// Start timestep.
+        t: u64,
+    },
+    /// A lattice-surgery CNOT between qubits in different stacks
+    /// (Figures 4/9); macro-instruction for the 6-step merge/split
+    /// sequence.
+    LatticeSurgeryCnot {
+        /// Control qubit.
+        control: LogicalId,
+        /// Target qubit.
+        target: LogicalId,
+        /// Control's stack.
+        control_stack: StackCoord,
+        /// Target's stack.
+        target_stack: StackCoord,
+        /// Start timestep.
+        t: u64,
+    },
+    /// A lattice-surgery merge of two patches (half of a surgery CNOT;
+    /// primitive form for hand-built schedules).
+    SurgeryMerge {
+        /// First patch.
+        a: LogicalId,
+        /// Second patch.
+        b: LogicalId,
+        /// Start timestep.
+        t: u64,
+    },
+    /// A lattice-surgery split (primitive form).
+    SurgerySplit {
+        /// First patch.
+        a: LogicalId,
+        /// Second patch.
+        b: LogicalId,
+        /// Start timestep.
+        t: u64,
+    },
+    /// A qubit moves between stacks through the reserved free modes.
+    Move {
+        /// The moved qubit.
+        qubit: LogicalId,
+        /// Source stack.
+        from: StackCoord,
+        /// Destination stack.
+        to: StackCoord,
+        /// Destination address.
+        to_addr: VirtAddr,
+        /// Start timestep.
+        t: u64,
+    },
+    /// Magic-state consumption (a T gate by teleportation: one
+    /// transversal interaction with the factory output plus a
+    /// measurement).
+    ConsumeMagic {
+        /// The qubit receiving the T gate.
+        qubit: LogicalId,
+        /// Start timestep.
+        t: u64,
+    },
+    /// Destructive logical measurement.
+    MeasureLogical {
+        /// Measured qubit.
+        qubit: LogicalId,
+        /// Its address at measurement time.
+        addr: VirtAddr,
+        /// Start timestep.
+        t: u64,
+    },
+}
+
+impl Instr {
+    /// The instruction's start timestep.
+    pub fn t(&self) -> u64 {
+        match *self {
+            Instr::PageIn { t, .. }
+            | Instr::PageOut { t, .. }
+            | Instr::RefreshRound { t, .. }
+            | Instr::Correction { t, .. }
+            | Instr::Logical1Q { t, .. }
+            | Instr::TransversalCnot { t, .. }
+            | Instr::LatticeSurgeryCnot { t, .. }
+            | Instr::SurgeryMerge { t, .. }
+            | Instr::SurgerySplit { t, .. }
+            | Instr::Move { t, .. }
+            | Instr::ConsumeMagic { t, .. }
+            | Instr::MeasureLogical { t, .. } => t,
+        }
+    }
+
+    /// Latency in timesteps, from the [`LogicalOp`] cost model.
+    /// Bookkeeping instructions (page-in/out, refresh, correction) take
+    /// no timeline span of their own.
+    pub fn span(&self) -> u64 {
+        match self {
+            Instr::PageIn { .. }
+            | Instr::PageOut { .. }
+            | Instr::RefreshRound { .. }
+            | Instr::Correction { .. } => 0,
+            Instr::Logical1Q { .. } => LogicalOp::Initialize.timesteps() as u64,
+            Instr::TransversalCnot { .. } => LogicalOp::TransversalCnot.timesteps() as u64,
+            Instr::LatticeSurgeryCnot { .. } => LogicalOp::LatticeSurgeryCnot.timesteps() as u64,
+            Instr::SurgeryMerge { .. } => LogicalOp::Merge.timesteps() as u64,
+            Instr::SurgerySplit { .. } => LogicalOp::Split.timesteps() as u64,
+            Instr::Move { .. } => LogicalOp::Move.timesteps() as u64,
+            Instr::ConsumeMagic { .. } => LogicalOp::ConsumeMagic.timesteps() as u64,
+            Instr::MeasureLogical { .. } => LogicalOp::Measure.timesteps() as u64,
+        }
+    }
+
+    /// Short stable mnemonic (trace artifacts, error messages).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::PageIn { .. } => "page-in",
+            Instr::PageOut { .. } => "page-out",
+            Instr::RefreshRound { .. } => "refresh",
+            Instr::Correction { .. } => "correction",
+            Instr::Logical1Q { .. } => "logical-1q",
+            Instr::TransversalCnot { .. } => "transversal-cnot",
+            Instr::LatticeSurgeryCnot { .. } => "surgery-cnot",
+            Instr::SurgeryMerge { .. } => "surgery-merge",
+            Instr::SurgerySplit { .. } => "surgery-split",
+            Instr::Move { .. } => "move",
+            Instr::ConsumeMagic { .. } => "consume-magic",
+            Instr::MeasureLogical { .. } => "measure",
+        }
+    }
+
+    /// The logical qubits the instruction acts on (bookkeeping targets
+    /// included), in operand order.
+    pub fn qubits(&self) -> Vec<LogicalId> {
+        match *self {
+            Instr::PageIn { qubit, .. }
+            | Instr::PageOut { qubit, .. }
+            | Instr::RefreshRound { qubit, .. }
+            | Instr::Correction { qubit, .. }
+            | Instr::Logical1Q { qubit, .. }
+            | Instr::Move { qubit, .. }
+            | Instr::ConsumeMagic { qubit, .. }
+            | Instr::MeasureLogical { qubit, .. } => vec![qubit],
+            Instr::TransversalCnot {
+                control, target, ..
+            }
+            | Instr::LatticeSurgeryCnot {
+                control, target, ..
+            } => vec![control, target],
+            Instr::SurgeryMerge { a, b, .. } | Instr::SurgerySplit { a, b, .. } => vec![a, b],
+        }
+    }
+}
+
+/// A typed, replayable VLQ instruction schedule.
+///
+/// Produced by [`crate::machine::VlqMachine`] /
+/// [`crate::program::compile`], or built by hand for custom workloads;
+/// consumed by any [`crate::exec::Executor`] backend.
+///
+/// # Examples
+///
+/// ```
+/// use vlq::isa::{Instr, Schedule};
+/// use vlq::machine::{LogicalId, MachineConfig};
+/// use vlq::arch::address::{ModeIndex, StackCoord, VirtAddr};
+///
+/// let mut s = Schedule::new(MachineConfig::compact_demo());
+/// let q = LogicalId(0);
+/// let addr = VirtAddr::new(StackCoord::new(0, 0), ModeIndex(0));
+/// s.push(Instr::PageIn { qubit: q, addr, t: 0 });
+/// s.push(Instr::MeasureLogical { qubit: q, addr, t: 3 });
+/// s.push(Instr::PageOut { qubit: q, addr, t: 4 });
+/// assert!(s.validate().is_ok());
+/// assert_eq!(s.duration(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    config: MachineConfig,
+    instrs: Vec<Instr>,
+    duration: u64,
+}
+
+impl Schedule {
+    /// An empty schedule for a machine shape.
+    pub fn new(config: MachineConfig) -> Self {
+        Schedule {
+            config,
+            instrs: Vec::new(),
+            duration: 0,
+        }
+    }
+
+    /// The machine configuration the schedule targets.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The instruction list, in emission (= execution) order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the schedule holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Total makespan in timesteps (covers trailing idle cycles beyond
+    /// the last instruction).
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+
+    /// Extends the makespan (idle time after the last instruction).
+    pub fn set_duration(&mut self, duration: u64) {
+        self.duration = self.duration.max(duration);
+    }
+
+    /// Appends an instruction, growing the makespan to cover it.
+    pub fn push(&mut self, instr: Instr) {
+        self.duration = self.duration.max(instr.t() + instr.span());
+        self.instrs.push(instr);
+    }
+
+    /// Counts instructions matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Instr) -> bool) -> usize {
+        self.instrs.iter().filter(|i| pred(i)).count()
+    }
+
+    /// Structural validation: time-ordering and qubit lifetimes.
+    ///
+    /// Checks that start times never decrease, that every instruction
+    /// addresses qubits currently paged in, and that page-ins don't
+    /// collide with live qubits. Machine-emitted schedules are valid by
+    /// construction; this is the safety net for hand-built ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Schedule`] wrapping the underlying
+    /// per-qubit error and naming the offending instruction.
+    pub fn validate(&self) -> Result<(), MachineError> {
+        let mut live: std::collections::BTreeSet<LogicalId> = std::collections::BTreeSet::new();
+        let mut last_t = 0u64;
+        for (index, instr) in self.instrs.iter().enumerate() {
+            let at_instr = |source: MachineError| MachineError::Schedule {
+                index,
+                instr: instr.mnemonic(),
+                source: Box::new(source),
+            };
+            if instr.t() < last_t {
+                return Err(at_instr(MachineError::TimeReversal {
+                    t: instr.t(),
+                    previous: last_t,
+                }));
+            }
+            last_t = instr.t();
+            match instr {
+                Instr::PageIn { qubit, .. } => {
+                    if !live.insert(*qubit) {
+                        return Err(at_instr(MachineError::UnknownQubit(*qubit)));
+                    }
+                }
+                Instr::PageOut { qubit, .. } => {
+                    if !live.remove(qubit) {
+                        return Err(at_instr(MachineError::Deallocated(*qubit)));
+                    }
+                }
+                other => {
+                    for q in other.qubits() {
+                        if !live.contains(&q) {
+                            return Err(at_instr(MachineError::UnknownQubit(q)));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlq_arch::address::ModeIndex;
+
+    fn addr(x: u32, y: u32, m: u8) -> VirtAddr {
+        VirtAddr::new(StackCoord::new(x, y), ModeIndex(m))
+    }
+
+    #[test]
+    fn spans_follow_the_cost_model() {
+        let q = LogicalId(0);
+        let r = LogicalId(1);
+        let a = addr(0, 0, 0);
+        assert_eq!(
+            Instr::PageIn {
+                qubit: q,
+                addr: a,
+                t: 0
+            }
+            .span(),
+            0
+        );
+        assert_eq!(
+            Instr::TransversalCnot {
+                control: q,
+                target: r,
+                stack: a.stack,
+                t: 0
+            }
+            .span(),
+            1
+        );
+        assert_eq!(
+            Instr::LatticeSurgeryCnot {
+                control: q,
+                target: r,
+                control_stack: a.stack,
+                target_stack: StackCoord::new(1, 0),
+                t: 0
+            }
+            .span(),
+            6
+        );
+        assert_eq!(Instr::ConsumeMagic { qubit: q, t: 0 }.span(), 2);
+    }
+
+    #[test]
+    fn push_tracks_duration() {
+        let mut s = Schedule::new(MachineConfig::compact_demo());
+        let q = LogicalId(0);
+        s.push(Instr::PageIn {
+            qubit: q,
+            addr: addr(0, 0, 0),
+            t: 0,
+        });
+        s.push(Instr::ConsumeMagic { qubit: q, t: 3 });
+        assert_eq!(s.duration(), 5);
+        s.set_duration(2); // never shrinks
+        assert_eq!(s.duration(), 5);
+        s.set_duration(9);
+        assert_eq!(s.duration(), 9);
+    }
+
+    #[test]
+    fn validate_catches_use_before_page_in() {
+        let mut s = Schedule::new(MachineConfig::compact_demo());
+        s.push(Instr::Correction {
+            qubit: LogicalId(7),
+            t: 0,
+        });
+        let err = s.validate().unwrap_err();
+        match err {
+            MachineError::Schedule {
+                index,
+                instr,
+                source,
+            } => {
+                assert_eq!(index, 0);
+                assert_eq!(instr, "correction");
+                assert_eq!(*source, MachineError::UnknownQubit(LogicalId(7)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_catches_time_reversal() {
+        let mut s = Schedule::new(MachineConfig::compact_demo());
+        let q = LogicalId(0);
+        s.push(Instr::PageIn {
+            qubit: q,
+            addr: addr(0, 0, 0),
+            t: 5,
+        });
+        s.push(Instr::Correction { qubit: q, t: 2 });
+        assert!(matches!(
+            s.validate(),
+            Err(MachineError::Schedule { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_measure_before_page_out() {
+        // The machine emits MeasureLogical at t and PageOut one cycle
+        // later (the mode is freed after the readout completes).
+        let mut s = Schedule::new(MachineConfig::compact_demo());
+        let q = LogicalId(0);
+        let a = addr(0, 0, 0);
+        s.push(Instr::PageIn {
+            qubit: q,
+            addr: a,
+            t: 0,
+        });
+        s.push(Instr::MeasureLogical {
+            qubit: q,
+            addr: a,
+            t: 4,
+        });
+        s.push(Instr::PageOut {
+            qubit: q,
+            addr: a,
+            t: 5,
+        });
+        s.validate().unwrap();
+    }
+}

@@ -11,13 +11,25 @@
 //! operations, enabling a fast transversal CNOT between co-located
 //! qubits and ~10-20x transmon savings.
 //!
-//! This crate is the user-facing library:
+//! This crate is the user-facing library, built around a two-phase
+//! execution model — *scheduling* emits a typed instruction schedule,
+//! and pluggable *executor* backends consume it:
 //!
-//! * [`machine`] — the [`VlqMachine`]: stack/mode allocation, the
-//!   paging + refresh scheduler, logical operations with the paper's
-//!   latency model, and execution timelines.
-//! * [`program`] — a small logical-circuit IR and compiler onto the
-//!   machine.
+//! * [`machine`] — the [`VlqMachine`] scheduler: stack/mode allocation
+//!   and the paging + refresh policy, emitting typed schedules.
+//! * [`program`] — a small logical-circuit IR and its compiler
+//!   ([`program::compile`]) onto the machine.
+//! * [`isa`] — the typed instruction set ([`isa::Instr`],
+//!   [`isa::Schedule`]): page-in/out, refresh rounds, transversal and
+//!   lattice-surgery CNOTs, moves, magic-state consumption, logical
+//!   measurement — each with stack/mode addresses and timestep spans.
+//! * [`exec`] — the [`exec::Executor`] backends:
+//!   [`exec::CostExecutor`] (latency + the legacy [`MachineReport`]),
+//!   [`exec::FrameExecutor`] (Pauli-frame Monte-Carlo with per-block
+//!   decoding → program-level logical error rates),
+//!   [`exec::TraceExecutor`] (machine-readable schedule artifacts), and
+//!   [`exec::ProgramSweepExecutor`] (program scans on the `vlq-sweep`
+//!   work-stealing engine).
 //!
 //! The substrates re-exported below implement everything the paper's
 //! evaluation needs: simulators, schedules, decoders, Monte-Carlo
@@ -26,6 +38,7 @@
 //! # Quickstart
 //!
 //! ```
+//! use vlq::exec::{CostExecutor, Executor};
 //! use vlq::machine::{MachineConfig, VlqMachine};
 //!
 //! // A 2x2 grid of stacks, depth-10 cavities, distance-3 Compact patches.
@@ -33,15 +46,22 @@
 //! let a = m.alloc().unwrap();
 //! let b = m.alloc().unwrap();
 //! m.cnot(a, b).unwrap();
-//! let report = m.finish();
+//!
+//! // Phase 2: replay the emitted schedule on a backend of your choice.
+//! let schedule = m.into_schedule();
+//! let report = CostExecutor.run(&schedule).unwrap();
 //! assert!(report.total_timesteps > 0);
 //! ```
 
+pub mod exec;
+pub mod isa;
 pub mod machine;
 pub mod program;
 
+pub use exec::{CostExecutor, Executor, FrameExecutor, ProgramReport, TraceExecutor};
+pub use isa::{Instr, Schedule};
 pub use machine::{MachineConfig, MachineReport, RefreshPolicy, VlqMachine};
-pub use program::{LogicalCircuit, ProgOp};
+pub use program::{compile, CompiledProgram, LogicalCircuit, ProgOp};
 
 // Re-export the substrate crates under stable names.
 pub use vlq_arch as arch;

@@ -1,5 +1,5 @@
 //! The virtualized-logical-qubit machine: addressing, paging, refresh
-//! scheduling, and logical-operation execution.
+//! scheduling — the *scheduler* half of the two-phase execution model.
 //!
 //! The machine models the paper's architectural rules (§III-D):
 //!
@@ -14,6 +14,14 @@
 //!   (6 timesteps), whichever the policy prefers;
 //! * moves traverse the free modes along the path, so intersecting moves
 //!   serialize.
+//!
+//! Since the scheduling/execution split, the machine no longer
+//! accumulates costs eagerly: every operation appends typed
+//! [`crate::isa::Instr`]uctions to a [`Schedule`], and any
+//! [`crate::exec::Executor`] backend consumes it. The legacy
+//! [`VlqMachine::finish`] entry point is a thin wrapper that replays
+//! the schedule through [`crate::exec::CostExecutor`], reproducing the
+//! pre-split [`MachineReport`] exactly.
 
 use std::collections::BTreeMap;
 
@@ -21,6 +29,8 @@ use vlq_arch::address::{ModeIndex, StackCoord, VirtAddr};
 use vlq_arch::geometry::{patch_cost, Embedding};
 use vlq_arch::params::HardwareParams;
 use vlq_surgery::LogicalOp;
+
+use crate::isa::{Instr, LogicalGate1Q, Schedule};
 
 /// Machine-level errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,6 +41,26 @@ pub enum MachineError {
     UnknownQubit(LogicalId),
     /// Operation on a deallocated qubit.
     Deallocated(LogicalId),
+    /// A stack coordinate outside the machine's grid.
+    UnknownStack(StackCoord),
+    /// An instruction start time earlier than its predecessor's.
+    TimeReversal {
+        /// The offending start time.
+        t: u64,
+        /// The preceding instruction's start time.
+        previous: u64,
+    },
+    /// A schedule-level failure: the underlying error plus which
+    /// instruction triggered it (schedule validation and replay).
+    Schedule {
+        /// Index of the instruction in the schedule.
+        index: usize,
+        /// The instruction's mnemonic.
+        instr: &'static str,
+        /// The underlying cause (exposed via
+        /// [`std::error::Error::source`]).
+        source: Box<MachineError>,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -39,11 +69,32 @@ impl std::fmt::Display for MachineError {
             MachineError::OutOfCapacity => write!(f, "no free cavity mode available"),
             MachineError::UnknownQubit(id) => write!(f, "unknown logical qubit {id:?}"),
             MachineError::Deallocated(id) => write!(f, "logical qubit {id:?} was measured"),
+            MachineError::UnknownStack(s) => write!(f, "stack {s} is outside the machine grid"),
+            MachineError::TimeReversal { t, previous } => {
+                write!(
+                    f,
+                    "instruction at t={t} starts before its predecessor (t={previous})"
+                )
+            }
+            MachineError::Schedule {
+                index,
+                instr,
+                source,
+            } => {
+                write!(f, "schedule instruction #{index} ({instr}): {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for MachineError {}
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Schedule { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Handle to an allocated logical qubit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,7 +111,7 @@ pub enum RefreshPolicy {
 }
 
 /// Machine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineConfig {
     /// Stacks in x.
     pub stacks_x: u32,
@@ -115,7 +166,8 @@ impl MachineConfig {
     }
 }
 
-/// One scheduled event on the machine timeline.
+/// One scheduled event on the machine timeline (the legacy rendering of
+/// a replayed schedule; see [`crate::exec::CostExecutor`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum TimelineEvent {
     /// A logical operation at `(start_timestep, op, qubits)`.
@@ -141,6 +193,10 @@ pub struct MachineReport {
     pub refresh_passes: u64,
     /// Worst refresh staleness observed (scheduler cycles since last EC).
     pub max_staleness: u64,
+    /// Refresh-deadline misses: refresh passes that found a stored qubit
+    /// stale past the `k`-cycle deadline (paper §III-A's hard
+    /// requirement; always 0 under the built-in policies).
+    pub deadline_misses: u64,
     /// Full event timeline.
     pub timeline: Vec<TimelineEvent>,
 }
@@ -148,11 +204,10 @@ pub struct MachineReport {
 #[derive(Clone, Debug)]
 struct QubitState {
     addr: VirtAddr,
-    last_refresh: u64,
     alive: bool,
 }
 
-/// The virtualized-logical-qubit machine.
+/// The virtualized-logical-qubit machine (scheduler).
 #[derive(Clone, Debug)]
 pub struct VlqMachine {
     config: MachineConfig,
@@ -161,7 +216,7 @@ pub struct VlqMachine {
     stacks: BTreeMap<StackCoord, BTreeMap<u8, LogicalId>>,
     next_id: u32,
     clock: u64,
-    report: MachineReport,
+    schedule: Schedule,
     /// Round-robin refresh cursor per stack.
     refresh_cursor: BTreeMap<StackCoord, usize>,
 }
@@ -182,7 +237,7 @@ impl VlqMachine {
             stacks,
             next_id: 0,
             clock: 0,
-            report: MachineReport::default(),
+            schedule: Schedule::new(config),
             refresh_cursor: BTreeMap::new(),
         }
     }
@@ -195,6 +250,18 @@ impl VlqMachine {
     /// Current logical timestep.
     pub fn now(&self) -> u64 {
         self.clock
+    }
+
+    /// The schedule emitted so far.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Finishes scheduling and returns the typed instruction schedule,
+    /// ready for any [`crate::exec::Executor`] backend.
+    pub fn into_schedule(mut self) -> Schedule {
+        self.schedule.set_duration(self.clock);
+        self.schedule
     }
 
     /// Allocates a logical qubit, preferring the emptiest stack (spreads
@@ -212,58 +279,44 @@ impl VlqMachine {
             .min_by_key(|(_, occ)| occ.len())
             .map(|(&s, _)| s)
             .ok_or(MachineError::OutOfCapacity)?;
-        let occ = self.stacks.get_mut(&best).expect("stack exists");
-        let mode = (0..self.config.k as u8)
-            .find(|m| !occ.contains_key(m))
-            .expect("capacity checked");
-        let id = LogicalId(self.next_id);
-        self.next_id += 1;
-        occ.insert(mode, id);
-        self.qubits.insert(
-            id,
-            QubitState {
-                addr: VirtAddr::new(best, ModeIndex(mode)),
-                last_refresh: self.clock,
-                alive: true,
-            },
-        );
-        Ok(id)
+        self.alloc_in(best)
     }
 
     /// Allocates into a specific stack if it has room.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnknownStack`] for coordinates outside the
+    /// grid and [`MachineError::OutOfCapacity`] when the stack is full.
     pub fn alloc_in(&mut self, stack: StackCoord) -> Result<LogicalId, MachineError> {
         let limit = self.config.k - 1;
+        let k = self.config.k as u8;
         let occ = self
             .stacks
             .get_mut(&stack)
-            .ok_or(MachineError::OutOfCapacity)?;
+            .ok_or(MachineError::UnknownStack(stack))?;
         if occ.len() >= limit {
             return Err(MachineError::OutOfCapacity);
         }
-        let mode = (0..self.config.k as u8)
+        let mode = (0..k)
             .find(|m| !occ.contains_key(m))
-            .expect("room checked");
+            .ok_or(MachineError::OutOfCapacity)?;
         let id = LogicalId(self.next_id);
         self.next_id += 1;
         occ.insert(mode, id);
-        self.qubits.insert(
-            id,
-            QubitState {
-                addr: VirtAddr::new(stack, ModeIndex(mode)),
-                last_refresh: self.clock,
-                alive: true,
-            },
-        );
+        let addr = VirtAddr::new(stack, ModeIndex(mode));
+        self.qubits.insert(id, QubitState { addr, alive: true });
+        self.schedule.push(Instr::PageIn {
+            qubit: id,
+            addr,
+            t: self.clock,
+        });
         Ok(id)
     }
 
     /// The qubit's current virtual address.
     pub fn address_of(&self, id: LogicalId) -> Result<VirtAddr, MachineError> {
-        let q = self.qubits.get(&id).ok_or(MachineError::UnknownQubit(id))?;
-        if !q.alive {
-            return Err(MachineError::Deallocated(id));
-        }
-        Ok(q.addr)
+        Ok(self.check_alive(id)?.addr)
     }
 
     fn check_alive(&self, id: LogicalId) -> Result<&QubitState, MachineError> {
@@ -286,6 +339,7 @@ impl VlqMachine {
                 self.refresh_one(s);
             }
         }
+        self.schedule.set_duration(self.clock);
     }
 
     fn refresh_one(&mut self, stack: StackCoord) {
@@ -294,44 +348,28 @@ impl VlqMachine {
             return;
         }
         let cursor = self.refresh_cursor.entry(stack).or_insert(0);
-        match self.config.refresh {
-            RefreshPolicy::Interleaved => {
-                let idx = *cursor % occupied.len();
-                *cursor = (*cursor + 1) % occupied.len().max(1);
-                let id = occupied[idx];
-                self.touch_refresh(id);
-                self.report
-                    .timeline
-                    .push(TimelineEvent::Refresh(self.clock, stack, 1));
-                self.report.refresh_passes += 1;
-            }
-            RefreshPolicy::AllAtOnce => {
-                // A block refreshes one mode completely; with d rounds
-                // per block the mode stays fresh for k cycles.
-                let idx = *cursor % occupied.len();
-                *cursor = (*cursor + 1) % occupied.len().max(1);
-                let id = occupied[idx];
-                self.touch_refresh(id);
-                self.report
-                    .timeline
-                    .push(TimelineEvent::Refresh(self.clock, stack, self.config.d));
-                self.report.refresh_passes += 1;
-            }
-        }
-        // Track staleness across the stack.
-        for id in occupied {
-            let q = &self.qubits[&id];
-            let staleness = self.clock.saturating_sub(q.last_refresh);
-            if staleness > self.report.max_staleness {
-                self.report.max_staleness = staleness;
-            }
-        }
+        let idx = *cursor % occupied.len();
+        *cursor = (*cursor + 1) % occupied.len().max(1);
+        let id = occupied[idx];
+        let rounds = match self.config.refresh {
+            RefreshPolicy::Interleaved => 1,
+            // A block refreshes one mode completely; with d rounds per
+            // block the mode stays fresh for k cycles.
+            RefreshPolicy::AllAtOnce => self.config.d,
+        };
+        self.schedule.push(Instr::RefreshRound {
+            stack,
+            qubit: id,
+            rounds,
+            t: self.clock,
+        });
     }
 
-    fn touch_refresh(&mut self, id: LogicalId) {
-        if let Some(q) = self.qubits.get_mut(&id) {
-            q.last_refresh = self.clock;
-        }
+    fn touch(&mut self, id: LogicalId) {
+        self.schedule.push(Instr::Correction {
+            qubit: id,
+            t: self.clock,
+        });
     }
 
     /// Executes a logical CNOT between two qubits.
@@ -347,12 +385,17 @@ impl VlqMachine {
         let ca = self.check_alive(control)?.addr;
         let ta = self.check_alive(target)?.addr;
         if ca.stack == ta.stack {
-            self.execute_op(LogicalOp::TransversalCnot, &[control, target]);
-            self.report.transversal_cnots += 1;
+            self.schedule.push(Instr::TransversalCnot {
+                control,
+                target,
+                stack: ca.stack,
+                t: self.clock,
+            });
+            self.advance(LogicalOp::TransversalCnot.timesteps() as u64);
             // The transversal CNOT doubles as a correction round for
             // both participants.
-            self.touch_refresh(control);
-            self.touch_refresh(target);
+            self.touch(control);
+            self.touch(target);
             return Ok(());
         }
         if self.config.prefer_transversal && self.occupancy(ta.stack) < self.config.k - 1 {
@@ -361,16 +404,27 @@ impl VlqMachine {
             // condition above routes the CNOT through lattice surgery
             // instead (which needs no destination mode).
             self.move_qubit(control, ta.stack)?;
-            self.execute_op(LogicalOp::TransversalCnot, &[control, target]);
-            self.report.transversal_cnots += 1;
+            self.schedule.push(Instr::TransversalCnot {
+                control,
+                target,
+                stack: ta.stack,
+                t: self.clock,
+            });
+            self.advance(LogicalOp::TransversalCnot.timesteps() as u64);
             self.move_qubit(control, ca.stack)?;
-            self.touch_refresh(control);
-            self.touch_refresh(target);
+            self.touch(control);
+            self.touch(target);
         } else {
-            self.execute_op(LogicalOp::LatticeSurgeryCnot, &[control, target]);
-            self.report.surgery_cnots += 1;
-            self.touch_refresh(control);
-            self.touch_refresh(target);
+            self.schedule.push(Instr::LatticeSurgeryCnot {
+                control,
+                target,
+                control_stack: ca.stack,
+                target_stack: ta.stack,
+                t: self.clock,
+            });
+            self.advance(LogicalOp::LatticeSurgeryCnot.timesteps() as u64);
+            self.touch(control);
+            self.touch(target);
         }
         Ok(())
     }
@@ -388,7 +442,10 @@ impl VlqMachine {
         }
         let limit = self.config.k - 1;
         {
-            let occ = self.stacks.get(&dest).ok_or(MachineError::OutOfCapacity)?;
+            let occ = self
+                .stacks
+                .get(&dest)
+                .ok_or(MachineError::UnknownStack(dest))?;
             if occ.len() >= limit {
                 return Err(MachineError::OutOfCapacity);
             }
@@ -396,60 +453,117 @@ impl VlqMachine {
         // Release the source mode.
         self.stacks
             .get_mut(&from.stack)
-            .expect("stack")
+            .ok_or(MachineError::UnknownStack(from.stack))?
             .remove(&from.mode.0);
-        let occ = self.stacks.get_mut(&dest).expect("stack");
-        let mode = (0..self.config.k as u8)
+        let k = self.config.k as u8;
+        let occ = self
+            .stacks
+            .get_mut(&dest)
+            .ok_or(MachineError::UnknownStack(dest))?;
+        let mode = (0..k)
             .find(|m| !occ.contains_key(m))
-            .expect("room checked");
+            .ok_or(MachineError::OutOfCapacity)?;
         occ.insert(mode, id);
-        let clock = self.clock;
+        let to_addr = VirtAddr::new(dest, ModeIndex(mode));
         if let Some(q) = self.qubits.get_mut(&id) {
-            q.addr = VirtAddr::new(dest, ModeIndex(mode));
-            q.last_refresh = clock;
+            q.addr = to_addr;
         }
-        self.report
-            .timeline
-            .push(TimelineEvent::Move(self.clock, id, from.stack, dest));
-        self.report.moves += 1;
+        self.schedule.push(Instr::Move {
+            qubit: id,
+            from: from.stack,
+            to: dest,
+            to_addr,
+            t: self.clock,
+        });
         self.advance(LogicalOp::Move.timesteps() as u64);
         Ok(())
     }
 
-    /// Applies a transversal single-qubit logical gate (X, Z, H): one
+    /// Applies a transversal single-qubit logical gate (defaults to H;
+    /// see [`VlqMachine::logical_1q`] for an explicit gate choice): one
     /// timestep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors.
     pub fn single_qubit_gate(&mut self, id: LogicalId) -> Result<(), MachineError> {
+        self.logical_1q(id, LogicalGate1Q::H)
+    }
+
+    /// Applies a named transversal single-qubit logical gate (1
+    /// timestep). The gate identity matters to frame-replay backends
+    /// (error propagation through H differs from X/Z); the cost model
+    /// treats all of them as the 1-timestep transversal class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors.
+    pub fn logical_1q(&mut self, id: LogicalId, gate: LogicalGate1Q) -> Result<(), MachineError> {
         self.check_alive(id)?;
-        self.execute_op(LogicalOp::Initialize, &[id]); // 1-timestep class
-        self.touch_refresh(id);
+        self.schedule.push(Instr::Logical1Q {
+            qubit: id,
+            gate,
+            t: self.clock,
+        });
+        self.advance(LogicalOp::Initialize.timesteps() as u64);
+        self.touch(id);
+        Ok(())
+    }
+
+    /// Consumes one magic state to apply a T gate by teleportation
+    /// (2 timesteps: transversal interaction + measurement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors.
+    pub fn consume_magic(&mut self, id: LogicalId) -> Result<(), MachineError> {
+        self.check_alive(id)?;
+        self.schedule.push(Instr::ConsumeMagic {
+            qubit: id,
+            t: self.clock,
+        });
+        // Matches the legacy two-step eager path: the interaction and
+        // the measurement each advance one timestep and each double as a
+        // correction touch.
+        self.advance(1);
+        self.touch(id);
+        self.advance(1);
+        self.touch(id);
         Ok(())
     }
 
     /// Measures a logical qubit destructively, freeing its mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address errors.
     pub fn measure(&mut self, id: LogicalId) -> Result<(), MachineError> {
         let addr = self.check_alive(id)?.addr;
-        self.execute_op(LogicalOp::Measure, &[id]);
+        self.schedule.push(Instr::MeasureLogical {
+            qubit: id,
+            addr,
+            t: self.clock,
+        });
+        self.advance(LogicalOp::Measure.timesteps() as u64);
         self.stacks
             .get_mut(&addr.stack)
-            .expect("stack")
+            .ok_or(MachineError::UnknownStack(addr.stack))?
             .remove(&addr.mode.0);
         if let Some(q) = self.qubits.get_mut(&id) {
             q.alive = false;
         }
+        self.schedule.push(Instr::PageOut {
+            qubit: id,
+            addr,
+            t: self.clock,
+        });
         Ok(())
     }
 
-    fn execute_op(&mut self, op: LogicalOp, qubits: &[LogicalId]) {
-        self.report
-            .timeline
-            .push(TimelineEvent::Op(self.clock, op, qubits.to_vec()));
-        self.advance(op.timesteps() as u64);
-    }
-
-    /// Finishes execution and returns the report.
-    pub fn finish(mut self) -> MachineReport {
-        self.report.total_timesteps = self.clock;
-        self.report
+    /// Finishes execution and returns the legacy cost report (replays
+    /// the emitted schedule through [`crate::exec::CostExecutor`]).
+    pub fn finish(self) -> MachineReport {
+        crate::exec::replay_costs(&self.into_schedule())
     }
 
     /// Occupancy of a stack (modes in use).
@@ -532,6 +646,7 @@ mod tests {
         // Round-robin over 5 modes: staleness stays near 5 cycles, far
         // below the k = 10 deadline.
         assert!(r.max_staleness <= 6, "staleness {}", r.max_staleness);
+        assert_eq!(r.deadline_misses, 0);
     }
 
     #[test]
@@ -575,5 +690,46 @@ mod tests {
         // 4 stacks x (d^2 + d - 1 = 11) transmons.
         assert_eq!(cfg.total_transmons(), 44);
         assert_eq!(cfg.total_cavities(), 36);
+    }
+
+    #[test]
+    fn unknown_stack_is_a_typed_error() {
+        let mut m = demo();
+        let bogus = StackCoord::new(9, 9);
+        assert_eq!(m.alloc_in(bogus), Err(MachineError::UnknownStack(bogus)));
+        let a = m.alloc().unwrap();
+        assert_eq!(
+            m.move_qubit(a, bogus),
+            Err(MachineError::UnknownStack(bogus))
+        );
+    }
+
+    #[test]
+    fn machine_emits_valid_schedules() {
+        let mut m = demo();
+        let a = m.alloc().unwrap();
+        let b = m.alloc().unwrap();
+        m.single_qubit_gate(a).unwrap();
+        m.cnot(a, b).unwrap();
+        m.consume_magic(b).unwrap();
+        m.measure(a).unwrap();
+        m.measure(b).unwrap();
+        let schedule = m.into_schedule();
+        schedule.validate().unwrap();
+        assert!(schedule.duration() > 0);
+    }
+
+    #[test]
+    fn schedule_error_exposes_source() {
+        use std::error::Error;
+        let err = MachineError::Schedule {
+            index: 3,
+            instr: "move",
+            source: Box::new(MachineError::OutOfCapacity),
+        };
+        let source = err.source().expect("schedule errors carry a source");
+        assert_eq!(source.to_string(), "no free cavity mode available");
+        assert!(err.to_string().contains("#3"));
+        assert!(err.to_string().contains("move"));
     }
 }

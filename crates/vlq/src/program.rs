@@ -1,12 +1,18 @@
-//! A minimal logical-circuit IR and compiler onto the [`VlqMachine`].
+//! A minimal logical-circuit IR and its compiler onto the [`VlqMachine`].
 //!
 //! Programs are sequences of logical operations over virtual qubit
-//! indices; the compiler allocates machine qubits, schedules each
-//! operation with the paper's latency model, and reports timestep totals
-//! plus the transversal-vs-surgery breakdown. T gates are modeled as
-//! magic-state consumption (the factory models live in `vlq-magic`).
+//! indices. Since the scheduling/execution split, compilation is a
+//! separate phase: [`compile`] allocates machine qubits, schedules every
+//! operation under the paper's latency model, and returns the typed
+//! [`Schedule`] — which any [`crate::exec::Executor`] backend can then
+//! replay for latency numbers ([`crate::exec::CostExecutor`]),
+//! program-level logical error rates ([`crate::exec::FrameExecutor`]),
+//! or trace artifacts ([`crate::exec::TraceExecutor`]). T gates are
+//! modeled as magic-state consumption (the factory models live in
+//! `vlq-magic`).
 
-use crate::machine::{LogicalId, MachineError, VlqMachine};
+use crate::isa::{LogicalGate1Q, Schedule};
+use crate::machine::{LogicalId, MachineConfig, MachineError, VlqMachine};
 
 /// One logical program operation over virtual indices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +62,61 @@ impl LogicalCircuit {
         c
     }
 
+    /// Quantum teleportation of qubit 0 through a Bell pair on qubits
+    /// 1-2 (the Pauli corrections are classically controlled and carry
+    /// no scheduling cost here).
+    pub fn teleport() -> Self {
+        let mut c = LogicalCircuit::new(3);
+        c.push(ProgOp::H(1))
+            .push(ProgOp::Cnot(1, 2))
+            .push(ProgOp::Cnot(0, 1))
+            .push(ProgOp::H(0))
+            .push(ProgOp::Measure(0))
+            .push(ProgOp::Measure(1));
+        c
+    }
+
+    /// The Clifford+T skeleton of an `n`-bit ripple-carry adder
+    /// (Toffolis in the standard 7-T decomposition, carries in dedicated
+    /// qubits). A latency/fidelity workload shape — heavy in cross-qubit
+    /// CNOTs and magic states — not a verified arithmetic circuit.
+    pub fn adder(n: usize) -> Self {
+        // Layout: a[0..n], b[0..n], carries c[0..n].
+        let mut circ = LogicalCircuit::new(3 * n);
+        let (a, b, c) = (0, n, 2 * n);
+        for i in 0..n {
+            circ.toffoli(a + i, b + i, c + i);
+            circ.push(ProgOp::Cnot(a + i, b + i));
+            if i + 1 < n {
+                circ.push(ProgOp::Cnot(c + i, b + i + 1));
+            }
+        }
+        for q in b..2 * n {
+            circ.push(ProgOp::Measure(q));
+        }
+        circ
+    }
+
+    /// Appends the standard 7-T Toffoli decomposition (T and T† both
+    /// consume one magic state, so both map to [`ProgOp::T`]).
+    pub fn toffoli(&mut self, a: usize, b: usize, c: usize) -> &mut Self {
+        self.push(ProgOp::H(c))
+            .push(ProgOp::Cnot(b, c))
+            .push(ProgOp::T(c))
+            .push(ProgOp::Cnot(a, c))
+            .push(ProgOp::T(c))
+            .push(ProgOp::Cnot(b, c))
+            .push(ProgOp::T(c))
+            .push(ProgOp::Cnot(a, c))
+            .push(ProgOp::T(b))
+            .push(ProgOp::T(c))
+            .push(ProgOp::H(c))
+            .push(ProgOp::Cnot(a, b))
+            .push(ProgOp::T(b))
+            .push(ProgOp::Cnot(a, b))
+            .push(ProgOp::T(a))
+    }
+
     /// Number of T gates (magic states needed).
     pub fn t_count(&self) -> usize {
         self.ops
@@ -65,16 +126,53 @@ impl LogicalCircuit {
     }
 }
 
-/// Result of compiling and executing a program on the machine.
+/// A compiled logical program: the typed schedule plus allocation
+/// metadata.
 #[derive(Clone, Debug)]
-pub struct CompileReport {
-    /// Machine execution report.
-    pub machine: crate::machine::MachineReport,
+pub struct CompiledProgram {
+    /// The replayable instruction schedule.
+    pub schedule: Schedule,
+    /// Machine qubit handles, indexed by virtual qubit.
+    pub qubits: Vec<LogicalId>,
     /// Magic states consumed.
     pub magic_states: usize,
 }
 
-/// Compiles and executes a logical circuit on the machine.
+/// Compiles a logical circuit for a machine shape, returning the typed
+/// schedule (phase one of the two-phase model; hand it to any
+/// [`crate::exec::Executor`]).
+///
+/// # Errors
+///
+/// Propagates machine errors (capacity, dead qubits).
+///
+/// # Examples
+///
+/// ```
+/// use vlq::exec::{CostExecutor, Executor};
+/// use vlq::machine::MachineConfig;
+/// use vlq::program::{compile, LogicalCircuit};
+///
+/// let compiled = compile(&LogicalCircuit::ghz(4), MachineConfig::compact_demo()).unwrap();
+/// let report = CostExecutor.run(&compiled.schedule).unwrap();
+/// assert_eq!(report.transversal_cnots + report.surgery_cnots, 3);
+/// ```
+pub fn compile(
+    circuit: &LogicalCircuit,
+    config: MachineConfig,
+) -> Result<CompiledProgram, MachineError> {
+    let mut machine = VlqMachine::new(config);
+    let qubits = run_program(&mut machine, circuit)?;
+    Ok(CompiledProgram {
+        schedule: machine.into_schedule(),
+        qubits,
+        magic_states: circuit.t_count(),
+    })
+}
+
+/// Schedules a logical circuit on an existing machine (the in-place
+/// form of [`compile`]; chain several circuits on one machine, then call
+/// [`VlqMachine::finish`] or [`VlqMachine::into_schedule`]).
 ///
 /// # Errors
 ///
@@ -89,13 +187,8 @@ pub fn run_program(
     for op in &circuit.ops {
         match *op {
             ProgOp::Cnot(c, t) => machine.cnot(ids[c], ids[t])?,
-            ProgOp::H(q) => machine.single_qubit_gate(ids[q])?,
-            ProgOp::T(q) => {
-                // Magic-state teleportation: one transversal interaction
-                // with the factory output plus a measurement.
-                machine.single_qubit_gate(ids[q])?;
-                machine.single_qubit_gate(ids[q])?;
-            }
+            ProgOp::H(q) => machine.logical_1q(ids[q], LogicalGate1Q::H)?,
+            ProgOp::T(q) => machine.consume_magic(ids[q])?,
             ProgOp::Measure(q) => machine.measure(ids[q])?,
         }
     }
@@ -105,6 +198,7 @@ pub fn run_program(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{CostExecutor, Executor};
     use crate::machine::MachineConfig;
 
     #[test]
@@ -124,6 +218,36 @@ mod tests {
             .push(ProgOp::T(1))
             .push(ProgOp::Cnot(0, 1));
         assert_eq!(c.t_count(), 2);
+    }
+
+    #[test]
+    fn compile_matches_in_place_scheduling() {
+        let circuit = LogicalCircuit::ghz(5);
+        let compiled = compile(&circuit, MachineConfig::compact_demo()).unwrap();
+        compiled.schedule.validate().unwrap();
+        assert_eq!(compiled.qubits.len(), 5);
+
+        let mut m = VlqMachine::new(MachineConfig::compact_demo());
+        run_program(&mut m, &circuit).unwrap();
+        let eager = m.finish();
+        let replayed = CostExecutor.run(&compiled.schedule).unwrap();
+        assert_eq!(eager.total_timesteps, replayed.total_timesteps);
+        assert_eq!(eager.timeline, replayed.timeline);
+    }
+
+    #[test]
+    fn teleport_and_adder_workloads_compile() {
+        let teleport = compile(&LogicalCircuit::teleport(), MachineConfig::compact_demo()).unwrap();
+        let r = CostExecutor.run(&teleport.schedule).unwrap();
+        assert_eq!(r.transversal_cnots + r.surgery_cnots, 2);
+
+        let adder = LogicalCircuit::adder(2);
+        assert_eq!(adder.t_count(), 2 * 7);
+        let compiled = compile(&adder, MachineConfig::compact_demo()).unwrap();
+        assert_eq!(compiled.magic_states, 14);
+        let r = CostExecutor.run(&compiled.schedule).unwrap();
+        // 6 CNOTs per Toffoli + 1 sum CNOT per bit + 1 carry-chain CNOT.
+        assert_eq!(r.transversal_cnots + r.surgery_cnots, 15);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Golden pins: `CostExecutor` replay of machine-emitted schedules must
+//! reproduce the pre-refactor eager path's `MachineReport` exactly.
+//!
+//! The expected numbers were captured from the eager implementation
+//! (commit `8b0382a`, before the scheduling/execution split) by running
+//! these exact programs and recording every report field. Any drift in
+//! scheduling order, replayed refresh bookkeeping, or the legacy
+//! timeline rendering shows up here.
+
+use vlq::exec::{CostExecutor, Executor};
+use vlq::machine::{MachineConfig, MachineReport, RefreshPolicy, VlqMachine};
+use vlq::program::{run_program, LogicalCircuit, ProgOp};
+
+struct Golden {
+    total_timesteps: u64,
+    transversal_cnots: u64,
+    surgery_cnots: u64,
+    moves: u64,
+    refresh_passes: u64,
+    max_staleness: u64,
+    timeline_len: usize,
+}
+
+fn check(name: &str, machine: VlqMachine, golden: Golden) {
+    // The compatibility wrapper and the explicit executor must agree.
+    let schedule = machine.into_schedule();
+    schedule
+        .validate()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let report = CostExecutor.run(&schedule).expect("valid schedule");
+    assert_report(name, &report, &golden);
+    assert_eq!(report.deadline_misses, 0, "{name}: spurious deadline miss");
+}
+
+fn assert_report(name: &str, r: &MachineReport, g: &Golden) {
+    assert_eq!(r.total_timesteps, g.total_timesteps, "{name}: total");
+    assert_eq!(r.transversal_cnots, g.transversal_cnots, "{name}: tcnot");
+    assert_eq!(r.surgery_cnots, g.surgery_cnots, "{name}: scnot");
+    assert_eq!(r.moves, g.moves, "{name}: moves");
+    assert_eq!(r.refresh_passes, g.refresh_passes, "{name}: refresh");
+    assert_eq!(r.max_staleness, g.max_staleness, "{name}: staleness");
+    assert_eq!(r.timeline.len(), g.timeline_len, "{name}: timeline");
+}
+
+#[test]
+fn ghz6_on_compact_demo() {
+    let mut m = VlqMachine::new(MachineConfig::compact_demo());
+    run_program(&mut m, &LogicalCircuit::ghz(6)).unwrap();
+    check(
+        "ghz6-demo",
+        m,
+        Golden {
+            total_timesteps: 16,
+            transversal_cnots: 5,
+            surgery_cnots: 0,
+            moves: 10,
+            refresh_passes: 60,
+            max_staleness: 2,
+            timeline_len: 76,
+        },
+    );
+}
+
+#[test]
+fn paging_scheduler_program() {
+    // The exact program of examples/paging_scheduler.rs, T gate included
+    // (the ConsumeMagic macro-instruction must render the same legacy
+    // timeline as the eager path's two-step teleportation).
+    let mut cfg = MachineConfig::compact_demo();
+    cfg.stacks_x = 2;
+    cfg.stacks_y = 1;
+    cfg.k = 4;
+    cfg.refresh = RefreshPolicy::Interleaved;
+    let mut m = VlqMachine::new(cfg);
+    let mut circuit = LogicalCircuit::new(6);
+    circuit.push(ProgOp::H(0));
+    for i in 1..6 {
+        circuit.push(ProgOp::Cnot(i - 1, i));
+    }
+    circuit.push(ProgOp::T(2));
+    circuit.push(ProgOp::Cnot(5, 0));
+    for q in 0..6 {
+        circuit.push(ProgOp::Measure(q));
+    }
+    run_program(&mut m, &circuit).unwrap();
+    check(
+        "paging",
+        m,
+        Golden {
+            total_timesteps: 45,
+            transversal_cnots: 0,
+            surgery_cnots: 6,
+            moves: 0,
+            refresh_passes: 89,
+            max_staleness: 3,
+            timeline_len: 104,
+        },
+    );
+}
+
+#[test]
+fn surgery_policy_ghz6() {
+    let mut cfg = MachineConfig::compact_demo();
+    cfg.prefer_transversal = false;
+    cfg.stacks_x = 6;
+    cfg.stacks_y = 1;
+    cfg.k = 2;
+    let mut m = VlqMachine::new(cfg);
+    run_program(&mut m, &LogicalCircuit::ghz(6)).unwrap();
+    check(
+        "surgery-ghz6",
+        m,
+        Golden {
+            total_timesteps: 31,
+            transversal_cnots: 0,
+            surgery_cnots: 5,
+            moves: 0,
+            refresh_passes: 186,
+            max_staleness: 0,
+            timeline_len: 192,
+        },
+    );
+}
+
+#[test]
+fn quickstart_manual_ghz4() {
+    // The exact op sequence of examples/quickstart.rs step 2.
+    let mut m = VlqMachine::new(MachineConfig::compact_demo());
+    let q: Vec<_> = (0..4).map(|_| m.alloc().unwrap()).collect();
+    m.single_qubit_gate(q[0]).unwrap();
+    for i in 1..4 {
+        m.cnot(q[i - 1], q[i]).unwrap();
+    }
+    check(
+        "quickstart-ghz4",
+        m,
+        Golden {
+            total_timesteps: 10,
+            transversal_cnots: 3,
+            surgery_cnots: 0,
+            moves: 6,
+            refresh_passes: 34,
+            max_staleness: 1,
+            timeline_len: 44,
+        },
+    );
+}
+
+#[test]
+fn all_at_once_idle_refresh() {
+    let mut cfg = MachineConfig::compact_demo();
+    cfg.refresh = RefreshPolicy::AllAtOnce;
+    let mut m = VlqMachine::new(cfg);
+    for _ in 0..5 {
+        m.alloc().unwrap();
+    }
+    m.advance(37);
+    check(
+        "aao-idle",
+        m,
+        Golden {
+            total_timesteps: 37,
+            transversal_cnots: 0,
+            surgery_cnots: 0,
+            moves: 0,
+            refresh_passes: 148,
+            max_staleness: 1,
+            timeline_len: 148,
+        },
+    );
+}
+
+#[test]
+fn finish_equals_cost_executor_replay() {
+    // The legacy entry point is literally the replay: same counts, same
+    // timeline, event for event.
+    let build = || {
+        let mut m = VlqMachine::new(MachineConfig::compact_demo());
+        let ids = run_program(&mut m, &LogicalCircuit::ghz(5)).unwrap();
+        m.consume_magic(ids[0]).unwrap();
+        m.measure(ids[4]).unwrap();
+        m
+    };
+    let legacy = build().finish();
+    let replayed = CostExecutor.run(&build().into_schedule()).unwrap();
+    assert_eq!(legacy.total_timesteps, replayed.total_timesteps);
+    assert_eq!(legacy.timeline, replayed.timeline);
+    assert_eq!(legacy.max_staleness, replayed.max_staleness);
+    assert_eq!(legacy.refresh_passes, replayed.refresh_passes);
+}

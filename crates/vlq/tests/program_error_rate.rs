@@ -1,0 +1,170 @@
+//! Program-level fidelity regressions for the `FrameExecutor` backend
+//! and the program sweeps built on it.
+
+use vlq::arch::geometry::Embedding;
+use vlq::decoder::DecoderKind;
+use vlq::exec::{memory_schedule, Executor, FrameExecutor, FramePrepared, ProgramSweepExecutor};
+use vlq::isa::{Instr, Schedule};
+use vlq::machine::{LogicalId, MachineConfig, RefreshPolicy};
+use vlq::program::{compile, LogicalCircuit};
+use vlq::qec::{run_memory_experiment, ExperimentConfig};
+use vlq::surface::schedule::{Basis, MemorySpec, Setup};
+use vlq::sweep::{SweepEngine, SweepSpec};
+use vlq_arch::address::{ModeIndex, StackCoord, VirtAddr};
+
+fn natural_int_machine(d: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::compact_demo();
+    cfg.embedding = Embedding::Natural;
+    cfg.refresh = RefreshPolicy::Interleaved;
+    cfg.k = 3;
+    cfg.d = d;
+    cfg
+}
+
+/// The acceptance regression: GHZ-4's program-level logical error rate
+/// decreases monotonically with code distance at p = 1e-3 (seeded, so
+/// the comparison is exact-reproducible).
+#[test]
+fn ghz4_error_rate_decreases_with_distance() {
+    let mut rates = Vec::new();
+    for d in [3usize, 5, 7] {
+        let compiled =
+            compile(&LogicalCircuit::ghz(4), natural_int_machine(d)).expect("ghz4 compiles");
+        let report = FrameExecutor::at_scale(1e-3)
+            .with_decoder(DecoderKind::Mwpm)
+            .with_shots(1200)
+            .with_seed(2020)
+            .run(&compiled.schedule)
+            .expect("valid schedule");
+        rates.push((d, report.failures, report.logical_error_rate()));
+    }
+    for pair in rates.windows(2) {
+        let ((d_lo, f_lo, r_lo), (d_hi, f_hi, r_hi)) = (pair[0], pair[1]);
+        assert!(
+            r_lo > r_hi,
+            "rate(d={d_lo}) = {r_lo:.4e} ({f_lo} fails) !> rate(d={d_hi}) = {r_hi:.4e} ({f_hi} fails)"
+        );
+    }
+}
+
+/// The degenerate program (one idle qubit, one refresh pass, no
+/// measurement) replays the *same* prepared memory-experiment blocks
+/// that `run_memory_experiment` samples: its failure rate must match
+/// the sum of the two guard sectors' memory-experiment rates.
+#[test]
+fn single_block_schedule_matches_memory_experiment_rates() {
+    let p = 2e-3;
+    let shots = 30_000u64;
+    let config = natural_int_machine(3);
+    let rounds = 3usize;
+
+    // Hand-built schedule: page in, one refresh block, end-of-program
+    // state check (no measurement, so both sectors count).
+    let mut schedule = Schedule::new(config);
+    let q = LogicalId(0);
+    let addr = VirtAddr::new(StackCoord::new(0, 0), ModeIndex(0));
+    schedule.push(Instr::PageIn {
+        qubit: q,
+        addr,
+        t: 0,
+    });
+    schedule.push(Instr::RefreshRound {
+        stack: addr.stack,
+        qubit: q,
+        rounds,
+        t: 1,
+    });
+    let frame = FrameExecutor::at_scale(p)
+        .with_shots(shots)
+        .run(&schedule)
+        .expect("valid schedule");
+
+    // Reference: the memory experiment in each basis, same spec.
+    let rate_of = |basis: Basis| {
+        let mut spec = MemorySpec::standard(Setup::NaturalInterleaved, 3, 3, basis);
+        spec.rounds = rounds;
+        run_memory_experiment(
+            &ExperimentConfig::new(spec, p)
+                .with_shots(shots)
+                .with_decoder(DecoderKind::UnionFind),
+        )
+        .logical_error_rate()
+    };
+    let expected = rate_of(Basis::Z) + rate_of(Basis::X);
+    let got = frame.logical_error_rate();
+    assert!(
+        (got - expected).abs() < 0.35 * expected.max(1e-3),
+        "frame replay {got:.4e} vs memory experiments {expected:.4e}"
+    );
+}
+
+/// `memory_schedule` really is the memory experiment as a program: the
+/// machine pages one qubit in, refreshes it every cycle, and measures.
+#[test]
+fn memory_schedule_replays_noiselessly() {
+    let schedule = memory_schedule(natural_int_machine(3), 15);
+    let report = FrameExecutor::at_scale(0.0)
+        .with_shots(128)
+        .run(&schedule)
+        .expect("valid schedule");
+    assert_eq!(report.failures, 0);
+}
+
+/// Program points run on the work-stealing engine with the same
+/// determinism contract as memory sweeps: identical records for any
+/// worker count.
+#[test]
+fn program_sweep_runs_on_the_engine() {
+    let spec = SweepSpec::new()
+        .programs(["ghz3", "teleport"])
+        .setups([Setup::NaturalInterleaved])
+        .distances([3])
+        .ks([3])
+        .decoders([DecoderKind::UnionFind])
+        .error_rates([3e-3])
+        .shots(300)
+        .base_seed(7);
+    assert_eq!(spec.len(), 2);
+    let serial = SweepEngine::serial()
+        .run(&spec, &ProgramSweepExecutor, &mut [])
+        .expect("no sinks, no io errors");
+    let parallel = SweepEngine::with_workers(4)
+        .run(&spec, &ProgramSweepExecutor, &mut [])
+        .expect("no sinks, no io errors");
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), 2);
+    assert_eq!(serial[0].point.program.as_deref(), Some("ghz3"));
+    assert_eq!(serial[1].point.program.as_deref(), Some("teleport"));
+    for r in &serial {
+        assert_eq!(r.shots, 300);
+        assert!(r.rate() < 1.0);
+    }
+}
+
+/// A chunked engine run and a direct prepared replay agree when the
+/// chunk boundaries line up (chunk seeds come from the point, so one
+/// whole-point chunk equals one direct call with that seed).
+#[test]
+fn chunk_seeding_is_schedule_independent() {
+    let spec = SweepSpec::new()
+        .programs(["ghz3"])
+        .setups([Setup::NaturalInterleaved])
+        .distances([3])
+        .ks([3])
+        .decoders([DecoderKind::UnionFind])
+        .error_rates([5e-3])
+        .shots(200)
+        .base_seed(11);
+    let records = SweepEngine::serial()
+        .run(&spec, &ProgramSweepExecutor, &mut [])
+        .expect("no sinks");
+    let pt = &records[0].point;
+    let compiled = compile(
+        &LogicalCircuit::ghz(3),
+        vlq::exec::machine_config_for_point(pt, 3),
+    )
+    .expect("compiles");
+    let prepared = FramePrepared::new(compiled.schedule, pt.p, pt.decoder);
+    let direct = prepared.run_failures(200, pt.chunk_seed(11, 0));
+    assert_eq!(records[0].failures, direct);
+}

@@ -1,0 +1,121 @@
+//! Refresh-deadline enforcement: a stored qubit left unrefreshed past
+//! `k` scheduler cycles must be flagged in the replayed report, under
+//! both refresh policies (the paper's DRAM-analogy hard requirement,
+//! §III-A).
+
+use vlq::exec::{CostExecutor, Executor};
+use vlq::isa::{Instr, Schedule};
+use vlq::machine::{LogicalId, MachineConfig, RefreshPolicy, VlqMachine};
+use vlq_arch::address::{ModeIndex, StackCoord, VirtAddr};
+
+fn config(refresh: RefreshPolicy) -> MachineConfig {
+    let mut cfg = MachineConfig::compact_demo();
+    cfg.k = 4;
+    cfg.refresh = refresh;
+    cfg
+}
+
+/// A hand-built schedule that starves one stored qubit: two qubits
+/// share a stack, but every refresh pass hits only the first, so the
+/// second goes stale past the k-cycle deadline.
+fn starving_schedule(refresh: RefreshPolicy) -> Schedule {
+    let cfg = config(refresh);
+    let rounds = match refresh {
+        RefreshPolicy::Interleaved => 1,
+        RefreshPolicy::AllAtOnce => cfg.d,
+    };
+    let stack = StackCoord::new(0, 0);
+    let fed = LogicalId(0);
+    let starved = LogicalId(1);
+    let mut s = Schedule::new(cfg);
+    s.push(Instr::PageIn {
+        qubit: fed,
+        addr: VirtAddr::new(stack, ModeIndex(0)),
+        t: 0,
+    });
+    s.push(Instr::PageIn {
+        qubit: starved,
+        addr: VirtAddr::new(stack, ModeIndex(1)),
+        t: 0,
+    });
+    // k + 2 cycles of refresh, all pointed at the fed qubit. At
+    // t = k + 1 and t = k + 2 the starved qubit is past its deadline.
+    for t in 1..=(cfg.k as u64 + 2) {
+        s.push(Instr::RefreshRound {
+            stack,
+            qubit: fed,
+            rounds,
+            t,
+        });
+    }
+    s
+}
+
+#[test]
+fn starved_qubit_is_flagged_under_both_policies() {
+    for refresh in [RefreshPolicy::Interleaved, RefreshPolicy::AllAtOnce] {
+        let schedule = starving_schedule(refresh);
+        schedule.validate().expect("well-formed schedule");
+        let report = CostExecutor.run(&schedule).expect("valid schedule");
+        let k = schedule.config().k as u64;
+        assert_eq!(
+            report.max_staleness,
+            k + 2,
+            "{refresh:?}: staleness should reach k + 2"
+        );
+        // Misses at t = k+1 and t = k+2 (staleness k+1, k+2 > k).
+        assert_eq!(
+            report.deadline_misses, 2,
+            "{refresh:?}: both past-deadline passes must be flagged"
+        );
+    }
+}
+
+#[test]
+fn staleness_at_exactly_k_is_not_a_miss() {
+    // The deadline is "at least once every k cycles": staleness == k is
+    // the last legal moment, staleness k+1 is the first miss.
+    let cfg = config(RefreshPolicy::Interleaved);
+    let stack = StackCoord::new(0, 0);
+    let fed = LogicalId(0);
+    let edge = LogicalId(1);
+    let mut s = Schedule::new(cfg);
+    for (i, q) in [fed, edge].into_iter().enumerate() {
+        s.push(Instr::PageIn {
+            qubit: q,
+            addr: VirtAddr::new(stack, ModeIndex(i as u8)),
+            t: 0,
+        });
+    }
+    for t in 1..=(cfg.k as u64) {
+        s.push(Instr::RefreshRound {
+            stack,
+            qubit: fed,
+            rounds: 1,
+            t,
+        });
+    }
+    let report = CostExecutor.run(&s).expect("valid schedule");
+    assert_eq!(report.max_staleness, cfg.k as u64);
+    assert_eq!(report.deadline_misses, 0);
+}
+
+/// The machine's own round-robin policies never miss the deadline: the
+/// reserved free mode keeps occupancy at k - 1, so every mode is
+/// refreshed within k - 1 cycles even on a saturated machine.
+#[test]
+fn machine_schedules_never_miss_under_both_policies() {
+    for refresh in [RefreshPolicy::Interleaved, RefreshPolicy::AllAtOnce] {
+        let cfg = config(refresh);
+        let mut m = VlqMachine::new(cfg);
+        // Saturate every stack, then run long idle stretches plus some
+        // cross-stack traffic.
+        let ids: Vec<_> = (0..cfg.capacity()).map(|_| m.alloc().unwrap()).collect();
+        m.advance(3 * cfg.k as u64);
+        m.cnot(ids[0], ids[cfg.capacity() - 1]).unwrap();
+        m.advance(3 * cfg.k as u64);
+        let report = m.finish();
+        assert!(report.max_staleness <= cfg.k as u64, "{refresh:?}");
+        assert_eq!(report.deadline_misses, 0, "{refresh:?}");
+    }
+}
