@@ -19,11 +19,14 @@ use vlq_surgery::{
 use vlq_sweep::artifact::{Table, Value};
 
 const USAGE: &str = "\
-usage: claims [--out DIR]
-  --out  write claims.csv and claims.jsonl artifacts into DIR";
+usage: claims [--out DIR] [--shard I/N]
+  --out    write claims.csv and claims.jsonl artifacts into DIR
+  --shard  write only artifact rows with row index % N == I (merge the
+           shard directories back with sweep-merge)";
 
 fn main() {
-    let args = Args::parse_validated(USAGE, &["out"], &[]);
+    let args = Args::parse_validated(USAGE, &["out", "shard"], &[]);
+    let shard = vlq_bench::shard_from_args(&args, USAGE);
     let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
     let mut table = Table::new(["claim", "quantity", "value", "expected", "pass"]);
 
@@ -138,7 +141,10 @@ fn main() {
     println!("\nAll claims verified.");
 
     if let Some(dir) = &out_dir {
-        table.write_dir(dir, "claims").expect("write claims");
+        table
+            .shard(shard)
+            .write_dir(dir, "claims")
+            .expect("write claims");
         println!(
             "artifacts: claims.csv and claims.jsonl in {}",
             dir.display()

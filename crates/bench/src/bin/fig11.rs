@@ -12,29 +12,33 @@
 //! here are laptop-scale (see EXPERIMENTS.md for the recorded runs).
 
 use vlq_bench::{
-    engine_from_args, parse_f64_list, resume_cache_from_args, resumed_points, sci, usage_exit,
-    Args, OutSinks,
+    engine_from_args, parse_f64_list, resume_cache_from_args, resumed_points, sci, shard_from_args,
+    usage_exit, Args, MetaBuilder, OutSinks,
 };
-use vlq_qec::{estimate_threshold, run_sweep_resumable, DecoderKind, ThresholdScan};
+use vlq_qec::{estimate_threshold, run_sweep_opts, DecoderKind, ThresholdScan};
 use vlq_surface::schedule::{Basis, Setup};
-use vlq_sweep::SweepSpec;
+use vlq_sweep::{RunOptions, SweepSpec};
 
 const USAGE: &str = "\
 usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
              [--decoder mwpm|uf|all] [--setup NAME|all] [--basis z|x]
-             [--rates P1,P2,...] [--workers N] [--out DIR] [--resume] [--quiet]
+             [--rates P1,P2,...] [--workers N] [--out DIR] [--resume]
+             [--shard I/N] [--quiet]
   --decoder  decoder(s) to scan (default mwpm; `all` runs the ablation)
   --setup    one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
   --rates    comma-separated physical error rates (default: 8 rates, 8e-4..1.6e-2)
   --out      write fig11.csv and fig11.jsonl sweep artifacts into DIR
   --resume   skip grid points already present in DIR/fig11.jsonl (needs --out;
-             deterministic seeding keeps resumed artifacts byte-identical)";
+             deterministic seeding keeps resumed artifacts byte-identical)
+  --shard    run only grid points with index % N == I (same global numbering
+             and seeds as the full run; `sweep-merge` restores full artifacts)";
 
 fn main() {
     let args = Args::parse_validated(
         USAGE,
         &[
             "trials", "dmax", "k", "seed", "decoder", "setup", "basis", "rates", "workers", "out",
+            "shard",
         ],
         &["quiet", "resume"],
     );
@@ -108,16 +112,27 @@ fn main() {
         .base_seed(seed);
 
     let engine = engine_from_args(&args, USAGE);
+    let shard = shard_from_args(&args, USAGE);
+    let opts = RunOptions {
+        shard,
+        index_offset: 0,
+    };
     // Read the previous artifact (if resuming) before the sinks
     // truncate it.
-    let cache = resume_cache_from_args(&args, USAGE, "fig11");
-    let skipped = resumed_points(&spec, &cache);
+    let cache = resume_cache_from_args(&args, USAGE, "fig11", seed);
+    let skipped = resumed_points(&spec, &cache, &opts);
     if skipped > 0 {
-        eprintln!("resume: {skipped}/{} points already complete", spec.len());
+        eprintln!(
+            "resume: {skipped}/{} points already complete",
+            shard.len_of(spec.len())
+        );
     }
     let mut out = OutSinks::from_args(&args, "fig11");
+    let mut meta = MetaBuilder::new(seed, shard);
+    meta.absorb(&spec);
+    out.write_meta(&meta.build());
     let records =
-        run_sweep_resumable(&spec, &engine, &mut out.as_dyn(), &cache).expect("sweep artifacts");
+        run_sweep_opts(&spec, &engine, &mut out.as_dyn(), &cache, &opts).expect("sweep artifacts");
 
     println!(
         "Figure 11: thresholds ({} trials/point, decoder {}, basis {:?}, k={k}, {} points)",
@@ -126,6 +141,18 @@ fn main() {
         basis,
         records.len()
     );
+    if !shard.is_full() {
+        // A shard holds a strided subset of every threshold curve;
+        // printed tables only make sense on the merged artifact.
+        println!(
+            "shard {shard}: {} of {} grid points (tables are printed by full runs \
+             or after sweep-merge)",
+            records.len(),
+            spec.len()
+        );
+        out.announce();
+        return;
+    }
     for setup in &setups {
         for decoder in &decoders {
             let scan = ThresholdScan::from_records(

@@ -10,21 +10,25 @@
 //! transmon-t1, load-store-duration, cavity-size.
 
 use vlq_bench::{
-    engine_from_args, resume_cache_from_args, resumed_points, sci, usage_exit, Args, OutSinks,
+    engine_from_args, resume_cache_from_args, resumed_points, sci, shard_from_args, usage_exit,
+    Args, MetaBuilder, OutSinks,
 };
-use vlq_qec::{run_sweep_resumable, sensitivity_spec, DecoderKind, Knob};
+use vlq_qec::{run_sweep_opts, sensitivity_spec, DecoderKind, Knob};
 use vlq_surface::schedule::Setup;
-use vlq_sweep::SweepRecord;
+use vlq_sweep::{RunOptions, SweepRecord};
 
 const USAGE: &str = "\
 usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
-             [--extended] [--workers N] [--out DIR] [--resume] [--quiet]
+             [--extended] [--workers N] [--out DIR] [--resume]
+             [--shard I/N] [--quiet]
   --panel    one of sc-sc-error|load-store-error|sc-mode-error|cavity-t1|
              transmon-t1|load-store-duration|cavity-size|all
   --extended push the cavity-size panel past the paper's plotted range
   --out      write fig12.csv and fig12.jsonl sweep artifacts into DIR
   --resume   skip panel points already present in DIR/fig12.jsonl (needs --out;
-             deterministic seeding keeps resumed artifacts byte-identical)";
+             deterministic seeding keeps resumed artifacts byte-identical)
+  --shard    run only points with global index % N == I (points are numbered
+             across all panels; `sweep-merge` restores full artifacts)";
 
 fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
     match knob {
@@ -49,7 +53,7 @@ fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
 fn main() {
     let args = Args::parse_validated(
         USAGE,
-        &["panel", "trials", "dmax", "seed", "workers", "out"],
+        &["panel", "trials", "dmax", "seed", "workers", "out", "shard"],
         &["extended", "quiet", "resume"],
     );
     let trials: u64 = args.get_or_usage(USAGE, "trials", 10_000);
@@ -82,14 +86,20 @@ fn main() {
     }
 
     let engine = engine_from_args(&args, USAGE);
+    let shard = shard_from_args(&args, USAGE);
     // Read the previous artifact (if resuming) before the sinks
     // truncate it.
-    let cache = resume_cache_from_args(&args, USAGE, "fig12");
+    let cache = resume_cache_from_args(&args, USAGE, "fig12", seed);
     let mut out = OutSinks::from_args(&args, "fig12");
+    let mut meta = MetaBuilder::new(seed, shard);
 
     println!(
         "Figure 12: Compact-Interleaved sensitivity at operating point p=2e-3 ({trials} trials/point)"
     );
+    // Points are numbered globally across panels (each panel's spec
+    // starts at the running offset), so `--shard`/`sweep-merge` see one
+    // consistent index space in the shared artifact.
+    let mut index_offset = 0usize;
     for knob in knobs {
         let values = values_for(knob, extended);
         println!(
@@ -105,12 +115,30 @@ fn main() {
             seed,
             DecoderKind::Mwpm,
         );
-        let skipped = resumed_points(&spec, &cache);
+        let opts = RunOptions {
+            shard,
+            index_offset,
+        };
+        index_offset += spec.len();
+        meta.absorb(&spec);
+        let owned = (0..spec.len())
+            .filter(|i| shard.owns(opts.index_offset + i))
+            .count();
+        let skipped = resumed_points(&spec, &cache, &opts);
         if skipped > 0 {
-            eprintln!("resume: {skipped}/{} points already complete", spec.len());
+            eprintln!("resume: {skipped}/{owned} points already complete");
         }
-        let records = run_sweep_resumable(&spec, &engine, &mut out.as_dyn(), &cache)
+        let records = run_sweep_opts(&spec, &engine, &mut out.as_dyn(), &cache, &opts)
             .expect("sweep artifacts");
+        if !shard.is_full() {
+            println!(
+                "shard {shard}: {} of {} panel points (tables are printed by full \
+                 runs or after sweep-merge)",
+                records.len(),
+                spec.len()
+            );
+            continue;
+        }
 
         let find = |d: usize, v: f64| -> &SweepRecord {
             records
@@ -131,5 +159,6 @@ fn main() {
             println!();
         }
     }
+    out.write_meta(&meta.build());
     out.announce();
 }

@@ -13,16 +13,19 @@ use vlq_magic::factory::{FactoryProtocol, ProtocolKind};
 use vlq_sweep::artifact::Table;
 
 const USAGE: &str = "\
-usage: fig13 [--patches N] [--out DIR]
+usage: fig13 [--patches N] [--out DIR] [--shard I/N]
   --patches  patch budget for the rate comparison (default 100)
-  --out      write fig13a/fig13b/fig13_distill CSV + JSONL artifacts into DIR";
+  --out      write fig13a/fig13b/fig13_distill CSV + JSONL artifacts into DIR
+  --shard    write only artifact rows with row index % N == I (merge the
+             shard directories back with sweep-merge)";
 
 fn main() {
-    let args = Args::parse_validated(USAGE, &["patches", "out"], &[]);
+    let args = Args::parse_validated(USAGE, &["patches", "out", "shard"], &[]);
     let patches: f64 = args.get_or_usage(USAGE, "patches", 100.0);
     if !(patches.is_finite() && patches > 0.0) {
         usage_exit(USAGE, &format!("--patches must be positive, got {patches}"));
     }
+    let shard = vlq_bench::shard_from_args(&args, USAGE);
     let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
 
     let mut fig13a = Table::new(["protocol", "t_per_step", "vs_small_lattice"]);
@@ -92,9 +95,16 @@ fn main() {
     }
 
     if let Some(dir) = &out_dir {
-        fig13a.write_dir(dir, "fig13a").expect("write fig13a");
-        fig13b.write_dir(dir, "fig13b").expect("write fig13b");
+        fig13a
+            .shard(shard)
+            .write_dir(dir, "fig13a")
+            .expect("write fig13a");
+        fig13b
+            .shard(shard)
+            .write_dir(dir, "fig13b")
+            .expect("write fig13b");
         distill
+            .shard(shard)
             .write_dir(dir, "fig13_distill")
             .expect("write fig13_distill");
         println!(

@@ -10,11 +10,14 @@ use vlq_bench::Args;
 use vlq_sweep::artifact::{Table, Value};
 
 const USAGE: &str = "\
-usage: table1 [--out DIR]
-  --out  write table1.csv and table1.jsonl artifacts into DIR";
+usage: table1 [--out DIR] [--shard I/N]
+  --out    write table1.csv and table1.jsonl artifacts into DIR
+  --shard  write only artifact rows with row index % N == I (merge the
+           shard directories back with sweep-merge)";
 
 fn main() {
-    let args = Args::parse_validated(USAGE, &["out"], &[]);
+    let args = Args::parse_validated(USAGE, &["out", "shard"], &[]);
+    let shard = vlq_bench::shard_from_args(&args, USAGE);
     let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
 
     let b = HardwareParams::baseline();
@@ -85,7 +88,10 @@ fn main() {
     println!("Paper values: T1,t 100 us | T1,c 1 ms | 200 ns | 50 ns | 200 ns | 150 ns");
 
     if let Some(dir) = &out_dir {
-        table.write_dir(dir, "table1").expect("write table1");
+        table
+            .shard(shard)
+            .write_dir(dir, "table1")
+            .expect("write table1");
         println!(
             "artifacts: table1.csv and table1.jsonl in {}",
             dir.display()

@@ -10,13 +10,16 @@ use vlq_magic::factory::FactoryProtocol;
 use vlq_sweep::artifact::{Table, Value};
 
 const USAGE: &str = "\
-usage: table2 [--d D] [--k K] [--out DIR]
-  --d    code distance (default 5, the paper's operating point)
-  --k    cavity depth (default 10)
-  --out  write table2.csv and table2.jsonl artifacts into DIR";
+usage: table2 [--d D] [--k K] [--out DIR] [--shard I/N]
+  --d      code distance (default 5, the paper's operating point)
+  --k      cavity depth (default 10)
+  --out    write table2.csv and table2.jsonl artifacts into DIR
+  --shard  write only artifact rows with row index % N == I (merge the
+           shard directories back with sweep-merge)";
 
 fn main() {
-    let args = Args::parse_validated(USAGE, &["d", "k", "out"], &[]);
+    let args = Args::parse_validated(USAGE, &["d", "k", "out", "shard"], &[]);
+    let shard = vlq_bench::shard_from_args(&args, USAGE);
     let d: usize = args.get_or_usage(USAGE, "d", 5);
     let k: usize = args.get_or_usage(USAGE, "k", 10);
     let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
@@ -70,7 +73,10 @@ fn main() {
     }
 
     if let Some(dir) = &out_dir {
-        table.write_dir(dir, "table2").expect("write table2");
+        table
+            .shard(shard)
+            .write_dir(dir, "table2")
+            .expect("write table2");
         println!(
             "artifacts: table2.csv and table2.jsonl in {}",
             dir.display()

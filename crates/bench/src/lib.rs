@@ -45,15 +45,41 @@ impl Args {
     /// with status 2.
     pub fn parse_validated(usage: &str, keys: &[&str], flags: &[&str]) -> Self {
         let argv: Vec<String> = std::env::args().skip(1).collect();
-        Self::parse_argv(&argv, usage, keys, flags)
+        let (args, positionals) = Self::parse_argv(&argv, usage, keys, flags, false);
+        debug_assert!(positionals.is_empty());
+        args
     }
 
-    fn parse_argv(argv: &[String], usage: &str, keys: &[&str], flags: &[&str]) -> Self {
+    /// [`Args::parse_validated`] for binaries that also take positional
+    /// arguments (`sweep-merge`'s shard directories); returns them in
+    /// order alongside the parsed flags.
+    pub fn parse_validated_positional(
+        usage: &str,
+        keys: &[&str],
+        flags: &[&str],
+    ) -> (Self, Vec<String>) {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_argv(&argv, usage, keys, flags, true)
+    }
+
+    fn parse_argv(
+        argv: &[String],
+        usage: &str,
+        keys: &[&str],
+        flags: &[&str],
+        allow_positional: bool,
+    ) -> (Self, Vec<String>) {
         let mut out = Args::default();
+        let mut positionals = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
             let Some(key) = a.strip_prefix("--") else {
+                if allow_positional {
+                    positionals.push(a.clone());
+                    i += 1;
+                    continue;
+                }
                 usage_exit(usage, &format!("unexpected argument {a:?}"));
             };
             if flags.contains(&key) {
@@ -73,7 +99,7 @@ impl Args {
                 usage_exit(usage, &format!("unknown flag --{key}"));
             }
         }
-        out
+        (out, positionals)
     }
 
     /// Typed lookup with default. Silently falls back on parse failure;
@@ -139,6 +165,18 @@ pub fn engine_from_args(args: &Args, usage: &str) -> vlq_sweep::SweepEngine {
     engine
 }
 
+/// Parses the `--shard i/N` flag of a sweep-backed binary (default: the
+/// full `0/1` shard). An unparsable or out-of-range spec prints `usage`
+/// and exits with status 2.
+pub fn shard_from_args(args: &Args, usage: &str) -> vlq_sweep::ShardSpec {
+    match args.pairs_get("shard") {
+        None => vlq_sweep::ShardSpec::FULL,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|e| usage_exit(usage, &format!("--shard: {e}"))),
+    }
+}
+
 /// Loads the `--resume` cache of a sweep-backed binary: completed grid
 /// points from a previous run's `<out>/<stem>.jsonl` artifact.
 ///
@@ -146,8 +184,16 @@ pub fn engine_from_args(args: &Args, usage: &str) -> vlq_sweep::SweepEngine {
 /// artifact files. Returns an empty cache when `--resume` is absent;
 /// exits with usage status 2 when `--resume` is given without `--out`.
 /// A missing artifact (nothing to resume from) is fine — the run is
-/// simply a full one.
-pub fn resume_cache_from_args(args: &Args, usage: &str, stem: &str) -> vlq_sweep::ResumeCache {
+/// simply a full one. A *damaged* artifact (truncated or garbled rows)
+/// or one sampled under a different base seed than `expected_seed` is
+/// a typed [`vlq_sweep::ArtifactError`]: the binary reports it and
+/// exits 2 rather than silently resampling or splicing seeds.
+pub fn resume_cache_from_args(
+    args: &Args,
+    usage: &str,
+    stem: &str,
+    expected_seed: u64,
+) -> vlq_sweep::ResumeCache {
     if !args.has("resume") {
         return vlq_sweep::ResumeCache::new();
     }
@@ -162,7 +208,7 @@ pub fn resume_cache_from_args(args: &Args, usage: &str, stem: &str) -> vlq_sweep
         eprintln!("resume: no {} yet, running the full sweep", path.display());
         return vlq_sweep::ResumeCache::new();
     }
-    match vlq_sweep::ResumeCache::load_jsonl(&path) {
+    match vlq_sweep::ResumeCache::load_jsonl_expecting(&path, expected_seed) {
         Ok(cache) => {
             eprintln!(
                 "resume: loaded {} completed point(s) from {}",
@@ -172,23 +218,29 @@ pub fn resume_cache_from_args(args: &Args, usage: &str, stem: &str) -> vlq_sweep
             cache
         }
         Err(e) => {
-            eprintln!(
-                "resume: cannot read {} ({e}), running the full sweep",
-                path.display()
-            );
-            vlq_sweep::ResumeCache::new()
+            eprintln!("error: --resume rejected: {e}");
+            eprintln!("(rerun without --resume to regenerate the artifact)");
+            std::process::exit(2);
         }
     }
 }
 
-/// How many of a spec's points a resume cache satisfies.
-pub fn resumed_points(spec: &vlq_sweep::SweepSpec, cache: &vlq_sweep::ResumeCache) -> usize {
+/// How many of the points a sharded run owns the resume cache
+/// satisfies (`opts` carries the shard and the global numbering
+/// offset, exactly as passed to the engine).
+pub fn resumed_points(
+    spec: &vlq_sweep::SweepSpec,
+    cache: &vlq_sweep::ResumeCache,
+    opts: &vlq_sweep::RunOptions,
+) -> usize {
     if cache.is_empty() {
         return 0;
     }
     spec.expand()
         .iter()
-        .filter(|pt| cache.failures_for(pt, spec.base_seed).is_some())
+        .enumerate()
+        .filter(|(i, _)| opts.shard.owns(opts.index_offset + i))
+        .filter(|(_, pt)| cache.failures_for(pt, spec.base_seed).is_some())
         .count()
 }
 
@@ -240,6 +292,17 @@ impl OutSinks {
         sinks
     }
 
+    /// Writes the `<stem>.meta.json` sidecar recording the sweep's
+    /// identity (seed, spec fingerprint, full point count, shard) so
+    /// `sweep-merge` can validate shard compatibility. No-op without
+    /// `--out`.
+    pub fn write_meta(&self, meta: &vlq_sweep::SweepMeta) {
+        if let Some(dir) = &self.dir {
+            meta.write(dir, &self.stem)
+                .unwrap_or_else(|e| panic!("write {}.meta.json: {e}", self.stem));
+        }
+    }
+
     /// Prints the artifact paths (call once, after the sweep).
     pub fn announce(&self) {
         if let Some(dir) = &self.dir {
@@ -248,6 +311,47 @@ impl OutSinks {
                 dir.join(format!("{}.csv", self.stem)).display(),
                 dir.join(format!("{}.jsonl", self.stem)).display()
             );
+        }
+    }
+}
+
+/// Accumulates the `.meta.json` identity of a sweep binary's artifact
+/// across the (one or more) specs it streams into it: fig11 absorbs a
+/// single spec, fig12 one per panel. The fingerprint chain and point
+/// total are over the *full* grids, so every shard of the same
+/// invocation writes the same identity.
+#[derive(Clone, Copy, Debug)]
+pub struct MetaBuilder {
+    seed: u64,
+    shard: vlq_sweep::ShardSpec,
+    fingerprint: u64,
+    points: u64,
+}
+
+impl MetaBuilder {
+    /// A builder for a run under `seed` executing `shard`.
+    pub fn new(seed: u64, shard: vlq_sweep::ShardSpec) -> Self {
+        MetaBuilder {
+            seed,
+            shard,
+            fingerprint: 0,
+            points: 0,
+        }
+    }
+
+    /// Folds one spec's full grid into the artifact identity.
+    pub fn absorb(&mut self, spec: &vlq_sweep::SweepSpec) {
+        self.fingerprint = vlq_sweep::combine_fingerprints(self.fingerprint, spec.fingerprint());
+        self.points += spec.len() as u64;
+    }
+
+    /// The finished sidecar value.
+    pub fn build(&self) -> vlq_sweep::SweepMeta {
+        vlq_sweep::SweepMeta {
+            seed: self.seed,
+            spec_fingerprint: self.fingerprint,
+            points: self.points,
+            shard: self.shard,
         }
     }
 }
@@ -283,15 +387,30 @@ mod tests {
 
     #[test]
     fn validated_parse_accepts_known_keys_and_flags() {
-        let a = Args::parse_argv(
+        let (a, pos) = Args::parse_argv(
             &argv(&["--trials", "100", "--quiet", "--seed", "-5"]),
             "usage",
             &["trials", "seed"],
             &["quiet"],
+            false,
         );
         assert_eq!(a.get::<u64>("trials", 0), 100);
         assert_eq!(a.get_str("seed", ""), "-5");
         assert!(a.has("quiet"));
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn positional_parse_collects_in_order() {
+        let (a, pos) = Args::parse_argv(
+            &argv(&["shard0", "--stem", "fig11", "shard1", "shard2"]),
+            "usage",
+            &["stem"],
+            &[],
+            true,
+        );
+        assert_eq!(a.get_str("stem", ""), "fig11");
+        assert_eq!(pos, vec!["shard0", "shard1", "shard2"]);
     }
 
     #[test]

@@ -39,7 +39,8 @@ use vlq_surface::schedule::{memory_circuit, MemoryCircuit, MemorySpec};
 
 pub use lambda::{lambda_scan, mean_lambda, LambdaPoint};
 pub use orchestrate::{
-    config_for_point, run_sweep, run_sweep_resumable, run_sweep_with, MemoryExecutor,
+    config_for_point, run_sweep, run_sweep_opts, run_sweep_resumable, run_sweep_with,
+    MemoryExecutor,
 };
 pub use sensitivity::{sensitivity_spec, sensitivity_sweep, Knob, SensitivityPoint};
 pub use threshold::{estimate_threshold, threshold_scan, threshold_spec, ScanPoint, ThresholdScan};

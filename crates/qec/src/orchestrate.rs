@@ -112,6 +112,22 @@ pub fn run_sweep_resumable(
     engine.run_resumable(spec, &MemoryExecutor, sinks, cache)
 }
 
+/// The fully-general memory-experiment sweep: resumable, shardable
+/// (`opts.shard` keeps only the globally-numbered points a `--shard
+/// i/N` run owns), and offsettable (`opts.index_offset` for binaries
+/// that stream several specs into one artifact). Shard runs emit
+/// byte-for-byte the records the full run would for the same points,
+/// so `sweep-merge` can interleave their artifacts back together.
+pub fn run_sweep_opts(
+    spec: &SweepSpec,
+    engine: &SweepEngine,
+    sinks: &mut [&mut dyn RecordSink],
+    cache: &vlq_sweep::ResumeCache,
+    opts: &vlq_sweep::RunOptions,
+) -> io::Result<Vec<SweepRecord>> {
+    engine.run_opts(spec, &MemoryExecutor, sinks, cache, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

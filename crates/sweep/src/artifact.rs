@@ -180,6 +180,26 @@ impl Table {
         self.rows.len()
     }
 
+    /// The sub-table holding this shard's rows: data row `g` (0-based)
+    /// is kept iff `shard.owns(g)`, order preserved.
+    ///
+    /// This is the `--shard i/N` semantics of the analytic figure
+    /// binaries (fig13, table1, table2, claims): N sharded artifacts
+    /// interleave back into the full table row-for-row, exactly like
+    /// sweep records merge by global point index.
+    pub fn shard(&self, shard: crate::shard::ShardSpec) -> Table {
+        Table {
+            columns: self.columns.clone(),
+            rows: self
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| shard.owns(*g))
+                .map(|(_, row)| row.clone())
+                .collect(),
+        }
+    }
+
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

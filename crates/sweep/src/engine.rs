@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use crate::shard::ShardSpec;
 use crate::sink::{RecordSink, SweepRecord};
 use crate::spec::{SweepPoint, SweepSpec};
 
@@ -60,6 +61,29 @@ struct Task {
 /// per refill. Small enough to keep late stealers fed, large enough to
 /// amortize the injector lock.
 const REFILL_BATCH: usize = 4;
+
+/// Cross-cutting options of one engine run (see
+/// [`SweepEngine::run_opts`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Which shard of the globally-numbered point grid to run
+    /// (default: the full `0/1` shard).
+    pub shard: ShardSpec,
+    /// Global index of the spec's first point. Binaries that stream
+    /// several specs into one artifact (fig12's panels) advance this by
+    /// each spec's full length so `index` stays globally unique — the
+    /// invariant `sweep-merge` interleaves by.
+    pub index_offset: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            shard: ShardSpec::FULL,
+            index_offset: 0,
+        }
+    }
+}
 
 /// The work-stealing orchestration engine.
 #[derive(Clone, Debug)]
@@ -149,6 +173,9 @@ impl<E: SweepExecutor> Shared<'_, E> {
 }
 
 /// Reorder buffer: emits completed records to sinks in expansion order.
+///
+/// Slots are *local* positions in the (possibly sharded) point list;
+/// the records themselves carry global indices.
 struct InOrderEmitter<'s, 'r> {
     sinks: &'s mut [&'r mut dyn RecordSink],
     pending: Vec<Option<SweepRecord>>,
@@ -166,10 +193,9 @@ impl<'s, 'r> InOrderEmitter<'s, 'r> {
         }
     }
 
-    fn complete(&mut self, record: SweepRecord) -> io::Result<()> {
-        let idx = record.index;
-        debug_assert!(self.pending[idx].is_none(), "point completed twice");
-        self.pending[idx] = Some(record);
+    fn complete(&mut self, slot: usize, record: SweepRecord) -> io::Result<()> {
+        debug_assert!(self.pending[slot].is_none(), "point completed twice");
+        self.pending[slot] = Some(record);
         while self.next < self.pending.len() {
             match self.pending[self.next].take() {
                 Some(r) => {
@@ -266,8 +292,13 @@ impl SweepEngine {
         executor: &E,
         sinks: &mut [&mut dyn RecordSink],
     ) -> io::Result<Vec<SweepRecord>> {
-        let points = spec.expand();
-        self.run_points(&points, spec.base_seed, executor, sinks)
+        self.run_opts(
+            spec,
+            executor,
+            sinks,
+            &crate::resume::ResumeCache::new(),
+            &RunOptions::default(),
+        )
     }
 
     /// Runs an explicit point list (already expanded) under `base_seed`.
@@ -278,7 +309,8 @@ impl SweepEngine {
         executor: &E,
         sinks: &mut [&mut dyn RecordSink],
     ) -> io::Result<Vec<SweepRecord>> {
-        self.run_points_cached(points, base_seed, executor, sinks, &|_| None)
+        let entries: Vec<(usize, SweepPoint)> = points.iter().cloned().enumerate().collect();
+        self.run_entries(&entries, base_seed, executor, sinks, &|_| None)
     }
 
     /// Runs the spec, reusing completed points from a
@@ -294,20 +326,54 @@ impl SweepEngine {
         sinks: &mut [&mut dyn RecordSink],
         cache: &crate::resume::ResumeCache,
     ) -> io::Result<Vec<SweepRecord>> {
-        let points = spec.expand();
-        self.run_points_cached(&points, spec.base_seed, executor, sinks, &|pt| {
+        self.run_opts(spec, executor, sinks, cache, &RunOptions::default())
+    }
+
+    /// Runs one shard of the spec, optionally resuming from `cache` and
+    /// numbering points from `opts.index_offset`.
+    ///
+    /// Points are numbered globally — `index_offset` plus their
+    /// position in the spec's expansion — and the shard owns exactly
+    /// those with `global_index % shard.count == shard.index`
+    /// ([`ShardSpec::owns`]). Per-chunk seeds depend only on the base
+    /// seed and point coordinates, so a shard computes byte-for-byte
+    /// the records the full run would have computed for its points, and
+    /// `sweep-merge` can interleave N shard artifacts back into the
+    /// unsharded artifact.
+    pub fn run_opts<E: SweepExecutor>(
+        &self,
+        spec: &SweepSpec,
+        executor: &E,
+        sinks: &mut [&mut dyn RecordSink],
+        cache: &crate::resume::ResumeCache,
+        opts: &RunOptions,
+    ) -> io::Result<Vec<SweepRecord>> {
+        let entries: Vec<(usize, SweepPoint)> = spec
+            .expand()
+            .into_iter()
+            .enumerate()
+            .map(|(i, pt)| (opts.index_offset + i, pt))
+            .filter(|(g, _)| opts.shard.owns(*g))
+            .collect();
+        self.run_entries(&entries, spec.base_seed, executor, sinks, &|pt| {
             cache.failures_for(pt, spec.base_seed)
         })
     }
 
-    fn run_points_cached<E: SweepExecutor>(
+    /// Runs `(global_index, point)` entries; the core of every `run_*`
+    /// front-end. Emission (and the returned records) follow entry
+    /// order, which all callers keep ascending in global index.
+    fn run_entries<E: SweepExecutor>(
         &self,
-        points: &[SweepPoint],
+        entries: &[(usize, SweepPoint)],
         base_seed: u64,
         executor: &E,
         sinks: &mut [&mut dyn RecordSink],
         cached: &dyn Fn(&SweepPoint) -> Option<u64>,
     ) -> io::Result<Vec<SweepRecord>> {
+        let indices: Vec<usize> = entries.iter().map(|(g, _)| *g).collect();
+        let points: Vec<SweepPoint> = entries.iter().map(|(_, pt)| pt.clone()).collect();
+        let points = &points[..];
         let workers = self.workers.max(1);
         let chunk_shots = self.chunk_shots.max(1);
 
@@ -363,14 +429,14 @@ impl SweepEngine {
             for (i, pt) in points.iter().enumerate() {
                 let record = match prefilled[i] {
                     Some(failures) => SweepRecord {
-                        index: i,
+                        index: indices[i],
                         point: pt.clone(),
                         base_seed,
                         shots: pt.shots,
                         failures,
                     },
                     None if pt.shots == 0 => SweepRecord {
-                        index: i,
+                        index: indices[i],
                         point: pt.clone(),
                         base_seed,
                         shots: 0,
@@ -378,7 +444,7 @@ impl SweepEngine {
                     },
                     None => continue,
                 };
-                if let Err(e) = emitter.complete(record) {
+                if let Err(e) = emitter.complete(i, record) {
                     io_result = Err(e);
                     return;
                 }
@@ -387,13 +453,13 @@ impl SweepEngine {
 
             while let Ok(point_idx) = rx.recv() {
                 let record = SweepRecord {
-                    index: point_idx,
+                    index: indices[point_idx],
                     point: points[point_idx].clone(),
                     base_seed,
                     shots: points[point_idx].shots,
                     failures: shared.failures[point_idx].load(Ordering::Acquire),
                 };
-                if let Err(e) = emitter.complete(record) {
+                if let Err(e) = emitter.complete(point_idx, record) {
                     io_result = Err(e);
                     // Workers keep draining tasks; their sends fail
                     // silently once the receiver drops.
@@ -416,7 +482,7 @@ impl SweepEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::splitmix64;
+    use crate::spec::{splitmix64, SweepSpec};
 
     /// Synthetic executor: failures are a pure function of
     /// (point fingerprint, chunk seed), so any schedule must agree.
@@ -499,7 +565,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("partial.jsonl");
         std::fs::write(&path, sink.into_inner()).unwrap();
-        let cache = crate::resume::ResumeCache::load_jsonl(&path).unwrap();
+        let cache = crate::resume::ResumeCache::load_jsonl(&path).expect("strict parse");
         assert_eq!(cache.len(), 6);
 
         struct PanicOnCached;
@@ -555,6 +621,79 @@ mod tests {
             .run_resumable(&spec, &NeverRun, &mut [], &cache)
             .unwrap();
         assert_eq!(replayed, fresh);
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_full_run() {
+        let spec = demo_spec();
+        let engine = SweepEngine::with_workers(3);
+        let full = engine.run(&spec, &HashExecutor, &mut []).unwrap();
+        for count in [1, 2, 3, 5] {
+            let mut merged: Vec<Option<SweepRecord>> = vec![None; full.len()];
+            for index in 0..count {
+                let opts = RunOptions {
+                    shard: ShardSpec::new(index, count).unwrap(),
+                    index_offset: 0,
+                };
+                let recs = engine
+                    .run_opts(
+                        &spec,
+                        &HashExecutor,
+                        &mut [],
+                        &crate::resume::ResumeCache::new(),
+                        &opts,
+                    )
+                    .unwrap();
+                assert_eq!(recs.len(), opts.shard.len_of(full.len()));
+                for r in recs {
+                    assert_eq!(r.index % count, index, "record in wrong shard");
+                    assert!(merged[r.index].replace(r).is_none(), "duplicate index");
+                }
+            }
+            let merged: Vec<SweepRecord> = merged.into_iter().map(Option::unwrap).collect();
+            assert_eq!(merged, full, "{count} shards do not recompose the full run");
+        }
+    }
+
+    #[test]
+    fn index_offset_renumbers_globally() {
+        let spec = SweepSpec::new().distances([3, 5]).error_rates([1e-3]);
+        let engine = SweepEngine::serial();
+        let opts = RunOptions {
+            shard: ShardSpec::FULL,
+            index_offset: 10,
+        };
+        let recs = engine
+            .run_opts(
+                &spec,
+                &HashExecutor,
+                &mut [],
+                &crate::resume::ResumeCache::new(),
+                &opts,
+            )
+            .unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![10, 11]
+        );
+        // Offsets shift the shard decision too: with 2 shards, offset
+        // 10 puts the first point on shard 0 (10 % 2 == 0).
+        let opts = RunOptions {
+            shard: ShardSpec::new(1, 2).unwrap(),
+            index_offset: 10,
+        };
+        let recs = engine
+            .run_opts(
+                &spec,
+                &HashExecutor,
+                &mut [],
+                &crate::resume::ResumeCache::new(),
+                &opts,
+            )
+            .unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].index, 11);
+        assert_eq!(recs[0].point.d, 5);
     }
 
     #[test]

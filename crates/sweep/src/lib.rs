@@ -21,6 +21,12 @@
 //!    JSON-lines writers give every figure binary a `--out` format
 //!    future PRs can regression-diff.
 //!
+//! Deterministic seeding also makes sweeps **shardable across
+//! machines**: a [`ShardSpec`] `i/N` runs only the grid points with
+//! `global_index % N == i` (same global numbering, same per-chunk
+//! seeds), and the [`merge`] module interleaves N shard artifacts back
+//! into files byte-identical to an unsharded run's.
+//!
 //! The engine is domain-generic over a [`SweepExecutor`]; `vlq-qec`
 //! implements the executor for Monte-Carlo memory experiments and
 //! rebuilds its threshold and sensitivity scans on top.
@@ -54,11 +60,21 @@
 
 pub mod artifact;
 pub mod engine;
+pub mod merge;
 pub mod resume;
+pub mod shard;
 pub mod sink;
 pub mod spec;
 
-pub use engine::{SweepEngine, SweepExecutor};
+pub use engine::{RunOptions, SweepEngine, SweepExecutor};
+pub use merge::{
+    merge_artifacts, verify_artifact, ArtifactError, MergeError, MergeReport, SweepMeta,
+    VerifyExpectations, VerifyReport,
+};
 pub use resume::{ResumeCache, ResumeKey};
+pub use shard::{ShardError, ShardSpec};
 pub use sink::{CsvSink, JsonlSink, MemorySink, RecordSink, SweepRecord, RECORD_COLUMNS};
-pub use spec::{splitmix64, KnobSetting, SweepAxis, SweepPoint, SweepSpec};
+pub use spec::{
+    combine_fingerprints, points_fingerprint, splitmix64, KnobSetting, SweepAxis, SweepPoint,
+    SweepSpec,
+};

@@ -6,16 +6,20 @@
 //! point already present in a previous `--out` artifact and still emit
 //! byte-identical final artifacts: cached points are emitted from the
 //! cache, missing points are computed, and the merged record stream is
-//! written in expansion order as usual.
+//! written in expansion order as usual. A `sweep-merge`d artifact is a
+//! valid cache too — merging preserves the rows verbatim.
 //!
-//! The vendored `serde` is a no-op facade, so the JSONL rows (flat
-//! objects of strings/numbers/nulls/bools, written by
-//! [`crate::sink::JsonlSink`]) are parsed by hand.
+//! Loading is *strict* (the [`crate::merge`] row parser): a truncated
+//! or garbled line is a typed [`ArtifactError`], not a silently skipped
+//! row, and [`ResumeCache::load_jsonl_expecting`] additionally rejects
+//! artifacts sampled under a different base seed. The figure binaries
+//! map both to exit code 2.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead};
 use std::path::Path;
 
+use crate::merge::{parse_record_line, ArtifactError};
 use crate::spec::SweepPoint;
 
 /// The identity of a completed grid point, as recoverable from one
@@ -94,171 +98,58 @@ impl ResumeCache {
             .copied()
     }
 
-    /// Loads a cache from a `JsonlSink`-format artifact. Rows that
-    /// don't parse as sweep records are skipped (robustness against
-    /// truncated final lines from interrupted runs).
+    /// Loads a cache from a `JsonlSink`-format artifact.
     ///
     /// # Errors
     ///
-    /// I/O errors reading the file.
-    pub fn load_jsonl(path: &Path) -> io::Result<Self> {
-        let file = std::fs::File::open(path)?;
+    /// [`ArtifactError::Io`] on read failures and
+    /// [`ArtifactError::Malformed`] on any line that does not parse as
+    /// a complete sweep record — truncated final lines from interrupted
+    /// runs included. Rerun without `--resume` to regenerate a damaged
+    /// artifact.
+    pub fn load_jsonl(path: &Path) -> Result<Self, ArtifactError> {
+        Self::load_inner(path, None)
+    }
+
+    /// [`ResumeCache::load_jsonl`], additionally rejecting rows sampled
+    /// under any base seed other than `expected_seed` with a typed
+    /// [`ArtifactError::SeedMismatch`] — reusing them would silently
+    /// splice a different random stream into the artifact.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResumeCache::load_jsonl`], plus the seed check.
+    pub fn load_jsonl_expecting(path: &Path, expected_seed: u64) -> Result<Self, ArtifactError> {
+        Self::load_inner(path, Some(expected_seed))
+    }
+
+    fn load_inner(path: &Path, expected_seed: Option<u64>) -> Result<Self, ArtifactError> {
+        let file =
+            std::fs::File::open(path).map_err(|e| ArtifactError::Io(path.to_path_buf(), e))?;
         let mut cache = ResumeCache::new();
-        for line in io::BufReader::new(file).lines() {
-            let line = line?;
-            let Some(obj) = parse_flat_json(&line) else {
-                continue;
-            };
-            let Some(key) = key_of_row(&obj) else {
-                continue;
-            };
-            if let Some(JsonValue::Num(f)) = obj.get("failures") {
-                cache.completed.insert(key, *f as u64);
+        for (i, line) in io::BufReader::new(file).lines().enumerate() {
+            let line = line.map_err(|e| ArtifactError::Io(path.to_path_buf(), e))?;
+            let record = parse_record_line(&line).map_err(|reason| ArtifactError::Malformed {
+                path: path.to_path_buf(),
+                line: i + 1,
+                reason,
+            })?;
+            if let Some(expected) = expected_seed {
+                if record.base_seed != expected {
+                    return Err(ArtifactError::SeedMismatch {
+                        path: path.to_path_buf(),
+                        line: i + 1,
+                        found: record.base_seed,
+                        expected,
+                    });
+                }
             }
+            cache.completed.insert(
+                ResumeKey::of_point(&record.point, record.base_seed),
+                record.failures,
+            );
         }
         Ok(cache)
-    }
-}
-
-fn key_of_row(obj: &HashMap<String, JsonValue>) -> Option<ResumeKey> {
-    let s = |k: &str| -> Option<String> {
-        match obj.get(k)? {
-            JsonValue::Str(v) => Some(v.clone()),
-            _ => None,
-        }
-    };
-    let n = |k: &str| -> Option<f64> {
-        match obj.get(k)? {
-            JsonValue::Num(v) => Some(*v),
-            _ => None,
-        }
-    };
-    let knob = match (obj.get("knob"), obj.get("knob_value")) {
-        (Some(JsonValue::Str(name)), Some(JsonValue::Num(v))) => Some((name.clone(), v.to_bits())),
-        _ => None,
-    };
-    let program = match obj.get("program") {
-        Some(JsonValue::Str(name)) => Some(name.clone()),
-        _ => None,
-    };
-    Some(ResumeKey {
-        setup: s("setup")?,
-        basis: s("basis")?,
-        d: n("d")? as u64,
-        p_bits: n("p")?.to_bits(),
-        k: n("k")? as u64,
-        rounds: n("rounds")? as u64,
-        decoder: s("decoder")?,
-        knob,
-        program,
-        shots: n("shots")? as u64,
-        // Rows from before the seed column existed don't parse — a
-        // conservative full rerun beats silently mixing seeds.
-        seed: n("seed")? as u64,
-    })
-}
-
-/// A parsed flat-JSON value (no nested containers — the record schema
-/// is flat by construction).
-#[derive(Clone, Debug, PartialEq)]
-enum JsonValue {
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    Null,
-}
-
-/// Parses one flat JSON object (`{"key":value,...}` with string,
-/// number, boolean, and null values). Returns `None` on any syntax it
-/// doesn't recognize.
-fn parse_flat_json(line: &str) -> Option<HashMap<String, JsonValue>> {
-    let mut chars = line.trim().chars().peekable();
-    let mut out = HashMap::new();
-    if chars.next()? != '{' {
-        return None;
-    }
-    loop {
-        match chars.peek()? {
-            '}' => {
-                chars.next();
-                return chars.next().is_none().then_some(out);
-            }
-            ',' => {
-                chars.next();
-            }
-            _ => {}
-        }
-        let key = parse_string(&mut chars)?;
-        if chars.next()? != ':' {
-            return None;
-        }
-        let value = parse_value(&mut chars)?;
-        out.insert(key, value);
-    }
-}
-
-fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
-    if chars.next()? != '"' {
-        return None;
-    }
-    let mut s = String::new();
-    loop {
-        match chars.next()? {
-            '"' => return Some(s),
-            '\\' => match chars.next()? {
-                '"' => s.push('"'),
-                '\\' => s.push('\\'),
-                'n' => s.push('\n'),
-                'r' => s.push('\r'),
-                't' => s.push('\t'),
-                'u' => {
-                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
-                    let v = u32::from_str_radix(&code, 16).ok()?;
-                    s.push(char::from_u32(v)?);
-                }
-                _ => return None,
-            },
-            c => s.push(c),
-        }
-    }
-}
-
-fn parse_value(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<JsonValue> {
-    match *chars.peek()? {
-        '"' => Some(JsonValue::Str(parse_string(chars)?)),
-        'n' => {
-            for expect in "null".chars() {
-                if chars.next()? != expect {
-                    return None;
-                }
-            }
-            Some(JsonValue::Null)
-        }
-        't' | 'f' => {
-            let word = if *chars.peek()? == 't' {
-                "true"
-            } else {
-                "false"
-            };
-            for expect in word.chars() {
-                if chars.next()? != expect {
-                    return None;
-                }
-            }
-            Some(JsonValue::Bool(word == "true"))
-        }
-        _ => {
-            let mut num = String::new();
-            while let Some(&c) = chars.peek() {
-                if c.is_ascii_digit() || "+-.eE".contains(c) {
-                    num.push(c);
-                    chars.next();
-                } else {
-                    break;
-                }
-            }
-            num.parse().ok().map(JsonValue::Num)
-        }
     }
 }
 
@@ -328,26 +219,62 @@ mod tests {
             None,
             "rows sampled under another base seed must not be reused"
         );
+        // And with a seed expectation, the same file is accepted or
+        // rejected wholesale.
+        assert_eq!(
+            ResumeCache::load_jsonl_expecting(&path, 2020)
+                .unwrap()
+                .len(),
+            2
+        );
+        let err = ResumeCache::load_jsonl_expecting(&path, 2021).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ArtifactError::SeedMismatch {
+                    line: 1,
+                    found: 2020,
+                    expected: 2021,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
-    fn garbage_lines_are_skipped() {
+    fn garbage_lines_are_hard_errors() {
         let dir = std::env::temp_dir().join("vlq-resume-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.jsonl");
-        std::fs::write(&path, "not json\n{\"d\":3\n{\"truncated\":").unwrap();
-        let cache = ResumeCache::load_jsonl(&path).unwrap();
-        assert!(cache.is_empty());
-    }
-
-    #[test]
-    fn flat_json_parser_handles_escapes_and_types() {
-        let obj =
-            parse_flat_json("{\"a\":\"x\\\"y\",\"b\":-1.5e-3,\"c\":null,\"d\":true}").unwrap();
-        assert_eq!(obj["a"], JsonValue::Str("x\"y".to_string()));
-        assert_eq!(obj["b"], JsonValue::Num(-1.5e-3));
-        assert_eq!(obj["c"], JsonValue::Null);
-        assert_eq!(obj["d"], JsonValue::Bool(true));
-        assert!(parse_flat_json("{\"a\":1} trailing").is_none());
+        for (i, garbage) in ["not json\n", "{\"d\":3\n", "{\"truncated\":"]
+            .iter()
+            .enumerate()
+        {
+            std::fs::write(&path, garbage).unwrap();
+            let err = ResumeCache::load_jsonl(&path).unwrap_err();
+            assert!(
+                matches!(err, ArtifactError::Malformed { line: 1, .. }),
+                "garbage #{i} gave {err}"
+            );
+        }
+        // A valid row followed by a truncated one names the bad line.
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.write(&SweepRecord {
+            index: 0,
+            point: point(3, 1e-3),
+            base_seed: 1,
+            shots: 500,
+            failures: 0,
+        })
+        .unwrap();
+        let mut bytes = sink.into_inner();
+        bytes.extend_from_slice(b"{\"index\":1,\"setu");
+        std::fs::write(&path, bytes).unwrap();
+        let err = ResumeCache::load_jsonl(&path).unwrap_err();
+        assert!(
+            matches!(err, ArtifactError::Malformed { line: 2, .. }),
+            "{err}"
+        );
     }
 }

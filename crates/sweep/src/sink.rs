@@ -121,32 +121,37 @@ impl CsvSink<BufWriter<std::fs::File>> {
     }
 }
 
+/// Renders one record as its CSV data row (no header, no trailing
+/// newline) — the exact bytes [`CsvSink`] writes for it.
+pub fn csv_row(r: &SweepRecord) -> String {
+    let (knob, knob_value) = match &r.point.knob {
+        Some(kn) => (csv_field(&kn.name), format!("{}", kn.value)),
+        None => (String::new(), String::new()),
+    };
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.index,
+        csv_field(&r.point.setup.to_string()),
+        basis_name(r),
+        r.point.d,
+        r.point.p,
+        r.point.k,
+        r.rounds(),
+        csv_field(r.point.decoder.name()),
+        knob,
+        knob_value,
+        r.shots,
+        r.failures,
+        r.rate(),
+        r.std_error(),
+        r.point.program.as_deref().map_or(String::new(), csv_field),
+        r.base_seed,
+    )
+}
+
 impl<W: Write> RecordSink for CsvSink<W> {
     fn write(&mut self, r: &SweepRecord) -> io::Result<()> {
-        let (knob, knob_value) = match &r.point.knob {
-            Some(kn) => (csv_field(&kn.name), format!("{}", kn.value)),
-            None => (String::new(), String::new()),
-        };
-        writeln!(
-            self.w,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            r.index,
-            csv_field(&r.point.setup.to_string()),
-            basis_name(r),
-            r.point.d,
-            r.point.p,
-            r.point.k,
-            r.rounds(),
-            csv_field(r.point.decoder.name()),
-            knob,
-            knob_value,
-            r.shots,
-            r.failures,
-            r.rate(),
-            r.std_error(),
-            r.point.program.as_deref().map_or(String::new(), csv_field),
-            r.base_seed,
-        )
+        writeln!(self.w, "{}", csv_row(r))
     }
 
     fn finish(&mut self) -> io::Result<()> {
@@ -184,40 +189,45 @@ impl JsonlSink<BufWriter<std::fs::File>> {
     }
 }
 
+/// Renders one record as its JSON-lines row (no trailing newline) —
+/// the exact bytes [`JsonlSink`] writes for it.
+pub fn jsonl_row(r: &SweepRecord) -> String {
+    let (knob, knob_value) = match &r.point.knob {
+        Some(kn) => (json_string(&kn.name), json_f64(kn.value)),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    format!(
+        concat!(
+            "{{\"index\":{},\"setup\":{},\"basis\":{},\"d\":{},\"p\":{},\"k\":{},",
+            "\"rounds\":{},\"decoder\":{},\"knob\":{},\"knob_value\":{},",
+            "\"shots\":{},\"failures\":{},\"rate\":{},\"std_error\":{},",
+            "\"program\":{},\"seed\":{}}}"
+        ),
+        r.index,
+        json_string(&r.point.setup.to_string()),
+        json_string(basis_name(r)),
+        r.point.d,
+        json_f64(r.point.p),
+        r.point.k,
+        r.rounds(),
+        json_string(r.point.decoder.name()),
+        knob,
+        knob_value,
+        r.shots,
+        r.failures,
+        json_f64(r.rate()),
+        json_f64(r.std_error()),
+        r.point
+            .program
+            .as_deref()
+            .map_or("null".to_string(), json_string),
+        r.base_seed,
+    )
+}
+
 impl<W: Write> RecordSink for JsonlSink<W> {
     fn write(&mut self, r: &SweepRecord) -> io::Result<()> {
-        let (knob, knob_value) = match &r.point.knob {
-            Some(kn) => (json_string(&kn.name), json_f64(kn.value)),
-            None => ("null".to_string(), "null".to_string()),
-        };
-        writeln!(
-            self.w,
-            concat!(
-                "{{\"index\":{},\"setup\":{},\"basis\":{},\"d\":{},\"p\":{},\"k\":{},",
-                "\"rounds\":{},\"decoder\":{},\"knob\":{},\"knob_value\":{},",
-                "\"shots\":{},\"failures\":{},\"rate\":{},\"std_error\":{},",
-                "\"program\":{},\"seed\":{}}}"
-            ),
-            r.index,
-            json_string(&r.point.setup.to_string()),
-            json_string(basis_name(r)),
-            r.point.d,
-            json_f64(r.point.p),
-            r.point.k,
-            r.rounds(),
-            json_string(r.point.decoder.name()),
-            knob,
-            knob_value,
-            r.shots,
-            r.failures,
-            json_f64(r.rate()),
-            json_f64(r.std_error()),
-            r.point
-                .program
-                .as_deref()
-                .map_or("null".to_string(), json_string),
-            r.base_seed,
-        )
+        writeln!(self.w, "{}", jsonl_row(r))
     }
 
     fn finish(&mut self) -> io::Result<()> {

@@ -103,6 +103,24 @@ impl SweepPoint {
     }
 }
 
+/// The grid fingerprint of an explicit point list under `base_seed`
+/// (see [`SweepSpec::fingerprint`]). Binaries that stream several specs
+/// into one artifact chain per-spec fingerprints with
+/// [`combine_fingerprints`].
+pub fn points_fingerprint(points: &[SweepPoint], base_seed: u64) -> u64 {
+    let mut h = splitmix64(base_seed ^ 0x5377_6565_7053_7065); // "SweepSpe"
+    for pt in points {
+        h = splitmix64(h ^ pt.fingerprint() ^ splitmix64(pt.shots));
+    }
+    h
+}
+
+/// Folds one more spec fingerprint into an accumulated artifact
+/// fingerprint (order-sensitive; start from 0).
+pub fn combine_fingerprints(acc: u64, spec_fingerprint: u64) -> u64 {
+    splitmix64(acc ^ spec_fingerprint.rotate_left(31))
+}
+
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash step.
 pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -316,6 +334,19 @@ impl SweepSpec {
     /// Whether the spec expands to no points at all.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A stable 64-bit fingerprint of the whole sweep: the base seed
+    /// folded with every expanded point's coordinate fingerprint and
+    /// shot count, in expansion order.
+    ///
+    /// Two specs share a fingerprint exactly when they expand to the
+    /// same points (same order, same shots) under the same seed — i.e.
+    /// when their sharded artifacts are mergeable. Recorded in the
+    /// `.meta.json` sidecar next to sweep artifacts so `sweep-merge`
+    /// can refuse to interleave shards of different sweeps.
+    pub fn fingerprint(&self) -> u64 {
+        points_fingerprint(&self.expand(), self.base_seed)
     }
 
     /// Expands the grid into its ordered point list.

@@ -141,6 +141,51 @@ fn program_sweep_runs_on_the_engine() {
     }
 }
 
+/// The program-sweep path shards like every other sweep: `--shard i/N`
+/// semantics (global point numbering, per-point seeds) recompose the
+/// full run exactly, for any per-shard worker count.
+#[test]
+fn program_sweep_shards_recompose_the_full_run() {
+    let spec = SweepSpec::new()
+        .programs(["ghz3", "teleport", "ghz4"])
+        .setups([Setup::NaturalInterleaved])
+        .distances([3])
+        .ks([3])
+        .decoders([DecoderKind::UnionFind])
+        .error_rates([3e-3])
+        .shots(200)
+        .base_seed(7);
+    let full = SweepEngine::with_workers(2)
+        .run(&spec, &ProgramSweepExecutor, &mut [])
+        .expect("no sinks, no io errors");
+    assert_eq!(full.len(), 3);
+    for count in [2usize, 3] {
+        let mut recomposed: Vec<Option<vlq_sweep::SweepRecord>> = vec![None; full.len()];
+        for index in 0..count {
+            let shard = vlq_sweep::ShardSpec::new(index, count).unwrap();
+            let records = SweepEngine::with_workers(1 + index)
+                .run_opts(
+                    &spec,
+                    &ProgramSweepExecutor,
+                    &mut [],
+                    &vlq_sweep::ResumeCache::new(),
+                    &vlq_sweep::RunOptions {
+                        shard,
+                        index_offset: 0,
+                    },
+                )
+                .expect("no sinks, no io errors");
+            for r in records {
+                assert!(shard.owns(r.index));
+                assert!(recomposed[r.index].replace(r).is_none());
+            }
+        }
+        let recomposed: Vec<vlq_sweep::SweepRecord> =
+            recomposed.into_iter().map(Option::unwrap).collect();
+        assert_eq!(recomposed, full, "{count} program shards diverge");
+    }
+}
+
 /// A chunked engine run and a direct prepared replay agree when the
 /// chunk boundaries line up (chunk seeds come from the point, so one
 /// whole-point chunk equals one direct call with that seed).
