@@ -78,13 +78,29 @@ impl NoiseModel {
     /// * `Reset` — followed by `Noise1` with `p_reset` (if nonzero);
     /// * existing `Noise1`/`Noise2` instructions are preserved.
     pub fn apply(&self, ideal: &Circuit) -> Circuit {
+        self.apply_window(ideal, 0, ideal.instructions.len())
+    }
+
+    /// [`NoiseModel::apply`] restricted to the ideal-instruction index
+    /// window `start..end`: instructions outside the window are emitted
+    /// *noiselessly* (gates without channels, measurements with
+    /// `flip_prob = 0`, idles and pre-existing noise dropped).
+    ///
+    /// This is how boundary-aware syndrome blocks are built: the
+    /// generator marks where prep ends and readout begins, and a block's
+    /// `Boundary` chooses the window, so e.g. a mid-circuit block keeps
+    /// the full detector schedule while only its syndrome-round body
+    /// carries fault sites. `apply_window(c, 0, len)` is exactly
+    /// [`NoiseModel::apply`].
+    pub fn apply_window(&self, ideal: &Circuit, start: usize, end: usize) -> Circuit {
         let mut out = Circuit::new(ideal.num_qubits);
         out.qubit_meta = ideal.qubit_meta.clone();
-        for inst in &ideal.instructions {
+        for (index, inst) in ideal.instructions.iter().enumerate() {
+            let noisy = index >= start && index < end;
             match *inst {
                 Instruction::Gate { gate, class } => {
                     out.instructions.push(Instruction::Gate { gate, class });
-                    let p = self.gate_error(class);
+                    let p = if noisy { self.gate_error(class) } else { 0.0 };
                     if p > 0.0 {
                         let (a, b) = gate.qubits();
                         match (class, b) {
@@ -100,12 +116,12 @@ impl NoiseModel {
                 Instruction::Measure { qubit, .. } => {
                     out.instructions.push(Instruction::Measure {
                         qubit,
-                        flip_prob: self.rates.p_measure,
+                        flip_prob: if noisy { self.rates.p_measure } else { 0.0 },
                     });
                 }
                 Instruction::Reset { qubit } => {
                     out.instructions.push(Instruction::Reset { qubit });
-                    if self.rates.p_reset > 0.0 {
+                    if noisy && self.rates.p_reset > 0.0 {
                         out.instructions.push(Instruction::Noise1 {
                             qubit,
                             p: self.rates.p_reset,
@@ -117,13 +133,19 @@ impl NoiseModel {
                     duration,
                     medium,
                 } => {
-                    let p = self.idle_error(duration, medium);
+                    let p = if noisy {
+                        self.idle_error(duration, medium)
+                    } else {
+                        0.0
+                    };
                     if p > 0.0 {
                         out.instructions.push(Instruction::Noise1 { qubit, p });
                     }
                 }
                 noise @ (Instruction::Noise1 { .. } | Instruction::Noise2 { .. }) => {
-                    out.instructions.push(noise);
+                    if noisy {
+                        out.instructions.push(noise);
+                    }
                 }
             }
         }

@@ -6,6 +6,23 @@
 //! data out, decodes the guard sector, and counts a failure whenever the
 //! decoder's predicted logical flip disagrees with the actual one.
 //!
+//! # Boundary-aware syndrome blocks
+//!
+//! The sampling core of the crate is boundary-aware: a [`BlockSpec`]
+//! pairs a memory-circuit shape with a [`Boundary`] selecting which of
+//! the block's ends carry noise, and [`PreparedBlock`] samples any such
+//! block through one shared sample-and-decode pipeline (the
+//! [`BlockSampler`] trait). [`Boundary::Full`] *is* the memory
+//! experiment — [`run_memory_experiment`], [`compare_decoders`], and
+//! [`PreparedExperiment`] are thin wrappers over it, bit-for-bit
+//! identical to the pre-block API. [`Boundary::MidCircuit`] keeps the
+//! identical circuit and detector schedule but makes the prep/readout
+//! boundaries ideal, so the sampled failure rate measures exactly
+//! `rounds` rounds of steady-state exposure; schedule-replay backends
+//! (`vlq::exec::FrameExecutor`) request such blocks sized to each
+//! instruction's real round span, which is what makes *program-level*
+//! logical error rates quantitative rather than trend-only.
+//!
 //! # Examples
 //!
 //! ```
@@ -20,6 +37,20 @@
 //! .with_seed(7);
 //! let result = run_memory_experiment(&cfg);
 //! assert_eq!(result.shots, 256);
+//! ```
+//!
+//! Sampling a mid-circuit block directly:
+//!
+//! ```
+//! use vlq_qec::{BlockConfig, BlockSampler, BlockSpec, PreparedBlock};
+//! use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+//!
+//! let spec = BlockSpec::mid_circuit(MemorySpec::standard(
+//!     Setup::Baseline, 3, 1, Basis::Z,
+//! ));
+//! let block = PreparedBlock::prepare(&BlockConfig::new(spec, 2e-3));
+//! let failures = block.run_shots(256, 7);
+//! assert!(failures <= 256);
 //! ```
 
 pub mod lambda;
@@ -39,8 +70,8 @@ use vlq_surface::schedule::{memory_circuit, MemoryCircuit, MemorySpec};
 
 pub use lambda::{lambda_scan, mean_lambda, LambdaPoint};
 pub use orchestrate::{
-    config_for_point, run_sweep, run_sweep_opts, run_sweep_resumable, run_sweep_with,
-    MemoryExecutor,
+    block_config_for_point, config_for_point, run_sweep, run_sweep_opts, run_sweep_resumable,
+    run_sweep_with, BlockExecutor, MemoryExecutor,
 };
 pub use sensitivity::{sensitivity_spec, sensitivity_sweep, Knob, SensitivityPoint};
 pub use threshold::{estimate_threshold, threshold_scan, threshold_spec, ScanPoint, ThresholdScan};
@@ -48,6 +79,10 @@ pub use threshold::{estimate_threshold, threshold_scan, threshold_spec, ScanPoin
 // The decoder registry lives with the decoders; re-exported here so the
 // experiment API stays `vlq_qec::DecoderKind` for downstream users.
 pub use vlq_decoder::DecoderKind;
+
+// Boundary modes live with the circuit generators in `vlq-surface`;
+// re-exported here so block configs read `vlq_qec::Boundary`.
+pub use vlq_surface::schedule::Boundary;
 
 /// Configuration of one Monte-Carlo memory experiment.
 #[derive(Clone, Debug)]
@@ -144,60 +179,162 @@ impl ExperimentResult {
     }
 }
 
-/// Builds the noisy circuit and guard-sector decoder for a config.
-pub struct PreparedExperiment {
-    /// The memory circuit (ideal) with sector metadata.
+/// A boundary-aware syndrome block: a memory-circuit shape plus which
+/// of its boundaries carry noise.
+///
+/// [`Boundary::Full`] is the classic memory experiment;
+/// [`Boundary::MidCircuit`] is the same circuit (and detector schedule)
+/// with ideal prep/readout boundaries, so its failure rate measures
+/// exactly `rounds` rounds of steady-state exposure — the block shape
+/// schedule-replay backends (`vlq::exec::FrameExecutor`) request per
+/// instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockSpec {
+    /// The block's circuit shape (setup, distance, depth, rounds,
+    /// basis).
+    pub memory: MemorySpec,
+    /// Which boundaries are noisy.
+    pub boundary: Boundary,
+}
+
+impl BlockSpec {
+    /// A full memory experiment (noisy prep and readout).
+    pub fn full(memory: MemorySpec) -> Self {
+        BlockSpec {
+            memory,
+            boundary: Boundary::Full,
+        }
+    }
+
+    /// A mid-circuit block: only the syndrome rounds carry noise.
+    pub fn mid_circuit(memory: MemorySpec) -> Self {
+        BlockSpec {
+            memory,
+            boundary: Boundary::MidCircuit,
+        }
+    }
+}
+
+/// Configuration of one Monte-Carlo block-sampling run
+/// ([`ExperimentConfig`] generalized over [`Boundary`]).
+#[derive(Clone, Debug)]
+pub struct BlockConfig {
+    /// The block specification.
+    pub spec: BlockSpec,
+    /// Noise model (hardware + error rates).
+    pub noise: NoiseModel,
+    /// Decoder choice.
+    pub decoder: DecoderKind,
+}
+
+impl BlockConfig {
+    /// Standard configuration at physical error scale `p` (the SC-SC
+    /// two-qubit error rate; all other rates derive from it) — the
+    /// [`ExperimentConfig::new`] rule viewed under the spec's boundary,
+    /// so the setup → noise-model mapping lives in exactly one place.
+    pub fn new(spec: BlockSpec, p: f64) -> Self {
+        Self::from_experiment(&ExperimentConfig::new(spec.memory, p), spec.boundary)
+    }
+
+    /// The block view of a memory-experiment config under a boundary.
+    pub fn from_experiment(cfg: &ExperimentConfig, boundary: Boundary) -> Self {
+        BlockConfig {
+            spec: BlockSpec {
+                memory: cfg.spec,
+                boundary,
+            },
+            noise: cfg.noise,
+            decoder: cfg.decoder,
+        }
+    }
+
+    /// Sets the decoder.
+    pub fn with_decoder(mut self, decoder: DecoderKind) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// Replaces the noise model wholesale (sensitivity sweeps).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+}
+
+/// Anything that samples seeded failure words from a prepared noisy
+/// block — the abstraction `orchestrate` executors and schedule-replay
+/// backends are generic over.
+///
+/// The two methods share one contract: bit `l` of the packed result is
+/// set when decoding shot lane `l` left a *residual logical error*
+/// (decoder prediction XOR actual flip). Implementations must be
+/// deterministic given the seed and independent of batching.
+pub trait BlockSampler {
+    /// Samples one seeded batch of `lanes` shots and returns the packed
+    /// per-lane failure words.
+    fn sample_failure_words(&self, lanes: usize, seed: u64) -> Vec<u64>;
+
+    /// Runs `shots` shots in fixed-size seeded batches and returns the
+    /// failure count (the popcount of every batch's failure words).
+    fn run_shots(&self, shots: u64, seed: u64) -> u64 {
+        const LANES_PER_BATCH: usize = 1024;
+        let mut failures = 0u64;
+        let mut remaining = shots;
+        let mut batch_idx = 0u64;
+        while remaining > 0 {
+            let lanes = (remaining as usize).min(LANES_PER_BATCH);
+            let words = self.sample_failure_words(lanes, seed.wrapping_add(batch_idx));
+            failures += words.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+            remaining -= lanes as u64;
+            batch_idx += 1;
+        }
+        failures
+    }
+}
+
+/// A block prepared for repeated seeded sampling: the noisy circuit,
+/// the guard-sector decoding graph, and the configured decoder.
+///
+/// This is the shared execution core of the crate: memory experiments
+/// ([`PreparedExperiment`], a [`Boundary::Full`] wrapper) sum the
+/// failure bits, and schedule-replay backends (the `vlq` crate's
+/// `FrameExecutor`) XOR them into logical Pauli frames, so both
+/// workloads run the identical sample-and-decode path.
+pub struct PreparedBlock {
+    /// The block circuit (ideal) with sector + boundary metadata.
     pub memory: MemoryCircuit,
-    /// The noisy circuit actually sampled.
+    /// The noisy circuit actually sampled (noise windowed to the
+    /// block's [`Boundary`]).
     pub noisy: Circuit,
     /// Guard-sector decoding graph.
     pub graph: DecodingGraph,
+    /// The boundary the noise window was built from.
+    pub boundary: Boundary,
     decoder: Box<dyn Decoder + Send + Sync>,
     guard: Vec<usize>,
 }
 
-impl PreparedExperiment {
-    /// Prepares circuits, graph, and decoder.
-    pub fn prepare(cfg: &ExperimentConfig) -> Self {
-        let memory = memory_circuit(cfg.spec, &cfg.noise.hw);
-        let noisy = cfg.noise.apply(&memory.circuit);
+impl PreparedBlock {
+    /// Prepares circuits, graph, and decoder for a block config.
+    pub fn prepare(cfg: &BlockConfig) -> Self {
+        let memory = memory_circuit(cfg.spec.memory, &cfg.noise.hw);
+        let (start, end) = memory.noise_window(cfg.spec.boundary);
+        let noisy = cfg.noise.apply_window(&memory.circuit, start, end);
         let guard: Vec<usize> = memory.guard_detectors().to_vec();
         let graph = DecodingGraph::build(&noisy, &guard);
         let decoder = cfg.decoder.build(&graph);
-        PreparedExperiment {
+        PreparedBlock {
             memory,
             noisy,
             graph,
+            boundary: cfg.spec.boundary,
             decoder,
             guard,
         }
     }
 
-    /// Runs `shots` sampled shots with the given base seed, returning the
-    /// failure count.
-    pub fn run_shots(&self, shots: u64, seed: u64) -> u64 {
-        self.run_shots_with(&[self.decoder.as_ref()], shots, seed)[0]
-    }
-
-    /// Samples one seeded batch of `lanes` shots and returns packed
-    /// per-lane *failure words* for the configured decoder: bit `l` is
-    /// set when the decoder's predicted logical flip disagrees with the
-    /// actual one in lane `l` — i.e. when decoding left a residual
-    /// logical error.
-    ///
-    /// This is the shared execution core of the crate: memory
-    /// experiments sum the failure bits, and schedule-replay backends
-    /// (the `vlq` crate's `FrameExecutor`) XOR them into logical Pauli
-    /// frames, so both workloads run the identical sample-and-decode
-    /// path.
-    pub fn sample_failure_words(&self, lanes: usize, seed: u64) -> Vec<u64> {
-        self.sample_failure_words_with(&[self.decoder.as_ref()], lanes, seed)
-            .pop()
-            .expect("one decoder in, one word vector out")
-    }
-
-    /// [`PreparedExperiment::sample_failure_words`] for several decoders
-    /// over the *identical* defect sets (same circuit, same noise
+    /// [`BlockSampler::sample_failure_words`] for several decoders over
+    /// the *identical* defect sets (same circuit, same noise
     /// realizations).
     pub fn sample_failure_words_with(
         &self,
@@ -232,13 +369,9 @@ impl PreparedExperiment {
         predictions
     }
 
-    /// Runs `shots` sampled shots through several decoders at once: every
-    /// decoder sees the *identical* defect sets (same circuit, same noise
-    /// realizations). Returns one failure count per decoder.
-    ///
-    /// A thin batching loop over
-    /// [`PreparedExperiment::sample_failure_words_with`], the shared
-    /// sample-and-decode core.
+    /// Runs `shots` sampled shots through several decoders at once:
+    /// every decoder sees the *identical* defect sets. Returns one
+    /// failure count per decoder.
     pub fn run_shots_with(
         &self,
         decoders: &[&(dyn Decoder + Send + Sync)],
@@ -266,6 +399,57 @@ impl PreparedExperiment {
     }
 }
 
+impl BlockSampler for PreparedBlock {
+    fn sample_failure_words(&self, lanes: usize, seed: u64) -> Vec<u64> {
+        self.sample_failure_words_with(&[self.decoder.as_ref()], lanes, seed)
+            .pop()
+            .expect("one decoder in, one word vector out")
+    }
+}
+
+/// Builds the noisy circuit and guard-sector decoder for a
+/// memory-experiment config: a [`PreparedBlock`] pinned to
+/// [`Boundary::Full`].
+///
+/// Sampling goes through the [`BlockSampler`] trait; downstream code
+/// that needs other boundary kinds holds a [`PreparedBlock`] directly.
+pub struct PreparedExperiment {
+    /// The underlying full-boundary block.
+    pub block: PreparedBlock,
+}
+
+impl PreparedExperiment {
+    /// Prepares circuits, graph, and decoder.
+    pub fn prepare(cfg: &ExperimentConfig) -> Self {
+        PreparedExperiment {
+            block: PreparedBlock::prepare(&BlockConfig::from_experiment(cfg, Boundary::Full)),
+        }
+    }
+
+    /// Runs `shots` sampled shots with the given base seed, returning the
+    /// failure count.
+    pub fn run_shots(&self, shots: u64, seed: u64) -> u64 {
+        self.block.run_shots(shots, seed)
+    }
+
+    /// Runs `shots` sampled shots through several decoders at once (see
+    /// [`PreparedBlock::run_shots_with`]).
+    pub fn run_shots_with(
+        &self,
+        decoders: &[&(dyn Decoder + Send + Sync)],
+        shots: u64,
+        seed: u64,
+    ) -> Vec<u64> {
+        self.block.run_shots_with(decoders, shots, seed)
+    }
+}
+
+impl BlockSampler for PreparedExperiment {
+    fn sample_failure_words(&self, lanes: usize, seed: u64) -> Vec<u64> {
+        self.block.sample_failure_words(lanes, seed)
+    }
+}
+
 /// Runs the same sampled syndromes through several decoders, returning
 /// one result per decoder in `kinds` order.
 ///
@@ -280,8 +464,10 @@ impl PreparedExperiment {
 /// so results are identical for any `cfg.threads` / machine core count.
 pub fn compare_decoders(cfg: &ExperimentConfig, kinds: &[DecoderKind]) -> Vec<ExperimentResult> {
     let prepared = PreparedExperiment::prepare(cfg);
-    let decoders: Vec<Box<dyn Decoder + Send + Sync>> =
-        kinds.iter().map(|k| k.build(&prepared.graph)).collect();
+    let decoders: Vec<Box<dyn Decoder + Send + Sync>> = kinds
+        .iter()
+        .map(|k| k.build(&prepared.block.graph))
+        .collect();
     let decoder_refs: Vec<&(dyn Decoder + Send + Sync)> =
         decoders.iter().map(|d| d.as_ref()).collect();
 
@@ -332,8 +518,8 @@ pub fn compare_decoders(cfg: &ExperimentConfig, kinds: &[DecoderKind]) -> Vec<Ex
             failures: f,
             shots: cfg.shots,
             estimate: BinomialEstimate::new(f, cfg.shots.max(1)),
-            guard_detectors: prepared.graph.num_nodes(),
-            graph_edges: prepared.graph.num_edges(),
+            guard_detectors: prepared.block.graph.num_nodes(),
+            graph_edges: prepared.block.graph.num_edges(),
         })
         .collect()
 }
@@ -366,8 +552,8 @@ pub fn run_memory_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         failures,
         shots: cfg.shots,
         estimate: BinomialEstimate::new(failures, cfg.shots.max(1)),
-        guard_detectors: prepared.graph.num_nodes(),
-        graph_edges: prepared.graph.num_edges(),
+        guard_detectors: prepared.block.graph.num_nodes(),
+        graph_edges: prepared.block.graph.num_edges(),
     }
 }
 

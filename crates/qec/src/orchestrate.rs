@@ -12,10 +12,10 @@ use std::io;
 
 use vlq_sweep::{RecordSink, SweepEngine, SweepExecutor, SweepPoint, SweepRecord, SweepSpec};
 
-use vlq_surface::schedule::MemorySpec;
+use vlq_surface::schedule::{Boundary, MemorySpec};
 
 use crate::sensitivity::{noise_with_knob, Knob};
-use crate::{ExperimentConfig, PreparedExperiment};
+use crate::{BlockConfig, BlockSampler, ExperimentConfig, PreparedBlock, PreparedExperiment};
 
 /// Builds the experiment configuration a sweep point describes.
 ///
@@ -59,6 +59,12 @@ pub fn config_for_point(pt: &SweepPoint) -> ExperimentConfig {
     cfg.with_shots(pt.shots).with_decoder(pt.decoder)
 }
 
+/// [`config_for_point`] viewed as a block config under an explicit
+/// [`Boundary`] (the sweep grid itself stays boundary-agnostic).
+pub fn block_config_for_point(pt: &SweepPoint, boundary: Boundary) -> BlockConfig {
+    BlockConfig::from_experiment(&config_for_point(pt), boundary)
+}
+
 /// [`SweepExecutor`] running this crate's memory experiments.
 ///
 /// Chunk-level parallelism comes from the engine; each chunk runs
@@ -76,6 +82,45 @@ impl SweepExecutor for MemoryExecutor {
     fn run_chunk(
         &self,
         prepared: &PreparedExperiment,
+        _point: &SweepPoint,
+        shots: u64,
+        seed: u64,
+    ) -> u64 {
+        prepared.run_shots(shots, seed)
+    }
+}
+
+/// [`MemoryExecutor`] generalized over block boundaries: the same
+/// sweep grid, sampled through a [`PreparedBlock`] of any
+/// [`Boundary`] kind.
+///
+/// `BlockExecutor::new(Boundary::Full)` reproduces [`MemoryExecutor`]
+/// record-for-record (same prepared circuit, same chunk seeding, same
+/// sample-and-decode core); `Boundary::MidCircuit` sweeps per-round
+/// steady-state error rates instead of whole memory experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockExecutor {
+    /// The boundary every point of the sweep is sampled under.
+    pub boundary: Boundary,
+}
+
+impl BlockExecutor {
+    /// An executor sampling every point under `boundary`.
+    pub fn new(boundary: Boundary) -> Self {
+        BlockExecutor { boundary }
+    }
+}
+
+impl SweepExecutor for BlockExecutor {
+    type Prepared = PreparedBlock;
+
+    fn prepare(&self, point: &SweepPoint) -> PreparedBlock {
+        PreparedBlock::prepare(&block_config_for_point(point, self.boundary))
+    }
+
+    fn run_chunk(
+        &self,
+        prepared: &PreparedBlock,
         _point: &SweepPoint,
         shots: u64,
         seed: u64,
@@ -214,6 +259,39 @@ mod tests {
             program: Some("ghz4".to_string()),
         };
         config_for_point(&pt);
+    }
+
+    #[test]
+    fn block_executor_full_matches_memory_executor_records() {
+        // The boundary-generic executor at Boundary::Full must be
+        // record-for-record the memory executor: same prepared circuit,
+        // same chunk seeding, same sample-and-decode core.
+        let spec = SweepSpec::new()
+            .setups([Setup::Baseline])
+            .distances([3])
+            .error_rates([4e-3])
+            .decoders([DecoderKind::UnionFind])
+            .shots(600)
+            .base_seed(13);
+        let engine = SweepEngine::serial();
+        let memory = engine
+            .run(&spec, &MemoryExecutor, &mut [])
+            .expect("no sinks");
+        let full = engine
+            .run(&spec, &BlockExecutor::new(Boundary::Full), &mut [])
+            .expect("no sinks");
+        assert_eq!(memory, full);
+        // Mid-circuit blocks strip the boundary-round noise, so the
+        // same grid must record strictly fewer failures.
+        let mid = engine
+            .run(&spec, &BlockExecutor::new(Boundary::MidCircuit), &mut [])
+            .expect("no sinks");
+        assert!(
+            mid[0].failures < full[0].failures,
+            "mid {} !< full {}",
+            mid[0].failures,
+            full[0].failures
+        );
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Golden pins for the boundary-aware block redesign.
+//!
+//! The `BlockSpec` → `PreparedBlock` API replaced the old
+//! memory-experiment-shaped `PreparedExperiment` sampling core. These
+//! values were captured from the pre-redesign implementation (commit
+//! 33c23a3) and pin `Boundary::Full` to it *bit-for-bit*: the windowed
+//! noise pass over the full window, the wrapper types, and the
+//! `BlockSampler` batching must all reproduce the old RNG streams and
+//! decode decisions exactly. Any drift here silently invalidates every
+//! recorded fig11/fig12 artifact, so these are hard equality pins, not
+//! tolerances.
+
+use vlq_qec::{
+    compare_decoders, run_memory_experiment, BlockConfig, BlockSampler, BlockSpec, Boundary,
+    DecoderKind, ExperimentConfig, PreparedBlock, PreparedExperiment,
+};
+use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+
+/// One pinned configuration: (setup, d, k, basis, p, seed, expected
+/// 192-lane failure words).
+type GoldenWordsRow = (Setup, usize, usize, Basis, f64, u64, [u64; 3]);
+
+/// Pre-redesign `PreparedExperiment::sample_failure_words(192, seed)`
+/// outputs for four configurations covering baseline, natural, and
+/// compact setups in both bases.
+const GOLDEN_WORDS: [GoldenWordsRow; 4] = [
+    (
+        Setup::Baseline,
+        3,
+        1,
+        Basis::Z,
+        5e-3,
+        42,
+        [2281703744, 4616190184990444128, 9223937736126243328],
+    ),
+    (
+        Setup::NaturalInterleaved,
+        3,
+        3,
+        Basis::Z,
+        3e-3,
+        7,
+        [
+            10952754293766096896,
+            2305843009755021440,
+            4647719282212339744,
+        ],
+    ),
+    (
+        Setup::CompactAllAtOnce,
+        3,
+        4,
+        Basis::X,
+        4e-3,
+        11,
+        [
+            9225660945186295809,
+            4611686031312289864,
+            9799885738192408576,
+        ],
+    ),
+    (
+        Setup::CompactInterleaved,
+        5,
+        4,
+        Basis::Z,
+        2e-3,
+        5,
+        [9277767077463064578, 1044835117849141250, 144255947042197504],
+    ),
+];
+
+#[test]
+fn full_boundary_failure_words_match_pre_redesign_bits() {
+    for (setup, d, k, basis, p, seed, expected) in GOLDEN_WORDS {
+        let memory = MemorySpec::standard(setup, d, k, basis);
+
+        // Through the new block API directly...
+        let block = PreparedBlock::prepare(
+            &BlockConfig::new(BlockSpec::full(memory), p).with_decoder(DecoderKind::UnionFind),
+        );
+        assert_eq!(
+            block.sample_failure_words(192, seed),
+            expected,
+            "PreparedBlock {setup} d{d} k{k} {basis:?}"
+        );
+
+        // ...and through the memory-experiment wrapper.
+        let wrapped = PreparedExperiment::prepare(
+            &ExperimentConfig::new(memory, p).with_decoder(DecoderKind::UnionFind),
+        );
+        assert_eq!(
+            wrapped.sample_failure_words(192, seed),
+            expected,
+            "PreparedExperiment {setup} d{d} k{k} {basis:?}"
+        );
+    }
+}
+
+#[test]
+fn run_memory_experiment_matches_pre_redesign_counts() {
+    // (setup, d, k, basis, p, failures@threads=1, failures@threads=3),
+    // all at 4096 shots, seed 99, MWPM.
+    let golden: [(Setup, usize, usize, Basis, f64, u64, u64); 3] = [
+        (Setup::Baseline, 3, 1, Basis::Z, 5e-3, 476, 492),
+        (Setup::NaturalAllAtOnce, 3, 3, Basis::Z, 3e-3, 317, 310),
+        (Setup::CompactInterleaved, 3, 4, Basis::X, 4e-3, 517, 517),
+    ];
+    for (setup, d, k, basis, p, f1, f3) in golden {
+        for (threads, expected) in [(1usize, f1), (3, f3)] {
+            let cfg = ExperimentConfig::new(MemorySpec::standard(setup, d, k, basis), p)
+                .with_shots(4096)
+                .with_seed(99)
+                .with_threads(threads)
+                .with_decoder(DecoderKind::Mwpm);
+            let res = run_memory_experiment(&cfg);
+            assert_eq!(
+                res.failures, expected,
+                "{setup} d{d} k{k} {basis:?} threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compare_decoders_matches_pre_redesign_counts() {
+    let cfg = ExperimentConfig::new(MemorySpec::standard(Setup::Baseline, 3, 1, Basis::Z), 5e-3)
+        .with_shots(4096)
+        .with_seed(31)
+        .with_threads(2);
+    let res = compare_decoders(&cfg, &[DecoderKind::Mwpm, DecoderKind::UnionFind]);
+    assert_eq!((res[0].failures, res[1].failures), (462, 482));
+}
+
+#[test]
+fn full_boundary_noise_window_covers_everything() {
+    // The Full window must be the whole circuit — that is what makes
+    // the bit-for-bit pins above structural rather than coincidental.
+    let memory = MemorySpec::standard(Setup::NaturalInterleaved, 3, 3, Basis::Z);
+    let block = PreparedBlock::prepare(&BlockConfig::new(BlockSpec::full(memory), 2e-3));
+    let (start, end) = block.memory.noise_window(Boundary::Full);
+    assert_eq!(start, 0);
+    assert_eq!(end, block.memory.circuit.instructions.len());
+    // And the block boundaries are recorded strictly inside it.
+    assert!(block.memory.prep_end > 0);
+    assert!(block.memory.prep_end < block.memory.body_end);
+    assert!(block.memory.body_end < end);
+}

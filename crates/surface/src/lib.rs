@@ -28,4 +28,4 @@ pub mod schedule;
 
 pub use embedding::{CompactHost, CompactMerge, Corner};
 pub use layout::{Plaquette, PlaquetteKind, SurfaceLayout};
-pub use schedule::{memory_circuit, Basis, MemoryCircuit, MemorySpec, Setup};
+pub use schedule::{memory_circuit, Basis, Boundary, MemoryCircuit, MemorySpec, Setup};

@@ -70,6 +70,84 @@ impl std::fmt::Display for Setup {
     }
 }
 
+/// Which boundaries of a syndrome block contribute noise.
+///
+/// A memory experiment is prep + `rounds` noisy syndrome rounds +
+/// destructive readout. A schedule-replay backend that approximates a
+/// short *exposure* (one refresh pass, one surgery timestep) by a whole
+/// memory experiment overcounts error: the prep and readout boundary
+/// rounds belong to the program's ends, not to every block. `Boundary`
+/// selects which ends of a generated block circuit are *noisy*; the
+/// instruction structure (and detector schedule) is identical in all
+/// four modes, so the decoder sees the same graph topology with fault
+/// sites only where the block really is exposed:
+///
+/// * [`Boundary::Full`] — prep, rounds, and readout all noisy: the
+///   classic memory experiment, bit-for-bit.
+/// * [`Boundary::Prep`] — noisy prep + rounds; the readout is ideal
+///   (the block ends mid-program).
+/// * [`Boundary::Readout`] — ideal prep; noisy rounds + readout (the
+///   block starts mid-program).
+/// * [`Boundary::MidCircuit`] — ideal prep *and* readout: only the
+///   syndrome rounds are noisy. The boundary rounds contribute
+///   detectors (perfect time-boundary information) but no error, so
+///   the sampled failure rate measures exactly `rounds` rounds of
+///   exposure — the per-round quantity program-level replay needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Boundary {
+    /// Noisy prep and readout boundaries (the memory experiment).
+    Full,
+    /// Noisy prep, ideal readout.
+    Prep,
+    /// Ideal prep, noisy readout.
+    Readout,
+    /// Ideal prep and readout; only the syndrome rounds carry noise.
+    MidCircuit,
+}
+
+impl Boundary {
+    /// All boundary modes.
+    pub const ALL: [Boundary; 4] = [
+        Boundary::Full,
+        Boundary::Prep,
+        Boundary::Readout,
+        Boundary::MidCircuit,
+    ];
+
+    /// Whether the preparation boundary carries noise.
+    pub fn noisy_prep(self) -> bool {
+        matches!(self, Boundary::Full | Boundary::Prep)
+    }
+
+    /// Whether the readout boundary carries noise.
+    pub fn noisy_readout(self) -> bool {
+        matches!(self, Boundary::Full | Boundary::Readout)
+    }
+
+    /// Parses a stable name (`full`, `prep`, `readout`, `mid-circuit`).
+    pub fn parse(s: &str) -> Option<Boundary> {
+        match s {
+            "full" => Some(Boundary::Full),
+            "prep" => Some(Boundary::Prep),
+            "readout" => Some(Boundary::Readout),
+            "mid-circuit" | "midcircuit" | "mid" => Some(Boundary::MidCircuit),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Boundary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Boundary::Full => "full",
+            Boundary::Prep => "prep",
+            Boundary::Readout => "readout",
+            Boundary::MidCircuit => "mid-circuit",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// Memory-experiment basis: which logical state is preserved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Basis {
@@ -132,6 +210,18 @@ pub struct MemoryCircuit {
     pub x_detectors: Vec<usize>,
     /// The specification this was generated from.
     pub spec: MemorySpec,
+    /// Index (into the *ideal* instruction list) one past the last
+    /// preparation instruction: resets, basis rotations, and the initial
+    /// store into the cavity modes.
+    pub prep_end: usize,
+    /// Index of the first readout instruction: the final basis rotation
+    /// and destructive data measurement — plus, for the compact
+    /// generator only, the extra load of every datum back into its host
+    /// (baseline reads transmons directly, and natural's final load is
+    /// the last round's own load, emitted inside the round body).
+    /// Instructions in `prep_end..body_end` are the syndrome-round
+    /// body.
+    pub body_end: usize,
 }
 
 impl MemoryCircuit {
@@ -141,6 +231,23 @@ impl MemoryCircuit {
             Basis::Z => &self.z_detectors,
             Basis::X => &self.x_detectors,
         }
+    }
+
+    /// The ideal-instruction index range that carries noise under a
+    /// boundary mode (feed it to `NoiseModel::apply_window`). The body
+    /// is always noisy; `boundary` gates the prep and readout sections.
+    pub fn noise_window(&self, boundary: Boundary) -> (usize, usize) {
+        let start = if boundary.noisy_prep() {
+            0
+        } else {
+            self.prep_end
+        };
+        let end = if boundary.noisy_readout() {
+            self.circuit.instructions.len()
+        } else {
+            self.body_end
+        };
+        (start, end)
     }
 }
 
@@ -324,11 +431,13 @@ fn baseline_memory(spec: MemorySpec, hw: &HardwareParams) -> MemoryCircuit {
         }
         t += hw.t_gate_1q;
     }
+    let prep_end = b.circuit.instructions.len();
 
     let mut meas: Vec<Vec<usize>> = vec![Vec::new(); n_anc];
     for _round in 0..spec.rounds {
         t = baseline_round(&mut b, &layout, &anc, t, &mut meas, |q| q);
     }
+    let body_end = b.circuit.instructions.len();
 
     // Final data readout in the memory basis.
     if spec.basis == Basis::X {
@@ -339,7 +448,7 @@ fn baseline_memory(spec: MemorySpec, hw: &HardwareParams) -> MemoryCircuit {
     }
     let data_meas: Vec<usize> = (0..n_data).map(|q| b.measure(q, t)).collect();
 
-    finish_memory(b, spec, &layout, meas, data_meas, |c| {
+    finish_memory(b, spec, &layout, meas, data_meas, prep_end, body_end, |c| {
         layout.data_index(c).expect("data coordinate")
     })
 }
@@ -408,12 +517,15 @@ fn baseline_round(
 /// Declares detectors/observable shared by all generators and assembles
 /// the result. `data_meas` are the final data measurement indices ordered
 /// by data index; `coord_to_data` maps coordinates to data indices.
+#[allow(clippy::too_many_arguments)]
 fn finish_memory(
     mut b: Builder,
     spec: MemorySpec,
     layout: &SurfaceLayout,
     meas: Vec<Vec<usize>>,
     data_meas: Vec<usize>,
+    prep_end: usize,
+    body_end: usize,
     coord_to_data: impl Fn((i32, i32)) -> usize,
 ) -> MemoryCircuit {
     let guard = spec.basis.guard_kind();
@@ -455,11 +567,14 @@ fn finish_memory(
     let obs: Vec<usize> = support.into_iter().map(|di| data_meas[di]).collect();
     b.circuit.observable(obs);
     b.circuit.check().expect("structurally valid circuit");
+    debug_assert!(prep_end <= body_end && body_end <= b.circuit.instructions.len());
     MemoryCircuit {
         circuit: b.circuit,
         z_detectors,
         x_detectors,
         spec,
+        prep_end,
+        body_end,
     }
 }
 
@@ -501,6 +616,7 @@ fn natural_memory(spec: MemorySpec, hw: &HardwareParams) -> MemoryCircuit {
         b.load_store(dt(di), mode(di), t);
     }
     t += hw.t_load_store;
+    let prep_end = b.circuit.instructions.len();
 
     let mut meas: Vec<Vec<usize>> = vec![Vec::new(); n_anc];
     let mut loaded = false;
@@ -534,6 +650,7 @@ fn natural_memory(spec: MemorySpec, hw: &HardwareParams) -> MemoryCircuit {
         }
     }
     assert!(loaded, "data must be loaded for final readout");
+    let body_end = b.circuit.instructions.len();
 
     // Final readout directly from the loaded transmons.
     if spec.basis == Basis::X {
@@ -544,7 +661,7 @@ fn natural_memory(spec: MemorySpec, hw: &HardwareParams) -> MemoryCircuit {
     }
     let data_meas: Vec<usize> = (0..n_data).map(|di| b.measure(dt(di), t)).collect();
 
-    finish_memory(b, spec, &layout, meas, data_meas, |c| {
+    finish_memory(b, spec, &layout, meas, data_meas, prep_end, body_end, |c| {
         layout.data_index(c).expect("data coordinate")
     })
 }
@@ -732,6 +849,7 @@ fn compact_memory(spec: MemorySpec, hw: &HardwareParams) -> MemoryCircuit {
         b.load_store(host_t(di), mode(di), t);
     }
     t += hw.t_load_store;
+    let prep_end = b.circuit.instructions.len();
 
     // Initial steady-state wait (the qubit's turn comes up).
     t += wait;
@@ -842,6 +960,7 @@ fn compact_memory(spec: MemorySpec, hw: &HardwareParams) -> MemoryCircuit {
     }
 
     // Final readout: load everything into the hosts and measure.
+    let body_end = b.circuit.instructions.len();
     let t_final = gstep_time(max_gstep) + step_dur;
     for di in 0..n_data {
         b.load_store(host_t(di), mode(di), t_final);
@@ -855,7 +974,7 @@ fn compact_memory(spec: MemorySpec, hw: &HardwareParams) -> MemoryCircuit {
     }
     let data_meas: Vec<usize> = (0..n_data).map(|di| b.measure(host_t(di), t2)).collect();
 
-    finish_memory(b, spec, &layout, meas, data_meas, |c| {
+    finish_memory(b, spec, &layout, meas, data_meas, prep_end, body_end, |c| {
         layout.data_index(c).expect("data coordinate")
     })
 }

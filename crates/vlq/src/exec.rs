@@ -10,9 +10,10 @@
 //!   numbers come from here.
 //! * [`FrameExecutor`] — replays the schedule on the Pauli-frame
 //!   simulator under a [`vlq_circuit::noise::NoiseModel`]: every refresh
-//!   pass and logical operation samples a block of noisy syndrome
-//!   rounds through the decoder (the shared
-//!   `vlq_qec::PreparedExperiment` core), and the surviving residual
+//!   pass and logical operation samples a boundary-aware block of noisy
+//!   syndrome rounds through the decoder (the shared
+//!   `vlq_qec::PreparedBlock` core, sized to the instruction's actual
+//!   round span), and the surviving residual
 //!   logical errors accumulate in per-shot logical Pauli frames. The
 //!   result is a *program-level* logical error rate — the fig-11-style
 //!   Monte-Carlo machinery applied to whole logical programs.
@@ -28,12 +29,21 @@
 //! # Fidelity model
 //!
 //! The frame backend is a two-level simulation. At the physical level,
-//! each exposure of a logical qubit — a background refresh pass, or one
-//! timestep of a logical operation — is sampled as a seeded Monte-Carlo
-//! block: the setup's noisy syndrome-extraction circuit (built by
-//! `vlq-surface`, noise-annotated by `vlq-circuit`) is run on the
-//! bit-parallel Pauli-frame simulator and decoded per shot lane, in both
-//! the Z and the X guard sector. At the logical level, each lane keeps
+//! each exposure of a logical qubit — a background refresh pass, a
+//! surgery exposure window, an idle-in-DRAM stretch — is sampled as a
+//! seeded Monte-Carlo *block*: a `vlq_qec::PreparedBlock` whose noisy
+//! syndrome-extraction circuit (built by `vlq-surface`, noise-windowed
+//! by `vlq-circuit`) is run on the bit-parallel Pauli-frame simulator
+//! and decoded per shot lane, in both the Z and the X guard sector.
+//! Under the default [`vlq_surface::schedule::Boundary::MidCircuit`]
+//! mode each block is sized to the instruction's *actual* round span;
+//! interior blocks have ideal prep/readout boundaries while the
+//! program's genuine ends (first exposure after page-in, destructive
+//! measurement) charge their real boundary noise exactly once, so
+//! error scales with real exposure;
+//! [`vlq_surface::schedule::Boundary::Full`] reproduces the legacy
+//! model (every timestep resamples a whole memory experiment)
+//! bit-for-bit. At the logical level, each lane keeps
 //! one Pauli frame per logical qubit; a block whose decode left a
 //! residual logical flip XORs that flip into the lane's frame, and
 //! Clifford schedule instructions propagate the frames (a transversal
@@ -50,9 +60,9 @@ use std::collections::BTreeMap;
 
 use vlq_decoder::DecoderKind;
 use vlq_math::stats::BinomialEstimate;
-use vlq_qec::{ExperimentConfig, PreparedExperiment};
+use vlq_qec::{BlockConfig, BlockSampler, BlockSpec, PreparedBlock};
 use vlq_sim::{CliffordGate, FrameBatch};
-use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+use vlq_surface::schedule::{Basis, Boundary, MemorySpec, Setup};
 use vlq_surgery::LogicalOp;
 use vlq_sweep::artifact::{Table, Value};
 use vlq_sweep::{splitmix64, SweepExecutor, SweepPoint};
@@ -392,17 +402,29 @@ pub struct FrameExecutor {
     pub shots: u64,
     /// Base RNG seed (runs are deterministic given the seed).
     pub seed: u64,
+    /// Which block boundary exposures are sampled under.
+    ///
+    /// [`Boundary::MidCircuit`] (the default) sizes one block to each
+    /// instruction's actual round span; interior blocks are
+    /// boundary-light while the program's genuine ends charge their
+    /// real prep/readout noise exactly once (see `exposure_boundary`),
+    /// so error scales with real exposure. [`Boundary::Full`]
+    /// reproduces the legacy behavior bit-for-bit: every exposure
+    /// resamples a whole memory experiment, prep/readout boundary
+    /// rounds included, one `d`-round block per timestep.
+    pub boundary: Boundary,
 }
 
 impl FrameExecutor {
     /// A frame executor at physical error scale `p` (union-find decoder,
-    /// 1024 shots, the workspace's default seed).
+    /// 1024 shots, mid-circuit blocks, the workspace's default seed).
     pub fn at_scale(p: f64) -> Self {
         FrameExecutor {
             p,
             decoder: DecoderKind::UnionFind,
             shots: 1024,
             seed: 2020,
+            boundary: Boundary::MidCircuit,
         }
     }
 
@@ -423,6 +445,12 @@ impl FrameExecutor {
         self.decoder = decoder;
         self
     }
+
+    /// Sets the block boundary mode.
+    pub fn with_boundary(mut self, boundary: Boundary) -> Self {
+        self.boundary = boundary;
+        self
+    }
 }
 
 impl Executor for FrameExecutor {
@@ -430,7 +458,7 @@ impl Executor for FrameExecutor {
 
     fn run(&self, schedule: &Schedule) -> Result<ProgramReport, MachineError> {
         schedule.validate()?;
-        let prepared = FramePrepared::new(schedule.clone(), self.p, self.decoder);
+        let prepared = FramePrepared::new(schedule.clone(), self.p, self.decoder, self.boundary);
         let failures = prepared.run_failures(self.shots, self.seed);
         Ok(ProgramReport {
             shots: self.shots,
@@ -449,63 +477,165 @@ impl Executor for FrameExecutor {
 /// shot chunk).
 pub struct FramePrepared {
     schedule: Schedule,
+    boundary: Boundary,
     /// Dense frame-lane slot per logical qubit.
     slots: BTreeMap<LogicalId, usize>,
-    /// Prepared (Z-basis, X-basis) block experiments keyed by round
-    /// count. The Z-basis guard failure is a residual logical X flip,
-    /// and vice versa.
-    blocks: BTreeMap<usize, (PreparedExperiment, PreparedExperiment)>,
+    /// Prepared (Z-basis, X-basis) blocks keyed by (round count,
+    /// boundary). The Z-basis guard failure is a residual logical X
+    /// flip, and vice versa.
+    blocks: BTreeMap<(usize, Boundary), (PreparedBlock, PreparedBlock)>,
+    /// The boundary each exposure samples under, keyed by (instruction
+    /// index, operand offset); computed once at preparation so the
+    /// replay loops and the block registry can never disagree. Empty
+    /// in legacy [`Boundary::Full`] mode.
+    exposure_boundaries: BTreeMap<(u64, u64), Boundary>,
+}
+
+/// Domain separator of the mid-circuit block-seed derivation.
+const BLOCK_SEED_DOMAIN: u64 = 0x626c_6f63_6b73_6565; // "blocksee"
+
+/// The seeded random stream of one sampled block: splitmix64-chained
+/// over the batch seed, the instruction index, the guard sector
+/// (0 = Z, 1 = X), and the block offset within the instruction (the
+/// operand index for two-qubit instructions). Every coordinate passes
+/// through a full splitmix64 round, so adjacent instructions — and the
+/// two sectors / operands of one instruction — can never share a
+/// stream (the legacy derivation XORed small constants into one
+/// stream, which collides under crafted indices).
+fn block_seed(batch_seed: u64, instr: u64, sector: u64, offset: u64) -> u64 {
+    let mut h = splitmix64(batch_seed ^ BLOCK_SEED_DOMAIN);
+    h = splitmix64(h ^ splitmix64(instr));
+    h = splitmix64(h ^ splitmix64(sector));
+    splitmix64(h ^ splitmix64(offset))
+}
+
+/// The boundary one exposure samples under. In the ends-aware
+/// mid-circuit mode, a qubit's *first* exposure after page-in charges
+/// real preparation noise (`Prep`), the destructive-measurement
+/// exposure charges real readout noise (`Readout`), an exposure that
+/// is both at once is the full memory experiment, and interior
+/// exposures are boundary-light — so a program charges each physical
+/// boundary exactly once, where it actually happens. The uniform
+/// modes (`Full`, `Prep`, `Readout`) apply themselves to every block.
+fn exposure_boundary(mode: Boundary, first: bool, measures: bool) -> Boundary {
+    if mode != Boundary::MidCircuit {
+        return mode;
+    }
+    match (first, measures) {
+        (true, true) => Boundary::Full,
+        (true, false) => Boundary::Prep,
+        (false, true) => Boundary::Readout,
+        (false, false) => Boundary::MidCircuit,
+    }
 }
 
 impl FramePrepared {
-    /// Builds all block experiments a schedule needs.
-    pub fn new(schedule: Schedule, p: f64, decoder: DecoderKind) -> Self {
+    /// Builds all block experiments a schedule needs under a boundary
+    /// mode.
+    ///
+    /// Under [`Boundary::Full`] every exposure is a whole memory
+    /// experiment resampled per timestep (the legacy model, preserved
+    /// bit-for-bit). Under the mid-circuit default, one block is sized
+    /// to each instruction's actual round span — a refresh pass samples
+    /// exactly its `rounds`, a span-`s` operation samples one
+    /// `s * d`-round block per participant (surgery exposure windows,
+    /// idle-in-DRAM stretches, magic-state waits) — and the program's
+    /// genuine ends charge their real boundary noise via
+    /// the ends-aware exposure rule (first exposure after page-in → `Prep`,
+    /// destructive measurement → `Readout`); everything in between is
+    /// boundary-light.
+    pub fn new(schedule: Schedule, p: f64, decoder: DecoderKind, boundary: Boundary) -> Self {
         let config = *schedule.config();
         let setup = setup_for_config(&config);
+        let legacy = boundary == Boundary::Full;
         let mut slots = BTreeMap::new();
-        let mut round_counts: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
-        for instr in schedule.instrs() {
+        let mut needed: std::collections::BTreeSet<(usize, Boundary)> = Default::default();
+        let mut exposure_boundaries: BTreeMap<(u64, u64), Boundary> = BTreeMap::new();
+        let mut fresh: std::collections::BTreeSet<LogicalId> = Default::default();
+        for (idx, instr) in schedule.instrs().iter().enumerate() {
+            let idx = idx as u64;
             for q in instr.qubits() {
                 let next = slots.len();
                 slots.entry(q).or_insert(next);
             }
-            match instr {
-                Instr::RefreshRound { rounds, .. } => {
-                    round_counts.insert(*rounds);
+            if legacy {
+                // Legacy: operations expose participants one timestep
+                // (= d rounds) at a time, every block a full memory
+                // experiment.
+                match instr {
+                    Instr::RefreshRound { rounds, .. } => {
+                        needed.insert((*rounds, Boundary::Full));
+                    }
+                    _ if instr.span() > 0 => {
+                        needed.insert((config.d, Boundary::Full));
+                    }
+                    _ => {}
                 }
-                _ if instr.span() > 0 => {
-                    // Operations expose participants one timestep (= d
-                    // rounds) at a time.
-                    round_counts.insert(config.d);
+                continue;
+            }
+            match instr {
+                Instr::PageIn { qubit, .. } => {
+                    fresh.insert(*qubit);
+                }
+                Instr::PageOut { qubit, .. } => {
+                    fresh.remove(qubit);
+                }
+                Instr::RefreshRound { qubit, rounds, .. } => {
+                    let b = exposure_boundary(boundary, fresh.remove(qubit), false);
+                    exposure_boundaries.insert((idx, 0), b);
+                    needed.insert((*rounds, b));
+                }
+                other if other.span() > 0 => {
+                    let window = other.span() as usize * config.d;
+                    let measures = matches!(other, Instr::MeasureLogical { .. });
+                    for (off, q) in other.qubits().iter().enumerate() {
+                        let b = exposure_boundary(boundary, fresh.remove(q), measures);
+                        exposure_boundaries.insert((idx, off as u64), b);
+                        needed.insert((window, b));
+                    }
                 }
                 _ => {}
             }
         }
-        let prepare = |rounds: usize, basis: Basis| {
+        let prepare = |rounds: usize, basis: Basis, block_boundary: Boundary| {
             let mut spec = MemorySpec::standard(setup, config.d, config.k, basis);
             spec.rounds = rounds;
-            PreparedExperiment::prepare(&ExperimentConfig::new(spec, p).with_decoder(decoder))
+            PreparedBlock::prepare(
+                &BlockConfig::new(
+                    BlockSpec {
+                        memory: spec,
+                        boundary: block_boundary,
+                    },
+                    p,
+                )
+                .with_decoder(decoder),
+            )
         };
-        let blocks = round_counts
+        let blocks = needed
             .into_iter()
-            .map(|r| (r, (prepare(r, Basis::Z), prepare(r, Basis::X))))
+            .map(|(r, b)| ((r, b), (prepare(r, Basis::Z, b), prepare(r, Basis::X, b))))
             .collect();
         FramePrepared {
             schedule,
+            boundary,
             slots,
             blocks,
+            exposure_boundaries,
         }
     }
 
     /// Syndrome-block samples per shot (both sectors of one exposure
     /// count as one block).
     pub fn blocks_per_shot(&self) -> u64 {
+        let legacy = self.boundary == Boundary::Full;
         self.schedule
             .instrs()
             .iter()
             .map(|i| match i {
                 Instr::RefreshRound { .. } => 1,
-                _ => i.span() * i.qubits().len() as u64,
+                _ if legacy => i.span() * i.qubits().len() as u64,
+                _ if i.span() > 0 => i.qubits().len() as u64,
+                _ => 0,
             })
             .sum()
     }
@@ -520,60 +650,66 @@ impl FramePrepared {
         while remaining > 0 {
             let lanes = (remaining as usize).min(LANES_PER_BATCH);
             let batch_seed = splitmix64(seed ^ splitmix64(batch_idx));
-            failures += self.run_batch(lanes, batch_seed);
+            failures += if self.boundary == Boundary::Full {
+                self.run_batch_legacy(lanes, batch_seed)
+            } else {
+                self.run_batch(lanes, batch_seed)
+            };
             remaining -= lanes as u64;
             batch_idx += 1;
         }
         failures
     }
 
-    /// Exposes one qubit slot to `reps` sampled blocks of `rounds`
-    /// syndrome rounds each, in both guard sectors, XORing residual
-    /// logical flips into the frames.
-    fn expose(
+    /// Exposes one qubit slot to a single sampled block of `rounds`
+    /// syndrome rounds, in both guard sectors, XORing residual logical
+    /// flips into the frames. The block's boundary comes from the
+    /// prepared per-exposure assignment.
+    fn expose_block(
         &self,
         frames: &mut FrameBatch,
         slot: usize,
         rounds: usize,
-        reps: u64,
         lanes: usize,
-        instr_seed: u64,
+        batch_seed: u64,
+        instr: u64,
+        offset: u64,
     ) {
-        let (z_block, x_block) = &self.blocks[&rounds];
-        for rep in 0..reps {
-            let rep_seed = splitmix64(instr_seed ^ splitmix64(0x5851_f42d ^ rep));
-            // Z-basis guard failure = residual logical X error.
-            let x_flips = z_block.sample_failure_words(lanes, rep_seed);
-            frames.xor_x_words(slot, &x_flips);
-            let z_flips = x_block.sample_failure_words(lanes, splitmix64(rep_seed ^ 0x9e37));
-            frames.xor_z_words(slot, &z_flips);
-        }
+        let boundary = self.exposure_boundaries[&(instr, offset)];
+        let (z_block, x_block) = &self.blocks[&(rounds, boundary)];
+        // Z-basis guard failure = residual logical X error.
+        let x_flips = z_block.sample_failure_words(lanes, block_seed(batch_seed, instr, 0, offset));
+        frames.xor_x_words(slot, &x_flips);
+        let z_flips = x_block.sample_failure_words(lanes, block_seed(batch_seed, instr, 1, offset));
+        frames.xor_z_words(slot, &z_flips);
     }
 
+    /// The boundary-aware replay: every instruction exposes each
+    /// participant to one block sized to its actual round span.
     fn run_batch(&self, lanes: usize, batch_seed: u64) -> u64 {
         let words = lanes.div_ceil(64).max(1);
         let n_slots = self.slots.len().max(1);
+        let d = self.schedule.config().d;
         let mut frames = FrameBatch::new(n_slots, lanes);
         // Per-lane program-failure accumulator.
         let mut failed = vec![0u64; words];
         let mut measured: std::collections::BTreeSet<LogicalId> = std::collections::BTreeSet::new();
         let slot = |q: LogicalId| self.slots[&q];
         for (idx, instr) in self.schedule.instrs().iter().enumerate() {
-            let instr_seed = splitmix64(batch_seed ^ splitmix64(idx as u64));
-            let span = instr.span();
+            let idx = idx as u64;
+            let window = instr.span() as usize * d;
             match *instr {
                 Instr::PageIn { qubit, .. } => frames.reset_qubit(slot(qubit)),
                 Instr::PageOut { qubit, .. } => frames.reset_qubit(slot(qubit)),
                 Instr::Correction { .. } => {}
                 Instr::RefreshRound { qubit, rounds, .. } => {
-                    self.expose(&mut frames, slot(qubit), rounds, 1, lanes, instr_seed);
+                    self.expose_block(&mut frames, slot(qubit), rounds, lanes, batch_seed, idx, 0);
                 }
                 Instr::Logical1Q { qubit, gate, .. } => {
                     if gate == LogicalGate1Q::H {
                         frames.apply(CliffordGate::H(slot(qubit)));
                     }
-                    let d = self.schedule.config().d;
-                    self.expose(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                    self.expose_block(&mut frames, slot(qubit), window, lanes, batch_seed, idx, 0);
                 }
                 Instr::TransversalCnot {
                     control, target, ..
@@ -582,52 +718,34 @@ impl FramePrepared {
                     control, target, ..
                 } => {
                     frames.apply(CliffordGate::Cnot(slot(control), slot(target)));
-                    let d = self.schedule.config().d;
-                    self.expose(&mut frames, slot(control), d, span, lanes, instr_seed);
-                    self.expose(
+                    self.expose_block(
                         &mut frames,
-                        slot(target),
-                        d,
-                        span,
+                        slot(control),
+                        window,
                         lanes,
-                        splitmix64(instr_seed ^ 0x7fb5),
+                        batch_seed,
+                        idx,
+                        0,
                     );
+                    self.expose_block(&mut frames, slot(target), window, lanes, batch_seed, idx, 1);
                 }
                 Instr::SurgeryMerge { a, b, .. } => {
                     // A merge's joint parity measurement spreads errors
                     // between the fused patches; the logical-level view
                     // of that spread is CNOT propagation.
                     frames.apply(CliffordGate::Cnot(slot(a), slot(b)));
-                    let d = self.schedule.config().d;
-                    self.expose(&mut frames, slot(a), d, span, lanes, instr_seed);
-                    self.expose(
-                        &mut frames,
-                        slot(b),
-                        d,
-                        span,
-                        lanes,
-                        splitmix64(instr_seed ^ 0x7fb5),
-                    );
+                    self.expose_block(&mut frames, slot(a), window, lanes, batch_seed, idx, 0);
+                    self.expose_block(&mut frames, slot(b), window, lanes, batch_seed, idx, 1);
                 }
                 Instr::SurgerySplit { a, b, .. } => {
-                    let d = self.schedule.config().d;
-                    self.expose(&mut frames, slot(a), d, span, lanes, instr_seed);
-                    self.expose(
-                        &mut frames,
-                        slot(b),
-                        d,
-                        span,
-                        lanes,
-                        splitmix64(instr_seed ^ 0x7fb5),
-                    );
+                    self.expose_block(&mut frames, slot(a), window, lanes, batch_seed, idx, 0);
+                    self.expose_block(&mut frames, slot(b), window, lanes, batch_seed, idx, 1);
                 }
                 Instr::Move { qubit, .. } | Instr::ConsumeMagic { qubit, .. } => {
-                    let d = self.schedule.config().d;
-                    self.expose(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                    self.expose_block(&mut frames, slot(qubit), window, lanes, batch_seed, idx, 0);
                 }
                 Instr::MeasureLogical { qubit, .. } => {
-                    let d = self.schedule.config().d;
-                    self.expose(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                    self.expose_block(&mut frames, slot(qubit), window, lanes, batch_seed, idx, 0);
                     // A destructive Z readout is corrupted by the
                     // frame's X component; Z errors are harmless here.
                     let outcome_flips = frames.measure_z(slot(qubit));
@@ -638,17 +756,135 @@ impl FramePrepared {
                 }
             }
         }
-        // Qubits still live at the end of the program must carry the
-        // identity frame, else the prepared logical state is corrupted.
+        self.close_batch(&frames, &measured, &mut failed);
+        failed.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Exposes one qubit slot to `reps` sampled blocks of `rounds`
+    /// syndrome rounds each (the legacy [`Boundary::Full`] model,
+    /// preserved bit-for-bit including its seed derivation).
+    fn expose_legacy(
+        &self,
+        frames: &mut FrameBatch,
+        slot: usize,
+        rounds: usize,
+        reps: u64,
+        lanes: usize,
+        instr_seed: u64,
+    ) {
+        let (z_block, x_block) = &self.blocks[&(rounds, Boundary::Full)];
+        for rep in 0..reps {
+            let rep_seed = splitmix64(instr_seed ^ splitmix64(0x5851_f42d ^ rep));
+            // Z-basis guard failure = residual logical X error.
+            let x_flips = z_block.sample_failure_words(lanes, rep_seed);
+            frames.xor_x_words(slot, &x_flips);
+            let z_flips = x_block.sample_failure_words(lanes, splitmix64(rep_seed ^ 0x9e37));
+            frames.xor_z_words(slot, &z_flips);
+        }
+    }
+
+    /// The legacy [`Boundary::Full`] replay: every timestep of every
+    /// operation resamples a whole `d`-round memory experiment.
+    fn run_batch_legacy(&self, lanes: usize, batch_seed: u64) -> u64 {
+        let words = lanes.div_ceil(64).max(1);
+        let n_slots = self.slots.len().max(1);
+        let mut frames = FrameBatch::new(n_slots, lanes);
+        // Per-lane program-failure accumulator.
+        let mut failed = vec![0u64; words];
+        let mut measured: std::collections::BTreeSet<LogicalId> = std::collections::BTreeSet::new();
+        let slot = |q: LogicalId| self.slots[&q];
+        for (idx, instr) in self.schedule.instrs().iter().enumerate() {
+            let instr_seed = splitmix64(batch_seed ^ splitmix64(idx as u64));
+            let span = instr.span();
+            let d = self.schedule.config().d;
+            match *instr {
+                Instr::PageIn { qubit, .. } => frames.reset_qubit(slot(qubit)),
+                Instr::PageOut { qubit, .. } => frames.reset_qubit(slot(qubit)),
+                Instr::Correction { .. } => {}
+                Instr::RefreshRound { qubit, rounds, .. } => {
+                    self.expose_legacy(&mut frames, slot(qubit), rounds, 1, lanes, instr_seed);
+                }
+                Instr::Logical1Q { qubit, gate, .. } => {
+                    if gate == LogicalGate1Q::H {
+                        frames.apply(CliffordGate::H(slot(qubit)));
+                    }
+                    self.expose_legacy(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                }
+                Instr::TransversalCnot {
+                    control, target, ..
+                }
+                | Instr::LatticeSurgeryCnot {
+                    control, target, ..
+                } => {
+                    frames.apply(CliffordGate::Cnot(slot(control), slot(target)));
+                    self.expose_legacy(&mut frames, slot(control), d, span, lanes, instr_seed);
+                    self.expose_legacy(
+                        &mut frames,
+                        slot(target),
+                        d,
+                        span,
+                        lanes,
+                        splitmix64(instr_seed ^ 0x7fb5),
+                    );
+                }
+                Instr::SurgeryMerge { a, b, .. } => {
+                    frames.apply(CliffordGate::Cnot(slot(a), slot(b)));
+                    self.expose_legacy(&mut frames, slot(a), d, span, lanes, instr_seed);
+                    self.expose_legacy(
+                        &mut frames,
+                        slot(b),
+                        d,
+                        span,
+                        lanes,
+                        splitmix64(instr_seed ^ 0x7fb5),
+                    );
+                }
+                Instr::SurgerySplit { a, b, .. } => {
+                    self.expose_legacy(&mut frames, slot(a), d, span, lanes, instr_seed);
+                    self.expose_legacy(
+                        &mut frames,
+                        slot(b),
+                        d,
+                        span,
+                        lanes,
+                        splitmix64(instr_seed ^ 0x7fb5),
+                    );
+                }
+                Instr::Move { qubit, .. } | Instr::ConsumeMagic { qubit, .. } => {
+                    self.expose_legacy(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                }
+                Instr::MeasureLogical { qubit, .. } => {
+                    self.expose_legacy(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                    // A destructive Z readout is corrupted by the
+                    // frame's X component; Z errors are harmless here.
+                    let outcome_flips = frames.measure_z(slot(qubit));
+                    for (f, o) in failed.iter_mut().zip(&outcome_flips) {
+                        *f |= o;
+                    }
+                    measured.insert(qubit);
+                }
+            }
+        }
+        self.close_batch(&frames, &measured, &mut failed);
+        failed.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Qubits still live at the end of the program must carry the
+    /// identity frame, else the prepared logical state is corrupted.
+    fn close_batch(
+        &self,
+        frames: &FrameBatch,
+        measured: &std::collections::BTreeSet<LogicalId>,
+        failed: &mut [u64],
+    ) {
         for (&qubit, &s) in &self.slots {
             if measured.contains(&qubit) {
                 continue;
             }
-            for w in 0..words {
-                failed[w] |= frames.x_words(s)[w] | frames.z_words(s)[w];
+            for (w, f) in failed.iter_mut().enumerate() {
+                *f |= frames.x_words(s)[w] | frames.z_words(s)[w];
             }
         }
-        failed.iter().map(|w| w.count_ones() as u64).sum()
     }
 }
 
@@ -712,13 +948,36 @@ pub fn machine_config_for_point(point: &SweepPoint, num_qubits: usize) -> Machin
 /// point's distance/depth and builds the block experiments once;
 /// `run_chunk` replays seeded shot chunks.
 ///
+/// Defaults to [`Boundary::MidCircuit`] blocks — the quantitative
+/// program-level fidelity model; set `boundary` to [`Boundary::Full`]
+/// to sweep the legacy whole-memory-experiment approximation (the
+/// `prog1` binary's `--boundary` flag).
+///
 /// # Panics
 ///
 /// `prepare` panics when the point carries no program name or an
 /// unregistered one — specs are validated at construction, so this
 /// mirrors the unknown-knob contract of `vlq-qec`'s `MemoryExecutor`.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ProgramSweepExecutor;
+#[derive(Clone, Copy, Debug)]
+pub struct ProgramSweepExecutor {
+    /// Block boundary every exposure is sampled under.
+    pub boundary: Boundary,
+}
+
+impl Default for ProgramSweepExecutor {
+    fn default() -> Self {
+        ProgramSweepExecutor {
+            boundary: Boundary::MidCircuit,
+        }
+    }
+}
+
+impl ProgramSweepExecutor {
+    /// An executor sampling under `boundary`.
+    pub fn new(boundary: Boundary) -> Self {
+        ProgramSweepExecutor { boundary }
+    }
+}
 
 impl SweepExecutor for ProgramSweepExecutor {
     type Prepared = FramePrepared;
@@ -732,7 +991,7 @@ impl SweepExecutor for ProgramSweepExecutor {
             .unwrap_or_else(|| panic!("sweep point names unknown program {name:?}"));
         let config = machine_config_for_point(point, circuit.num_qubits);
         let compiled = compile(&circuit, config).expect("registered programs fit their machines");
-        FramePrepared::new(compiled.schedule, point.p, point.decoder)
+        FramePrepared::new(compiled.schedule, point.p, point.decoder, self.boundary)
     }
 
     fn run_chunk(
@@ -749,10 +1008,12 @@ impl SweepExecutor for ProgramSweepExecutor {
 /// A single-qubit idle-memory schedule: one logical qubit paged in and
 /// refreshed for `cycles` scheduler cycles, then measured.
 ///
-/// Replaying it through [`FrameExecutor`] runs the same Monte-Carlo
-/// blocks as `vlq_qec::run_memory_experiment` — the memory experiment is
-/// the degenerate program, which is the point of the shared execution
-/// path (see `docs/executors.md`).
+/// Replaying it through [`FrameExecutor`] with [`Boundary::Full`] runs
+/// the same Monte-Carlo blocks as `vlq_qec::run_memory_experiment` —
+/// the memory experiment is the degenerate program, which is the point
+/// of the shared execution path; the default mid-circuit boundary
+/// replays the same schedule charging only its steady-state exposure
+/// (see `docs/executors.md`).
 pub fn memory_schedule(config: MachineConfig, cycles: u64) -> Schedule {
     let mut machine = crate::machine::VlqMachine::new(config);
     let q = machine.alloc().expect("empty machine has room");
@@ -838,11 +1099,50 @@ mod tests {
     #[test]
     fn frame_replay_is_deterministic_and_batch_independent() {
         let compiled = compile(&LogicalCircuit::ghz(3), MachineConfig::compact_demo()).unwrap();
-        let prepared = FramePrepared::new(compiled.schedule, 5e-3, DecoderKind::UnionFind);
-        let a = prepared.run_failures(300, 7);
-        let b = prepared.run_failures(300, 7);
-        assert_eq!(a, b);
-        assert_ne!(prepared.run_failures(300, 8), a, "seed must matter");
+        // p low enough that neither boundary mode saturates (at
+        // saturation two seeds can collide on the same failure count).
+        for boundary in [Boundary::MidCircuit, Boundary::Full] {
+            let prepared = FramePrepared::new(
+                compiled.schedule.clone(),
+                1e-3,
+                DecoderKind::UnionFind,
+                boundary,
+            );
+            let a = prepared.run_failures(300, 7);
+            let b = prepared.run_failures(300, 7);
+            assert_eq!(a, b, "{boundary}: runs must reproduce");
+            assert_ne!(
+                prepared.run_failures(300, 8),
+                a,
+                "{boundary}: seed must matter"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_circuit_blocks_shrink_program_error() {
+        // The whole point of the boundary redesign: replaying the same
+        // schedule with exposure-sized mid-circuit blocks must yield
+        // strictly less error than the legacy model that resamples a
+        // full memory experiment (noisy prep + readout included) per
+        // timestep.
+        // p low enough that neither model saturates — at saturation
+        // both pin near shots and the comparison is vacuous.
+        let compiled = compile(&LogicalCircuit::ghz(3), MachineConfig::compact_demo()).unwrap();
+        let run = |boundary: Boundary| {
+            FrameExecutor::at_scale(1e-3)
+                .with_shots(1500)
+                .with_seed(11)
+                .with_boundary(boundary)
+                .run(&compiled.schedule)
+                .unwrap()
+                .failures
+        };
+        let (mid, full) = (run(Boundary::MidCircuit), run(Boundary::Full));
+        assert!(
+            mid < full,
+            "mid-circuit {mid} failures !< legacy full {full}"
+        );
     }
 
     #[test]

@@ -25,8 +25,9 @@
 //!   measurement — each with stack/mode addresses and timestep spans.
 //! * [`exec`] — the [`exec::Executor`] backends:
 //!   [`exec::CostExecutor`] (latency + the legacy [`MachineReport`]),
-//!   [`exec::FrameExecutor`] (Pauli-frame Monte-Carlo with per-block
-//!   decoding → program-level logical error rates),
+//!   [`exec::FrameExecutor`] (Pauli-frame Monte-Carlo decoding
+//!   boundary-aware syndrome blocks sized to each instruction's real
+//!   round span → quantitative program-level logical error rates),
 //!   [`exec::TraceExecutor`] (machine-readable schedule artifacts), and
 //!   [`exec::ProgramSweepExecutor`] (program scans on the `vlq-sweep`
 //!   work-stealing engine).

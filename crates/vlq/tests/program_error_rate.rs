@@ -7,7 +7,7 @@ use vlq::exec::{memory_schedule, Executor, FrameExecutor, FramePrepared, Program
 use vlq::isa::{Instr, Schedule};
 use vlq::machine::{LogicalId, MachineConfig, RefreshPolicy};
 use vlq::program::{compile, LogicalCircuit};
-use vlq::qec::{run_memory_experiment, ExperimentConfig};
+use vlq::qec::{run_memory_experiment, Boundary, ExperimentConfig};
 use vlq::surface::schedule::{Basis, MemorySpec, Setup};
 use vlq::sweep::{SweepEngine, SweepSpec};
 use vlq_arch::address::{ModeIndex, StackCoord, VirtAddr};
@@ -48,9 +48,12 @@ fn ghz4_error_rate_decreases_with_distance() {
 }
 
 /// The degenerate program (one idle qubit, one refresh pass, no
-/// measurement) replays the *same* prepared memory-experiment blocks
-/// that `run_memory_experiment` samples: its failure rate must match
-/// the sum of the two guard sectors' memory-experiment rates.
+/// measurement) replayed under `Boundary::Full` samples the *same*
+/// prepared memory-experiment blocks that `run_memory_experiment`
+/// does: its failure rate must match the sum of the two guard sectors'
+/// memory-experiment rates. The same schedule under the default
+/// mid-circuit boundary strips the prep/readout boundary noise, so its
+/// rate must come out strictly below that bridge value.
 #[test]
 fn single_block_schedule_matches_memory_experiment_rates() {
     let p = 2e-3;
@@ -76,6 +79,7 @@ fn single_block_schedule_matches_memory_experiment_rates() {
     });
     let frame = FrameExecutor::at_scale(p)
         .with_shots(shots)
+        .with_boundary(Boundary::Full)
         .run(&schedule)
         .expect("valid schedule");
 
@@ -95,6 +99,18 @@ fn single_block_schedule_matches_memory_experiment_rates() {
     assert!(
         (got - expected).abs() < 0.35 * expected.max(1e-3),
         "frame replay {got:.4e} vs memory experiments {expected:.4e}"
+    );
+
+    // The boundary-light replay of the identical schedule counts only
+    // the three rounds of steady-state exposure.
+    let mid = FrameExecutor::at_scale(p)
+        .with_shots(shots)
+        .run(&schedule)
+        .expect("valid schedule")
+        .logical_error_rate();
+    assert!(
+        mid < got,
+        "mid-circuit replay {mid:.4e} !< full-boundary replay {got:.4e}"
     );
 }
 
@@ -126,10 +142,10 @@ fn program_sweep_runs_on_the_engine() {
         .base_seed(7);
     assert_eq!(spec.len(), 2);
     let serial = SweepEngine::serial()
-        .run(&spec, &ProgramSweepExecutor, &mut [])
+        .run(&spec, &ProgramSweepExecutor::default(), &mut [])
         .expect("no sinks, no io errors");
     let parallel = SweepEngine::with_workers(4)
-        .run(&spec, &ProgramSweepExecutor, &mut [])
+        .run(&spec, &ProgramSweepExecutor::default(), &mut [])
         .expect("no sinks, no io errors");
     assert_eq!(serial, parallel);
     assert_eq!(serial.len(), 2);
@@ -156,7 +172,7 @@ fn program_sweep_shards_recompose_the_full_run() {
         .shots(200)
         .base_seed(7);
     let full = SweepEngine::with_workers(2)
-        .run(&spec, &ProgramSweepExecutor, &mut [])
+        .run(&spec, &ProgramSweepExecutor::default(), &mut [])
         .expect("no sinks, no io errors");
     assert_eq!(full.len(), 3);
     for count in [2usize, 3] {
@@ -166,7 +182,7 @@ fn program_sweep_shards_recompose_the_full_run() {
             let records = SweepEngine::with_workers(1 + index)
                 .run_opts(
                     &spec,
-                    &ProgramSweepExecutor,
+                    &ProgramSweepExecutor::default(),
                     &mut [],
                     &vlq_sweep::ResumeCache::new(),
                     &vlq_sweep::RunOptions {
@@ -201,7 +217,7 @@ fn chunk_seeding_is_schedule_independent() {
         .shots(200)
         .base_seed(11);
     let records = SweepEngine::serial()
-        .run(&spec, &ProgramSweepExecutor, &mut [])
+        .run(&spec, &ProgramSweepExecutor::default(), &mut [])
         .expect("no sinks");
     let pt = &records[0].point;
     let compiled = compile(
@@ -209,7 +225,7 @@ fn chunk_seeding_is_schedule_independent() {
         vlq::exec::machine_config_for_point(pt, 3),
     )
     .expect("compiles");
-    let prepared = FramePrepared::new(compiled.schedule, pt.p, pt.decoder);
+    let prepared = FramePrepared::new(compiled.schedule, pt.p, pt.decoder, Boundary::MidCircuit);
     let direct = prepared.run_failures(200, pt.chunk_seed(11, 0));
     assert_eq!(records[0].failures, direct);
 }
