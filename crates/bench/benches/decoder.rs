@@ -10,9 +10,13 @@ use vlq_decoder::{Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
 use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
 
 fn graph_for(d: usize) -> DecodingGraph {
+    graph_at(d, 5e-3)
+}
+
+fn graph_at(d: usize, p: f64) -> DecodingGraph {
     let spec = MemorySpec::standard(Setup::Baseline, d, 1, Basis::Z);
     let mc = memory_circuit(spec, &HardwareParams::baseline());
-    let noisy = NoiseModel::baseline_at_scale(5e-3).apply(&mc.circuit);
+    let noisy = NoiseModel::baseline_at_scale(p).apply(&mc.circuit);
     DecodingGraph::build(&noisy, &mc.z_detectors)
 }
 
@@ -68,5 +72,51 @@ fn bench_graph_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decoders, bench_graph_build);
+/// Scratch-reusing `decode_batch` vs the per-lane `decode` loop it
+/// replaced, over the (d, p) perf-trajectory grid (Union-Find; MWPM's
+/// batch path only reuses the edge buffer and tracks its `decode`).
+fn bench_decode_batch(c: &mut Criterion) {
+    use vlq_decoder::UnionFindDecoder;
+    let mut group = c.benchmark_group("decode-batch");
+    for d in [3usize, 5, 7, 9] {
+        for p in [1e-3, 5e-3] {
+            let g = graph_at(d, p);
+            let uf = UnionFindDecoder::new(&g);
+            let mut rng = SmallRng::seed_from_u64(1);
+            let lanes = 256usize;
+            let lists: Vec<Vec<usize>> = (0..lanes)
+                .map(|_| {
+                    let k = rng.random_range(0..7usize);
+                    random_defects(&g, k, &mut rng)
+                })
+                .collect();
+            let words = lanes.div_ceil(64);
+            let id = format!("d{d}-p{p:.0e}");
+            group.bench_with_input(BenchmarkId::new("uf-batch", &id), &d, |b, _| {
+                let mut scratch = uf.make_scratch();
+                let mut out = vec![0u64; words];
+                b.iter(|| uf.decode_batch(&lists, &mut scratch, &mut out))
+            });
+            group.bench_with_input(BenchmarkId::new("uf-per-lane", &id), &d, |b, _| {
+                let mut out = vec![0u64; words];
+                b.iter(|| {
+                    out.fill(0);
+                    for (lane, defects) in lists.iter().enumerate() {
+                        if uf.decode(defects) {
+                            out[lane / 64] |= 1u64 << (lane % 64);
+                        }
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decoders,
+    bench_graph_build,
+    bench_decode_batch
+);
 criterion_main!(benches);

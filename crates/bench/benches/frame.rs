@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vlq_arch::HardwareParams;
-use vlq_circuit::exec::sample_batch;
+use vlq_circuit::exec::{sample_batch, sample_batch_into, SampleScratch};
 use vlq_circuit::noise::NoiseModel;
 use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
 
@@ -38,5 +38,28 @@ fn bench_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sampling);
+/// Scratch-reusing sampling (`sample_batch_into`, the `run_shots`
+/// steady state) against the allocating `sample_batch` wrapper.
+fn bench_sampling_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame-sample-scratch");
+    for d in [3usize, 5] {
+        let spec = MemorySpec::standard(Setup::Baseline, d, 1, Basis::Z);
+        let mc = memory_circuit(spec, &HardwareParams::baseline());
+        let noisy = NoiseModel::baseline_at_scale(2e-3).apply(&mc.circuit);
+        let lanes = 1024usize;
+        group.throughput(Throughput::Elements(lanes as u64));
+        group.bench_with_input(BenchmarkId::new("reused", d), &d, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut scratch = SampleScratch::new();
+            b.iter(|| sample_batch_into(&noisy, lanes, &mut rng, &mut scratch))
+        });
+        group.bench_with_input(BenchmarkId::new("allocating", d), &d, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            b.iter(|| sample_batch(&noisy, lanes, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_sampling_scratch);
 criterion_main!(benches);

@@ -3,7 +3,10 @@
 //! all-at-once to interleaved extraction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vlq_qec::{run_memory_experiment, DecoderKind, ExperimentConfig};
+use vlq_qec::{
+    run_memory_experiment, BlockConfig, BlockSampler, BlockSpec, DecoderKind, ExperimentConfig,
+    PreparedBlock,
+};
 use vlq_surface::schedule::{Basis, MemorySpec, Setup};
 
 fn bench_full_point(c: &mut Criterion) {
@@ -45,5 +48,32 @@ fn bench_decoder_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_point, bench_decoder_ablation);
+/// The (d, p) grid of the ratcheted BENCH_*.json perf trajectory: the
+/// batched sample→decode hot path (`PreparedBlock::run_shots` with one
+/// scratch across batches) at every grid point, Union-Find decoded.
+fn bench_sample_decode_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample-decode-grid");
+    group.sample_size(10);
+    for d in [3usize, 5, 7, 9] {
+        for p in [1e-3, 5e-3] {
+            let spec = MemorySpec::standard(Setup::Baseline, d, 1, Basis::Z);
+            let block = PreparedBlock::prepare(
+                &BlockConfig::new(BlockSpec::full(spec), p).with_decoder(DecoderKind::UnionFind),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("uf-d{d}"), format!("p{p:.0e}")),
+                &block,
+                |b, block| b.iter(|| block.run_shots(1024, 7)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_point,
+    bench_decoder_ablation,
+    bench_sample_decode_grid
+);
 criterion_main!(benches);

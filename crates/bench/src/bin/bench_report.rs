@@ -1,0 +1,248 @@
+//! Ratcheted perf trajectory for the batched sample→decode hot path.
+//!
+//! Measures the end-to-end `run_shots` cost over the (d, p) grid
+//! {3,5,7,9} × {1e-3, 5e-3} with the Union-Find decoder, comparing the
+//! scratch-reusing batch pipeline against a faithful reconstruction of
+//! the pre-refactor path (allocating `sample_batch`, per-lane
+//! `detector_bit` probes, per-lane `decode`), and writes the medians to
+//! a schema-stable `BENCH_NNNN.json` so future PRs can ratchet against
+//! committed numbers. Both paths must produce identical failure counts
+//! (the refactor is bit-identical); the binary asserts this on every
+//! grid point before timing.
+//!
+//! `VLQ_BENCH_QUICK=1` shrinks shots/reps for CI smoke runs (the same
+//! switch the criterion stub honors). `--check` validates an existing
+//! report's schema without running anything.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vlq_bench::{usage_exit, Args};
+use vlq_circuit::exec::sample_batch;
+use vlq_decoder::{Decoder, DecoderKind};
+use vlq_qec::{BlockConfig, BlockSampler, BlockSpec, PreparedBlock};
+use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+
+const USAGE: &str =
+    "usage: bench-report [--out PATH] [--reps N] [--shots N] [--seed S] [--check] [--quiet]
+  --out PATH   report path (default BENCH_0006.json)
+  --reps N     timing repetitions per point (median reported)
+  --shots N    shots per repetition
+  --seed S     base seed (default 2020)
+  --check      validate the schema of an existing report at --out, run nothing
+  --quiet      suppress per-point progress lines
+VLQ_BENCH_QUICK=1 shrinks the default shots/reps for smoke runs.";
+
+const SCHEMA: &str = "vlq-bench-report/v1";
+const GRID_D: [usize; 4] = [3, 5, 7, 9];
+const GRID_P: [f64; 2] = [1e-3, 5e-3];
+
+fn main() {
+    let args = Args::parse_validated(
+        USAGE,
+        &["out", "reps", "shots", "seed"],
+        &["check", "quiet"],
+    );
+    let out = args.get_str("out", "BENCH_0006.json");
+    if args.has("check") {
+        check_report(&out);
+        return;
+    }
+    let quick = std::env::var("VLQ_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (def_shots, def_reps) = if quick { (256u64, 3usize) } else { (2048, 5) };
+    let shots: u64 = args.get_or_usage(USAGE, "shots", def_shots);
+    let reps: usize = args.get_or_usage(USAGE, "reps", def_reps);
+    let seed: u64 = args.get_or_usage(USAGE, "seed", 2020);
+    let quiet = args.has("quiet");
+    if shots == 0 || reps == 0 {
+        usage_exit(USAGE, "--shots and --reps must be >= 1");
+    }
+
+    let mut points = Vec::new();
+    for d in GRID_D {
+        for p in GRID_P {
+            let spec = MemorySpec::standard(Setup::Baseline, d, 1, Basis::Z);
+            let block = PreparedBlock::prepare(
+                &BlockConfig::new(BlockSpec::full(spec), p).with_decoder(DecoderKind::UnionFind),
+            );
+            let decoder = DecoderKind::UnionFind.build(&block.graph);
+
+            // The refactor must be bit-identical before it is fast.
+            let f_after = block.run_shots(shots, seed);
+            let f_before = run_shots_pre_refactor(&block, decoder.as_ref(), shots, seed);
+            assert_eq!(
+                f_before, f_after,
+                "d{d} p{p}: pre-refactor and batched paths disagree"
+            );
+
+            let before_ns = median_ns(reps, || {
+                run_shots_pre_refactor(&block, decoder.as_ref(), shots, seed)
+            });
+            let after_ns = median_ns(reps, || block.run_shots(shots, seed));
+            let speedup = before_ns as f64 / after_ns.max(1) as f64;
+            if !quiet {
+                eprintln!(
+                    "d{d} p{p:.0e}: before {:.2} ms, after {:.2} ms, speedup {speedup:.2}x",
+                    before_ns as f64 / 1e6,
+                    after_ns as f64 / 1e6
+                );
+            }
+            points.push(Point {
+                d,
+                p,
+                before_ns,
+                after_ns,
+                speedup,
+            });
+        }
+    }
+
+    let json = render_report(quick, shots, reps, seed, &points);
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out} ({} grid points)", points.len());
+}
+
+struct Point {
+    d: usize,
+    p: f64,
+    before_ns: u128,
+    after_ns: u128,
+    speedup: f64,
+}
+
+/// The hot path exactly as it was before this refactor: a freshly
+/// allocated `sample_batch` result per batch, per-lane × per-detector
+/// `detector_bit` probes, and per-lane `decode` with per-call working
+/// memory. Bit-identical to `run_shots` (same seeds, same RNG streams),
+/// which the caller asserts.
+fn run_shots_pre_refactor(
+    block: &PreparedBlock,
+    decoder: &dyn Decoder,
+    shots: u64,
+    seed: u64,
+) -> u64 {
+    const LANES_PER_BATCH: usize = 1024;
+    let guard = block.memory.guard_detectors();
+    let mut failures = 0u64;
+    let mut remaining = shots;
+    let mut batch_idx = 0u64;
+    while remaining > 0 {
+        let lanes = (remaining as usize).min(LANES_PER_BATCH);
+        let words = lanes.div_ceil(64).max(1);
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(batch_idx));
+        let result = sample_batch(&block.noisy, lanes, &mut rng);
+        let mut pred = vec![0u64; words];
+        for lane in 0..lanes {
+            let mut defects: Vec<usize> = Vec::new();
+            for (local, &global) in guard.iter().enumerate() {
+                if result.detector_bit(global, lane) {
+                    defects.push(local);
+                }
+            }
+            if decoder.decode(&defects) {
+                pred[lane / 64] |= 1u64 << (lane % 64);
+            }
+        }
+        for (p, a) in pred.iter_mut().zip(result.observable_words(0)) {
+            *p ^= a;
+        }
+        failures += pred.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+        remaining -= lanes as u64;
+        batch_idx += 1;
+    }
+    failures
+}
+
+fn median_ns(reps: usize, mut f: impl FnMut() -> u64) -> u128 {
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Hand-rolled JSON (the repo's artifact discipline: no serde, stable
+/// key order, one line per grid point so diffs read cleanly).
+fn render_report(quick: bool, shots: u64, reps: usize, seed: u64, points: &[Point]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str("  \"bench\": \"sample-decode-hot-path\",\n");
+    s.push_str("  \"decoder\": \"union-find\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"shots\": {shots},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str("  \"points\": [\n");
+    for (i, pt) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"d\": {}, \"p\": {}, \"before_ns\": {}, \"after_ns\": {}, \"speedup\": {:.3}}}{sep}\n",
+            pt.d, pt.p, pt.before_ns, pt.after_ns, pt.speedup
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Schema validation for `--check`: the file must exist, carry the
+/// current schema tag, and contain every (d, p) grid point with sane
+/// timings. Exits 1 on drift so CI fails loudly.
+fn check_report(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut problems = Vec::new();
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        problems.push(format!("missing schema tag {SCHEMA:?}"));
+    }
+    for key in [
+        "\"bench\":",
+        "\"decoder\":",
+        "\"shots\":",
+        "\"reps\":",
+        "\"seed\":",
+        "\"points\":",
+    ] {
+        if !text.contains(key) {
+            problems.push(format!("missing key {key}"));
+        }
+    }
+    for d in GRID_D {
+        for p in GRID_P {
+            let needle = format!("\"d\": {d}, \"p\": {p},");
+            if !text.contains(&needle) {
+                problems.push(format!("missing grid point d={d} p={p}"));
+            }
+        }
+    }
+    for field in ["before_ns", "after_ns", "speedup"] {
+        let count = text.matches(&format!("\"{field}\":")).count();
+        if count != GRID_D.len() * GRID_P.len() {
+            problems.push(format!(
+                "expected {} {field} entries, found {count}",
+                GRID_D.len() * GRID_P.len()
+            ));
+        }
+    }
+    if problems.is_empty() {
+        println!(
+            "{path}: schema ok ({} grid points)",
+            GRID_D.len() * GRID_P.len()
+        );
+    } else {
+        for p in &problems {
+            eprintln!("error: {path}: {p}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,7 @@ use vlq_sim::{FrameBatch, SingleFrame, Tableau};
 use crate::ir::{Circuit, Instruction};
 
 /// The result of sampling a batch of shots.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct BatchResult {
     /// Number of shot lanes.
     pub n_lanes: usize,
@@ -48,11 +48,85 @@ impl BatchResult {
         &self.observables[o]
     }
 
-    /// The defect list (flipped detectors) of one lane.
+    /// The defect list (flipped detectors) of one lane, in detector
+    /// order.
     pub fn defects_of_lane(&self, lane: usize) -> Vec<usize> {
-        (0..self.detectors.len())
-            .filter(|&d| self.detector_bit(d, lane))
-            .collect()
+        let word = lane / 64;
+        let bit = 1u64 << (lane % 64);
+        let mut defects = Vec::new();
+        for (d, col) in self.detectors.iter().enumerate() {
+            for_each_set_lane(&[col[word] & bit], |_| defects.push(d));
+        }
+        defects
+    }
+
+    /// Word-scan transpose of a detector subset: clears the first
+    /// `lanes` entries of `lists` and fills `lists[lane]` with the
+    /// *local* indices (positions within `detectors`) of the detectors
+    /// whose bit is set for that lane, in increasing local order.
+    ///
+    /// This visits only *set* bits (`trailing_zeros` over the packed
+    /// columns), so the cost is O(detectors·words + defects) instead of
+    /// the O(lanes·detectors) of probing [`BatchResult::detector_bit`]
+    /// per lane. Tail bits beyond `n_lanes` are zero by construction,
+    /// so every visited lane is `< lanes`.
+    pub fn defect_lists_into(
+        &self,
+        detectors: &[usize],
+        lanes: usize,
+        lists: &mut Vec<Vec<usize>>,
+    ) {
+        if lists.len() < lanes {
+            // Seed fresh lists with a little capacity: typical defect
+            // counts are single-digit, and first-touch growth would
+            // otherwise trickle allocations across many steady-state
+            // batches (one per lane the first time it sees a defect).
+            lists.resize_with(lanes, || Vec::with_capacity(16));
+        }
+        for list in &mut lists[..lanes] {
+            list.clear();
+        }
+        let words = lanes.div_ceil(64).max(1);
+        for (local, &global) in detectors.iter().enumerate() {
+            for_each_set_lane(&self.detectors[global][..words], |lane| {
+                debug_assert!(lane < lanes, "tail bit set beyond n_lanes");
+                lists[lane].push(local);
+            });
+        }
+    }
+}
+
+/// Visits every set bit of a packed lane column as its lane index, in
+/// increasing lane order (the word-scan shared by all defect
+/// extraction paths).
+#[inline]
+pub fn for_each_set_lane(words: &[u64], mut visit: impl FnMut(usize)) {
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            visit(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Reusable working memory for [`sample_batch_into`]: the frame batch,
+/// the measurement records, and the reduced detector/observable
+/// accumulators. Owning one across batches makes steady-state sampling
+/// allocation-free (buffers are cleared and refilled, never dropped).
+#[derive(Debug, Default)]
+pub struct SampleScratch {
+    frames: Option<FrameBatch>,
+    records: Vec<Vec<u64>>,
+    /// The last batch's reduced result (valid after
+    /// [`sample_batch_into`] returns; accumulators are reused).
+    pub result: BatchResult,
+}
+
+impl SampleScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -66,33 +140,46 @@ pub fn sample_batch<R: Rng + ?Sized>(
     n_lanes: usize,
     rng: &mut R,
 ) -> BatchResult {
-    let words = n_lanes.div_ceil(64).max(1);
-    let mut frames = FrameBatch::new(circuit.num_qubits, n_lanes);
-    let mut records: Vec<Vec<u64>> = Vec::with_capacity(circuit.num_measurements());
+    let mut scratch = SampleScratch::new();
+    sample_batch_into(circuit, n_lanes, rng, &mut scratch);
+    scratch.result
+}
+
+/// [`sample_batch`] into caller-owned scratch: identical RNG stream and
+/// bit-identical `scratch.result`, but steady-state calls reuse every
+/// buffer instead of reallocating per batch.
+pub fn sample_batch_into<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    n_lanes: usize,
+    rng: &mut R,
+    scratch: &mut SampleScratch,
+) {
+    let frames = match &mut scratch.frames {
+        Some(f) if f.num_qubits() == circuit.num_qubits && f.num_lanes() == n_lanes => {
+            f.clear();
+            f
+        }
+        slot => slot.insert(FrameBatch::new(circuit.num_qubits, n_lanes)),
+    };
+    let records = &mut scratch.records;
+    let mut used = 0usize;
     for inst in &circuit.instructions {
         match *inst {
             Instruction::Gate { gate, .. } => frames.apply(gate),
             Instruction::Measure { qubit, flip_prob } => {
-                let mut rec = frames.measure_z(qubit);
-                if flip_prob > 0.0 {
-                    FrameBatch::apply_record_noise(&mut rec, n_lanes, flip_prob, rng);
+                if used == records.len() {
+                    records.push(Vec::new());
                 }
-                records.push(rec);
+                let rec = &mut records[used];
+                used += 1;
+                frames.measure_z_into(qubit, rec);
+                if flip_prob > 0.0 {
+                    FrameBatch::apply_record_noise(rec, n_lanes, flip_prob, rng);
+                }
                 // Measurement projection gauge: randomize the frame's Z
                 // component on the measured qubit (harmless for our
                 // measure-then-reset ancillas, required in general).
-                for w in 0..words {
-                    let mask: u64 = rng.random();
-                    // Apply Z to lanes with mask bit set.
-                    for lane_bit in 0..64 {
-                        if mask >> lane_bit & 1 == 1 {
-                            let lane = w * 64 + lane_bit;
-                            if lane < n_lanes {
-                                frames.set_pauli(qubit, lane, Pauli::Z);
-                            }
-                        }
-                    }
-                }
+                frames.randomize_z(qubit, rng);
             }
             Instruction::Reset { qubit } => frames.reset_qubit(qubit),
             Instruction::Idle { .. } => {}
@@ -100,35 +187,29 @@ pub fn sample_batch<R: Rng + ?Sized>(
             Instruction::Noise2 { a, b, p } => frames.apply_2q_noise(a, b, p, rng),
         }
     }
-    reduce_records(circuit, n_lanes, &records)
+    reduce_records(circuit, n_lanes, &records[..used], &mut scratch.result);
 }
 
-fn reduce_records(circuit: &Circuit, n_lanes: usize, records: &[Vec<u64>]) -> BatchResult {
+fn reduce_records(circuit: &Circuit, n_lanes: usize, records: &[Vec<u64>], out: &mut BatchResult) {
     let words = n_lanes.div_ceil(64).max(1);
-    let mut detectors = Vec::with_capacity(circuit.detectors.len());
-    for det in &circuit.detectors {
-        let mut acc = vec![0u64; words];
-        for &m in &det.measurements {
+    let xor_into = |acc: &mut Vec<u64>, measurements: &[usize]| {
+        acc.clear();
+        acc.resize(words, 0);
+        for &m in measurements {
             for (a, b) in acc.iter_mut().zip(&records[m]) {
                 *a ^= b;
             }
         }
-        detectors.push(acc);
+    };
+    out.n_lanes = n_lanes;
+    out.detectors.resize_with(circuit.detectors.len(), Vec::new);
+    for (acc, det) in out.detectors.iter_mut().zip(&circuit.detectors) {
+        xor_into(acc, &det.measurements);
     }
-    let mut observables = Vec::with_capacity(circuit.observables.len());
-    for obs in &circuit.observables {
-        let mut acc = vec![0u64; words];
-        for &m in obs {
-            for (a, b) in acc.iter_mut().zip(&records[m]) {
-                *a ^= b;
-            }
-        }
-        observables.push(acc);
-    }
-    BatchResult {
-        n_lanes,
-        detectors,
-        observables,
+    out.observables
+        .resize_with(circuit.observables.len(), Vec::new);
+    for (acc, obs) in out.observables.iter_mut().zip(&circuit.observables) {
+        xor_into(acc, obs);
     }
 }
 

@@ -19,8 +19,30 @@ pub mod mwpm;
 pub mod unionfind;
 
 pub use graph::{DecodingGraph, GraphEdge};
-pub use mwpm::MwpmDecoder;
-pub use unionfind::UnionFindDecoder;
+pub use mwpm::{MwpmDecoder, MwpmScratch};
+pub use unionfind::{UfScratch, UnionFindDecoder};
+
+/// Reusable decoder working memory, owned by the caller and threaded
+/// through [`Decoder::decode_batch`] so per-shot arrays are reset and
+/// reused across the lanes of a batch (and across batches) instead of
+/// reallocated per decode.
+///
+/// A closed enum rather than an associated type so batch callers can
+/// hold scratch for `dyn Decoder` trait objects. Mismatched scratch
+/// (wrong variant or built for a different graph) is never an error:
+/// implementations fall back to the plain per-lane path.
+#[derive(Debug, Default)]
+pub enum DecoderScratch {
+    /// For decoders without a native batch path.
+    #[default]
+    None,
+    /// [`unionfind::UnionFindDecoder`] working set (boxed: it is by far
+    /// the largest variant, and scratch lives behind one allocation per
+    /// decoder for a whole run).
+    UnionFind(Box<unionfind::UfScratch>),
+    /// [`mwpm::MwpmDecoder`] working set.
+    Mwpm(mwpm::MwpmScratch),
+}
 
 /// Common interface for sector decoders: given the defect list (indices
 /// into the sector's detector set), predict whether the logical
@@ -28,6 +50,45 @@ pub use unionfind::UnionFindDecoder;
 pub trait Decoder {
     /// Predicts the observable flip for a defect set.
     fn decode(&self, defects: &[usize]) -> bool;
+
+    /// Creates the scratch this decoder's [`Decoder::decode_batch`]
+    /// expects.
+    fn make_scratch(&self) -> DecoderScratch {
+        DecoderScratch::None
+    }
+
+    /// Decodes one defect list per lane into packed prediction words:
+    /// bit `l` of `out` is set when lane `l`'s predicted observable
+    /// flipped. Overwrites `out[..defects_per_lane.len().div_ceil(64)]`.
+    ///
+    /// Results are bit-identical to calling [`Decoder::decode`] per
+    /// lane; the default implementation does exactly that. Native
+    /// implementations reuse `scratch` across lanes.
+    fn decode_batch(
+        &self,
+        defects_per_lane: &[Vec<usize>],
+        scratch: &mut DecoderScratch,
+        out: &mut [u64],
+    ) {
+        let _ = scratch;
+        decode_batch_fallback(self, defects_per_lane, out);
+    }
+}
+
+/// The per-lane `decode` loop shared by the trait default and the
+/// scratch-mismatch fallbacks of native `decode_batch` impls.
+pub(crate) fn decode_batch_fallback<D: Decoder + ?Sized>(
+    decoder: &D,
+    defects_per_lane: &[Vec<usize>],
+    out: &mut [u64],
+) {
+    let words = defects_per_lane.len().div_ceil(64);
+    out[..words].fill(0);
+    for (lane, defects) in defects_per_lane.iter().enumerate() {
+        if decoder.decode(defects) {
+            out[lane / 64] |= 1u64 << (lane % 64);
+        }
+    }
 }
 
 /// Registry of the available decoder implementations.

@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 
 use crate::blossom::min_weight_perfect_matching;
 use crate::graph::{DecodingGraph, BOUNDARY};
-use crate::Decoder;
+use crate::{Decoder, DecoderScratch};
 
 /// Fixed-point scale when converting float weights to integers for the
 /// exact matcher.
@@ -32,6 +32,24 @@ pub struct MwpmDecoder {
     all_dist: Vec<f64>,
     /// Observable parity along those shortest paths.
     all_parity: Vec<bool>,
+}
+
+/// Reusable working set for [`MwpmDecoder::decode_detailed_with`]: the
+/// matching-instance edge buffer, refilled per decode instead of
+/// reallocated. The blossom matcher itself still allocates internally
+/// (its `BTreeMap`-based state is kept as-is for determinism), so the
+/// MWPM batch path reduces — but does not eliminate — per-shot
+/// allocation; see `docs/perf.md`.
+#[derive(Debug, Default)]
+pub struct MwpmScratch {
+    edges: Vec<(usize, usize, i64)>,
+}
+
+impl MwpmScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        MwpmScratch::default()
+    }
 }
 
 /// Result of a Dijkstra run from one source.
@@ -113,6 +131,17 @@ impl MwpmDecoder {
     /// Decodes with full output: predicted observable flip and the total
     /// matching weight (useful for diagnostics and tests).
     pub fn decode_detailed(&self, defects: &[usize]) -> (bool, f64) {
+        self.decode_detailed_with(defects, &mut MwpmScratch::new())
+    }
+
+    /// [`MwpmDecoder::decode_detailed`] against caller-owned scratch:
+    /// bit-identical output, with the matching-instance edge buffer
+    /// reused across calls.
+    pub fn decode_detailed_with(
+        &self,
+        defects: &[usize],
+        scratch: &mut MwpmScratch,
+    ) -> (bool, f64) {
         let m = defects.len();
         if m == 0 {
             return (false, 0.0);
@@ -122,7 +151,8 @@ impl MwpmDecoder {
         // copies. Defect-defect edges use pairwise distances; defect i
         // connects to its boundary copy at its boundary distance;
         // boundary copies pair up freely at zero weight.
-        let mut edges: Vec<(usize, usize, i64)> = Vec::new();
+        let edges = &mut scratch.edges;
+        edges.clear();
         let scale = |w: f64| -> i64 {
             if w.is_finite() {
                 (w * WEIGHT_SCALE).round() as i64
@@ -143,7 +173,7 @@ impl MwpmDecoder {
                 edges.push((i, m + i, scale(wb)));
             }
         }
-        let mate = min_weight_perfect_matching(&edges)
+        let mate = min_weight_perfect_matching(edges)
             .expect("decoding graph must admit a perfect matching");
         let mut flip = false;
         let mut total = 0.0;
@@ -171,6 +201,30 @@ impl MwpmDecoder {
 impl Decoder for MwpmDecoder {
     fn decode(&self, defects: &[usize]) -> bool {
         self.decode_detailed(defects).0
+    }
+
+    fn make_scratch(&self) -> DecoderScratch {
+        DecoderScratch::Mwpm(MwpmScratch::new())
+    }
+
+    fn decode_batch(
+        &self,
+        defects_per_lane: &[Vec<usize>],
+        scratch: &mut DecoderScratch,
+        out: &mut [u64],
+    ) {
+        match scratch {
+            DecoderScratch::Mwpm(s) => {
+                let words = defects_per_lane.len().div_ceil(64);
+                out[..words].fill(0);
+                for (lane, defects) in defects_per_lane.iter().enumerate() {
+                    if self.decode_detailed_with(defects, s).0 {
+                        out[lane / 64] |= 1u64 << (lane % 64);
+                    }
+                }
+            }
+            _ => crate::decode_batch_fallback(self, defects_per_lane, out),
+        }
     }
 }
 

@@ -7,12 +7,21 @@
 //! logical flip. Union-Find trades a little accuracy for near-linear
 //! decoding time; the `decoder` Criterion bench and the `fig11
 //! --decoder uf` ablation quantify the trade against exact MWPM.
+//!
+//! # Scratch reuse
+//!
+//! Every per-decode array lives in a [`UfScratch`] sized to the graph.
+//! [`UnionFindDecoder::decode_with`] resets only the entries dirtied by
+//! the previous decode (the touched-node list), so a steady-state decode
+//! costs O(nodes reached), not O(graph), and allocates nothing. The
+//! one-shot [`Decoder::decode`] path builds a fresh scratch per call and
+//! is bit-identical.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::graph::{DecodingGraph, BOUNDARY};
-use crate::Decoder;
+use crate::{Decoder, DecoderScratch};
 
 /// Per-node `(neighbor, weight, flips_observable)` contact lists recorded
 /// while growing clusters.
@@ -30,25 +39,99 @@ pub struct UnionFindDecoder {
     num_nodes: usize,
 }
 
-struct Dsu {
+/// Reusable working set for [`UnionFindDecoder::decode_with`]: the
+/// union-find arrays, the growth front, the contact forest, and the
+/// pairing buffers, all sized to the graph (index `num_nodes` is the
+/// virtual boundary node).
+#[derive(Debug)]
+pub struct UfScratch {
+    num_nodes: usize,
+    // Union-find state.
     parent: Vec<usize>,
     /// Defect-count parity per root.
     parity: Vec<bool>,
     /// Whether the cluster has absorbed the boundary.
     boundary: Vec<bool>,
+    // Growth state.
+    owner: Vec<usize>,
+    dist: Vec<f64>,
+    /// Observable parity of the growth path from the owner defect.
+    path_parity: Vec<bool>,
+    contacts: GrowthForest,
+    heap: BinaryHeap<GrowItem>,
+    /// Number of clusters that are still odd and boundary-free,
+    /// maintained incrementally by [`UfScratch::union`]. Zero exactly
+    /// when every defect's cluster is neutral (a cluster with odd
+    /// parity always contains a defect), so growth can stop without
+    /// re-scanning the defect list after every popped node.
+    odd_clusters: usize,
+    /// Nodes dirtied by the current decode; reset walks only these.
+    touched: Vec<usize>,
+    // Pairing state.
+    roots: Vec<(usize, usize)>,
+    pairs: Vec<(usize, usize, f64, bool)>,
+    /// Per-node "still unpaired" flags; all false between clusters.
+    unpaired: Vec<bool>,
+    // Dijkstra-to-boundary fallback (rare; full reset per use).
+    bp_dist: Vec<f64>,
+    bp_parity: Vec<bool>,
+    bp_heap: BinaryHeap<GrowItem>,
+    /// Memoized `boundary_parity` answers (0 = unknown, 1 = false,
+    /// 2 = true). A pure function of the graph and the source node, so
+    /// this survives across decodes — deliberately NOT touched by
+    /// `reset` — and heavy-load batches answer the fallback once per
+    /// node instead of once per defect.
+    bp_memo: Vec<u8>,
 }
 
-impl Dsu {
-    fn new(n: usize, defects: &[usize]) -> Self {
-        let mut parity = vec![false; n + 1];
-        for &d in defects {
-            parity[d] = true;
-        }
-        Dsu {
+impl UfScratch {
+    /// Fresh scratch for a graph with `num_nodes` detector nodes.
+    ///
+    /// Heap, contact, and pairing buffers get small up-front capacities:
+    /// their sizes depend on the defect load, and first-touch growth
+    /// would otherwise trickle allocations across many steady-state
+    /// decodes before every node's buffer has been exercised.
+    pub fn new(num_nodes: usize) -> Self {
+        let n = num_nodes;
+        UfScratch {
+            num_nodes,
             parent: (0..=n).collect(),
-            parity,
+            parity: vec![false; n + 1],
             boundary: (0..=n).map(|i| i == n).collect(),
+            owner: vec![usize::MAX; n + 1],
+            dist: vec![f64::INFINITY; n + 1],
+            path_parity: vec![false; n + 1],
+            contacts: (0..=n).map(|_| Vec::with_capacity(8)).collect(),
+            heap: BinaryHeap::with_capacity(2 * (n + 1)),
+            odd_clusters: 0,
+            touched: Vec::with_capacity(n + 1),
+            roots: Vec::with_capacity(16),
+            pairs: Vec::with_capacity(16),
+            unpaired: vec![false; n + 1],
+            bp_dist: vec![f64::INFINITY; n + 1],
+            bp_parity: vec![false; n + 1],
+            bp_heap: BinaryHeap::with_capacity(n + 1),
+            bp_memo: vec![0; n + 1],
         }
+    }
+
+    /// Restores the invariant state by undoing only the entries the
+    /// previous decode touched.
+    fn reset(&mut self) {
+        let n = self.num_nodes;
+        for k in 0..self.touched.len() {
+            let t = self.touched[k];
+            self.parent[t] = t;
+            self.parity[t] = false;
+            self.boundary[t] = t == n;
+            self.owner[t] = usize::MAX;
+            self.dist[t] = f64::INFINITY;
+            self.path_parity[t] = false;
+            self.contacts[t].clear();
+        }
+        self.touched.clear();
+        self.heap.clear();
+        self.odd_clusters = 0;
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -65,16 +148,47 @@ impl Dsu {
         if ra == rb {
             return;
         }
+        let odd = |p: bool, bd: bool| usize::from(p && !bd);
+        let before =
+            odd(self.parity[ra], self.boundary[ra]) + odd(self.parity[rb], self.boundary[rb]);
         self.parent[rb] = ra;
         let p = self.parity[ra] ^ self.parity[rb];
         self.parity[ra] = p;
         let bd = self.boundary[ra] || self.boundary[rb];
         self.boundary[ra] = bd;
+        // Every still-odd root is counted, so the subtraction is safe.
+        self.odd_clusters -= before;
+        self.odd_clusters += odd(p, bd);
     }
+}
 
-    fn is_neutral(&mut self, x: usize) -> bool {
-        let r = self.find(x);
-        !self.parity[r] || self.boundary[r]
+/// Stable sort that avoids `slice::sort_by`'s merge-buffer allocation
+/// for the typical small case (keeping the batch decode loop
+/// allocation-free) and falls back to it for the rare large cluster
+/// where O(len²) insertion would dominate. Any two stable sorts produce
+/// the identical permutation, so the cutover never changes results.
+fn stable_sort_by<T: Copy>(items: &mut [T], less: impl Fn(&T, &T) -> bool) {
+    const INSERTION_CUTOFF: usize = 32;
+    if items.len() > INSERTION_CUTOFF {
+        items.sort_by(|a, b| {
+            if less(a, b) {
+                Ordering::Less
+            } else if less(b, a) {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        });
+        return;
+    }
+    for i in 1..items.len() {
+        let item = items[i];
+        let mut j = i;
+        while j > 0 && less(&item, &items[j - 1]) {
+            items[j] = items[j - 1];
+            j -= 1;
+        }
+        items[j] = item;
     }
 }
 
@@ -87,39 +201,54 @@ impl UnionFindDecoder {
         }
     }
 
-    /// Grows clusters until all are neutral; returns the union-find
-    /// structure and, for every node reached, the defect it was reached
-    /// from with path parity (a growth forest).
-    fn grow(&self, defects: &[usize]) -> (Dsu, GrowthForest) {
+    /// [`Decoder::decode`] against caller-owned scratch: bit-identical
+    /// prediction, O(nodes reached) reset cost, no allocation in steady
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was built for a different graph size.
+    pub fn decode_with(&self, defects: &[usize], scratch: &mut UfScratch) -> bool {
+        assert_eq!(
+            scratch.num_nodes, self.num_nodes,
+            "UfScratch built for a different graph"
+        );
+        if defects.is_empty() {
+            return false;
+        }
+        scratch.reset();
+        self.grow(defects, scratch);
+        self.pair_and_predict(defects, scratch)
+    }
+
+    /// Grows clusters until all are neutral, recording for every node
+    /// reached the defect it was reached from with path parity (the
+    /// growth forest lands in `scratch.contacts`).
+    fn grow(&self, defects: &[usize], scratch: &mut UfScratch) {
         let n = self.num_nodes;
         let boundary_node = n;
-        let mut dsu = Dsu::new(n, defects);
         // Multi-source Dijkstra-style growth: each defect grows a region;
         // when two regions meet (edge fully covered from both sides, here
         // approximated by first contact), the clusters merge.
-        let mut owner = vec![usize::MAX; n + 1]; // which defect reached it
-        let mut dist = vec![f64::INFINITY; n + 1];
-        let mut parity = vec![false; n + 1]; // obs parity from owner
-        let mut heap: BinaryHeap<GrowItem> = BinaryHeap::new();
         for &d in defects {
-            owner[d] = d;
-            dist[d] = 0.0;
-            heap.push(GrowItem {
+            scratch.touched.push(d);
+            scratch.parity[d] = true;
+            scratch.owner[d] = d;
+            scratch.dist[d] = 0.0;
+            scratch.odd_clusters += 1;
+            scratch.heap.push(GrowItem {
                 dist: 0.0,
                 node: d,
                 src: d,
             });
         }
-        // Edges (in adjacency order) actually used to connect regions:
-        // recorded for the pairing pass.
-        let mut contacts: Vec<Vec<(usize, f64, bool)>> = vec![Vec::new(); n + 1];
         while let Some(GrowItem {
             dist: dcur,
             node,
             src,
-        }) = heap.pop()
+        }) = scratch.heap.pop()
         {
-            if owner[node] != src && owner[node] != usize::MAX {
+            if scratch.owner[node] != src && scratch.owner[node] != usize::MAX {
                 continue;
             }
             if node == boundary_node {
@@ -128,133 +257,155 @@ impl UnionFindDecoder {
             for &(nb, w, obs) in &self.adjacency[node] {
                 let nbi = if nb == BOUNDARY { boundary_node } else { nb };
                 let nd = dcur + w;
-                if owner[nbi] == usize::MAX {
-                    owner[nbi] = src;
-                    dist[nbi] = nd;
-                    parity[nbi] = parity[node] ^ obs;
-                    dsu.union(src, nbi);
+                if scratch.owner[nbi] == usize::MAX {
+                    scratch.touched.push(nbi);
+                    scratch.owner[nbi] = src;
+                    scratch.dist[nbi] = nd;
+                    scratch.path_parity[nbi] = scratch.path_parity[node] ^ obs;
+                    scratch.union(src, nbi);
                     if nbi != boundary_node {
-                        heap.push(GrowItem {
+                        scratch.heap.push(GrowItem {
                             dist: nd,
                             node: nbi,
                             src,
                         });
                     }
-                } else if dsu.find(owner[nbi]) != dsu.find(src) {
+                } else if scratch.find(scratch.owner[nbi]) != scratch.find(src) {
                     // Two regions touch: merge their clusters and record
                     // the contact (total path defect->defect parity).
-                    let contact_parity = parity[node] ^ obs ^ parity[nbi];
-                    let contact_dist = nd + dist[nbi];
-                    let other = owner[nbi];
-                    dsu.union(src, other);
-                    contacts[src].push((other, contact_dist, contact_parity));
-                    contacts[other].push((src, contact_dist, contact_parity));
+                    let contact_parity = scratch.path_parity[node] ^ obs ^ scratch.path_parity[nbi];
+                    let contact_dist = nd + scratch.dist[nbi];
+                    let other = scratch.owner[nbi];
+                    scratch.union(src, other);
+                    scratch.contacts[src].push((other, contact_dist, contact_parity));
+                    scratch.contacts[other].push((src, contact_dist, contact_parity));
                 }
             }
-            // Stop early if every defect's cluster is neutral.
-            if defects.iter().all(|&d| dsu.is_neutral(d)) {
+            // Stop early if every defect's cluster is neutral. The
+            // incrementally maintained odd-cluster count hits zero at
+            // exactly the same pop as the original per-defect
+            // `is_neutral` re-scan, without the O(defects) walk.
+            if scratch.odd_clusters == 0 {
                 break;
             }
         }
-        // Boundary contacts: a region that reached the boundary records a
-        // contact to the virtual boundary defect (usize::MAX marker kept
-        // implicit via dsu.boundary).
-        let mut boundary_contact: Vec<Option<(f64, bool)>> = vec![None; n + 1];
-        if owner[boundary_node] != usize::MAX {
-            boundary_contact[owner[boundary_node]] =
-                Some((dist[boundary_node], parity[boundary_node]));
+        // Boundary contact: a region that reached the boundary records a
+        // contact to the virtual boundary defect for its owner.
+        if scratch.owner[boundary_node] != usize::MAX {
+            let d = scratch.owner[boundary_node];
+            let bc = (
+                boundary_node,
+                scratch.dist[boundary_node],
+                scratch.path_parity[boundary_node],
+            );
+            scratch.contacts[d].push(bc);
         }
-        // Fold boundary contact info into contacts of that defect.
-        for (d, bc) in boundary_contact.iter().enumerate() {
-            if let Some((bd, bp)) = bc {
-                contacts[d].push((boundary_node, *bd, *bp));
-            }
-        }
-        (dsu, contacts)
     }
 
     /// Predicts the logical flip by pairing defects within clusters along
     /// the recorded contact forest.
-    fn pair_and_predict(
-        &self,
-        defects: &[usize],
-        dsu: &mut Dsu,
-        contacts: &[Vec<(usize, f64, bool)>],
-    ) -> bool {
+    fn pair_and_predict(&self, defects: &[usize], scratch: &mut UfScratch) -> bool {
         let boundary_node = self.num_nodes;
-        // Group defects by cluster root. Ordered map so pairing runs in
-        // a deterministic cluster order (hash order would vary between
-        // otherwise-identical decoders).
-        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
-            std::collections::BTreeMap::new();
+        // Group defects by cluster root: stable-sorted (root, defect)
+        // pairs give the same ascending-root, insertion-ordered grouping
+        // a BTreeMap<root, Vec<defect>> would, without the tree.
+        scratch.roots.clear();
         for &d in defects {
-            by_root.entry(dsu.find(d)).or_default().push(d);
+            let r = scratch.find(d);
+            scratch.roots.push((r, d));
         }
+        stable_sort_by(&mut scratch.roots, |a, b| a.0 < b.0);
         let mut flip = false;
-        for (_, members) in by_root {
+        let mut i = 0;
+        while i < scratch.roots.len() {
+            let mut j = i + 1;
+            while j < scratch.roots.len() && scratch.roots[j].0 == scratch.roots[i].0 {
+                j += 1;
+            }
             // Pair members greedily along contact edges (spanning-tree
             // peeling): repeatedly take the cheapest contact between two
             // unpaired members; leftovers go to the boundary contact.
-            let mut unpaired: std::collections::BTreeSet<usize> = members.iter().copied().collect();
-            let mut pairs: Vec<(usize, usize, f64, bool)> = Vec::new();
-            for &m in &members {
-                for &(other, d, p) in &contacts[m] {
+            scratch.pairs.clear();
+            for k in i..j {
+                let m = scratch.roots[k].1;
+                scratch.unpaired[m] = true;
+                for &(other, d, p) in &scratch.contacts[m] {
                     if other != boundary_node && m < other {
-                        pairs.push((m, other, d, p));
+                        scratch.pairs.push((m, other, d, p));
                     }
                 }
             }
-            pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal));
-            for (a, b, _, p) in pairs {
-                if unpaired.contains(&a) && unpaired.contains(&b) {
-                    unpaired.remove(&a);
-                    unpaired.remove(&b);
+            stable_sort_by(&mut scratch.pairs, |a, b| {
+                a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal) == Ordering::Less
+            });
+            for idx in 0..scratch.pairs.len() {
+                let (a, b, _, p) = scratch.pairs[idx];
+                if scratch.unpaired[a] && scratch.unpaired[b] {
+                    scratch.unpaired[a] = false;
+                    scratch.unpaired[b] = false;
                     flip ^= p;
                 }
             }
             // Remaining defects: send to boundary via their recorded (or
             // nearest) boundary parity.
-            for m in unpaired {
-                if let Some(&(_, _, p)) = contacts[m]
-                    .iter()
-                    .find(|(other, _, _)| *other == boundary_node)
-                {
-                    flip ^= p;
-                } else {
-                    // Fall back to a direct Dijkstra to the boundary.
-                    flip ^= self.boundary_parity(m);
+            for k in i..j {
+                let m = scratch.roots[k].1;
+                if scratch.unpaired[m] {
+                    scratch.unpaired[m] = false;
+                    let recorded = scratch.contacts[m]
+                        .iter()
+                        .find(|(other, _, _)| *other == boundary_node)
+                        .map(|&(_, _, p)| p);
+                    match recorded {
+                        Some(p) => flip ^= p,
+                        // Fall back to a direct Dijkstra to the boundary.
+                        None => flip ^= self.boundary_parity(m, scratch),
+                    }
                 }
             }
+            i = j;
         }
         flip
     }
 
     /// Dijkstra fallback: observable parity of the shortest path from a
-    /// node to the boundary.
-    fn boundary_parity(&self, src: usize) -> bool {
+    /// node to the boundary. Pure in the graph and `src`, so answers are
+    /// memoized in the scratch across decodes.
+    fn boundary_parity(&self, src: usize, scratch: &mut UfScratch) -> bool {
+        match scratch.bp_memo[src] {
+            1 => return false,
+            2 => return true,
+            _ => {}
+        }
+        let parity = self.boundary_parity_dijkstra(src, scratch);
+        scratch.bp_memo[src] = if parity { 2 } else { 1 };
+        parity
+    }
+
+    fn boundary_parity_dijkstra(&self, src: usize, scratch: &mut UfScratch) -> bool {
         let n = self.num_nodes;
-        let mut dist = vec![f64::INFINITY; n + 1];
-        let mut parity = vec![false; n + 1];
-        let mut heap = BinaryHeap::new();
-        dist[src] = 0.0;
-        heap.push(GrowItem {
+        scratch.bp_dist.fill(f64::INFINITY);
+        scratch.bp_parity.fill(false);
+        scratch.bp_heap.clear();
+        scratch.bp_dist[src] = 0.0;
+        scratch.bp_heap.push(GrowItem {
             dist: 0.0,
             node: src,
             src,
         });
-        while let Some(GrowItem { dist: d, node, .. }) = heap.pop() {
+        while let Some(GrowItem { dist: d, node, .. }) = scratch.bp_heap.pop() {
             if node == n {
-                return parity[n];
+                return scratch.bp_parity[n];
             }
-            if d > dist[node] {
+            if d > scratch.bp_dist[node] {
                 continue;
             }
             for &(nb, w, obs) in &self.adjacency[node] {
                 let nbi = if nb == BOUNDARY { n } else { nb };
-                if d + w < dist[nbi] {
-                    dist[nbi] = d + w;
-                    parity[nbi] = parity[node] ^ obs;
-                    heap.push(GrowItem {
+                if d + w < scratch.bp_dist[nbi] {
+                    scratch.bp_dist[nbi] = d + w;
+                    scratch.bp_parity[nbi] = scratch.bp_parity[node] ^ obs;
+                    scratch.bp_heap.push(GrowItem {
                         dist: d + w,
                         node: nbi,
                         src,
@@ -271,8 +422,32 @@ impl Decoder for UnionFindDecoder {
         if defects.is_empty() {
             return false;
         }
-        let (mut dsu, contacts) = self.grow(defects);
-        self.pair_and_predict(defects, &mut dsu, &contacts)
+        let mut scratch = UfScratch::new(self.num_nodes);
+        self.decode_with(defects, &mut scratch)
+    }
+
+    fn make_scratch(&self) -> DecoderScratch {
+        DecoderScratch::UnionFind(Box::new(UfScratch::new(self.num_nodes)))
+    }
+
+    fn decode_batch(
+        &self,
+        defects_per_lane: &[Vec<usize>],
+        scratch: &mut DecoderScratch,
+        out: &mut [u64],
+    ) {
+        match scratch {
+            DecoderScratch::UnionFind(s) if s.num_nodes == self.num_nodes => {
+                let words = defects_per_lane.len().div_ceil(64);
+                out[..words].fill(0);
+                for (lane, defects) in defects_per_lane.iter().enumerate() {
+                    if !defects.is_empty() && self.decode_with(defects, s) {
+                        out[lane / 64] |= 1u64 << (lane % 64);
+                    }
+                }
+            }
+            _ => crate::decode_batch_fallback(self, defects_per_lane, out),
+        }
     }
 }
 
@@ -299,6 +474,16 @@ impl Ord for GrowItem {
             .dist
             .partial_cmp(&self.dist)
             .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl std::fmt::Debug for GrowItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrowItem")
+            .field("dist", &self.dist)
+            .field("node", &self.node)
+            .field("src", &self.src)
+            .finish()
     }
 }
 
@@ -371,5 +556,35 @@ mod tests {
         // UF is approximate, but on sparse defects it should agree with
         // MWPM the vast majority of the time.
         assert!(agree * 10 >= trials * 8, "agreement {agree}/{trials}");
+    }
+
+    /// A scratch reused across many decodes must give the same answer
+    /// as a fresh scratch per decode (the touched-list reset is exact).
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let g = graph_for(5, 2e-3);
+        let uf = UnionFindDecoder::new(&g);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut reused = UfScratch::new(g.num_nodes());
+        for _ in 0..300 {
+            let k = rng.random_range(0..7usize);
+            let mut defects: Vec<usize> = Vec::new();
+            while defects.len() < k {
+                let d = rng.random_range(0..g.num_nodes());
+                if !defects.contains(&d) {
+                    defects.push(d);
+                }
+            }
+            defects.sort_unstable();
+            let fresh = uf.decode(&defects);
+            let hot = if defects.is_empty() {
+                false
+            } else {
+                uf.decode_with(&defects, &mut reused)
+            };
+            assert_eq!(fresh, hot, "defects {defects:?}");
+        }
     }
 }

@@ -1,0 +1,89 @@
+//! `decode_batch` must be bit-identical to per-lane `decode` — for both
+//! decoders, at several distances, with matched, mismatched, and absent
+//! scratch (the mismatch paths must silently fall back, never differ).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vlq_arch::params::HardwareParams;
+use vlq_circuit::noise::NoiseModel;
+use vlq_decoder::{Decoder, DecoderKind, DecoderScratch, DecodingGraph, UfScratch};
+use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+
+fn graph_for(d: usize, p: f64) -> DecodingGraph {
+    let spec = MemorySpec::standard(Setup::Baseline, d, 1, Basis::Z);
+    let mc = memory_circuit(spec, &HardwareParams::baseline());
+    let noisy = NoiseModel::baseline_at_scale(p).apply(&mc.circuit);
+    DecodingGraph::build(&noisy, &mc.z_detectors)
+}
+
+/// Random defect lists for `lanes` lanes (empty lists included).
+fn random_defect_lists(rng: &mut SmallRng, lanes: usize, num_nodes: usize) -> Vec<Vec<usize>> {
+    (0..lanes)
+        .map(|_| {
+            let k = rng.random_range(0..7usize);
+            let mut defects: Vec<usize> = Vec::new();
+            while defects.len() < k {
+                let d = rng.random_range(0..num_nodes);
+                if !defects.contains(&d) {
+                    defects.push(d);
+                }
+            }
+            defects.sort_unstable();
+            defects
+        })
+        .collect()
+}
+
+fn packed_per_lane_decode(decoder: &dyn Decoder, lists: &[Vec<usize>]) -> Vec<u64> {
+    let words = lists.len().div_ceil(64);
+    let mut out = vec![0u64; words];
+    for (lane, defects) in lists.iter().enumerate() {
+        if decoder.decode(defects) {
+            out[lane / 64] |= 1u64 << (lane % 64);
+        }
+    }
+    out
+}
+
+#[test]
+fn decode_batch_matches_per_lane_decode() {
+    let mut rng = SmallRng::seed_from_u64(2020);
+    for d in [3usize, 5, 7] {
+        let graph = graph_for(d, 2e-3);
+        for kind in DecoderKind::ALL {
+            let decoder = kind.build(&graph);
+            let lists = random_defect_lists(&mut rng, 150, graph.num_nodes());
+            let expected = packed_per_lane_decode(decoder.as_ref(), &lists);
+            let words = lists.len().div_ceil(64);
+
+            // Matched scratch (the native batch path), reused twice to
+            // cover cross-batch state reset.
+            let mut scratch = decoder.make_scratch();
+            for _ in 0..2 {
+                let mut out = vec![0u64; words];
+                decoder.decode_batch(&lists, &mut scratch, &mut out);
+                assert_eq!(out, expected, "{kind} d{d} native batch");
+            }
+
+            // Absent scratch: the fallback per-lane path.
+            let mut out = vec![0u64; words];
+            decoder.decode_batch(&lists, &mut DecoderScratch::None, &mut out);
+            assert_eq!(out, expected, "{kind} d{d} fallback batch");
+        }
+    }
+}
+
+#[test]
+fn wrong_sized_scratch_falls_back_not_fails() {
+    let g3 = graph_for(3, 2e-3);
+    let g5 = graph_for(5, 2e-3);
+    let decoder = DecoderKind::UnionFind.build(&g5);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let lists = random_defect_lists(&mut rng, 70, g5.num_nodes());
+    let expected = packed_per_lane_decode(decoder.as_ref(), &lists);
+    // Scratch built for the *wrong* graph: must fall back, bit-identical.
+    let mut scratch = DecoderScratch::UnionFind(Box::new(UfScratch::new(g3.num_nodes())));
+    let mut out = vec![0u64; lists.len().div_ceil(64)];
+    decoder.decode_batch(&lists, &mut scratch, &mut out);
+    assert_eq!(out, expected);
+}

@@ -61,10 +61,10 @@ pub mod threshold;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use vlq_circuit::exec::sample_batch;
+use vlq_circuit::exec::{sample_batch_into, SampleScratch};
 use vlq_circuit::ir::Circuit;
 use vlq_circuit::noise::NoiseModel;
-use vlq_decoder::{Decoder, DecodingGraph};
+use vlq_decoder::{Decoder, DecoderScratch, DecodingGraph};
 use vlq_math::stats::BinomialEstimate;
 use vlq_surface::schedule::{memory_circuit, MemoryCircuit, MemorySpec};
 
@@ -292,6 +292,27 @@ pub trait BlockSampler {
     }
 }
 
+/// Reusable working set for [`PreparedBlock`]'s sample→decode pipeline:
+/// the simulator's frame/record buffers, the per-lane defect lists, the
+/// per-decoder scratch, and the packed prediction words. One scratch
+/// held across the batches of a [`BlockSampler::run_shots`] run makes
+/// the steady state allocation-free (with the Union-Find decoder; MWPM's
+/// blossom matcher still allocates internally).
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    sample: SampleScratch,
+    defect_lists: Vec<Vec<usize>>,
+    decoder_scratch: Vec<DecoderScratch>,
+    predictions: Vec<Vec<u64>>,
+}
+
+impl BlockScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A block prepared for repeated seeded sampling: the noisy circuit,
 /// the guard-sector decoding graph, and the configured decoder.
 ///
@@ -342,31 +363,58 @@ impl PreparedBlock {
         lanes: usize,
         seed: u64,
     ) -> Vec<Vec<u64>> {
+        let mut scratch = BlockScratch::new();
+        self.sample_failure_words_into(decoders, lanes, seed, &mut scratch);
+        scratch.predictions.truncate(decoders.len());
+        scratch.predictions
+    }
+
+    /// [`PreparedBlock::sample_failure_words_with`] against caller-owned
+    /// scratch: bit-identical failure words, with every buffer of the
+    /// sample→decode pipeline reused across calls. Returns the per-
+    /// decoder prediction words (borrowed from the scratch).
+    pub fn sample_failure_words_into<'s>(
+        &self,
+        decoders: &[&(dyn Decoder + Send + Sync)],
+        lanes: usize,
+        seed: u64,
+        scratch: &'s mut BlockScratch,
+    ) -> &'s [Vec<u64>] {
         let words = lanes.div_ceil(64).max(1);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let result = sample_batch(&self.noisy, lanes, &mut rng);
-        // Predicted flips per decoder, packed like the observable words.
-        let mut predictions = vec![vec![0u64; words]; decoders.len()];
-        for lane in 0..lanes {
-            let mut defects: Vec<usize> = Vec::new();
-            for (local, &global) in self.guard.iter().enumerate() {
-                if result.detector_bit(global, lane) {
-                    defects.push(local);
-                }
-            }
-            for (fi, decoder) in decoders.iter().enumerate() {
-                if decoder.decode(&defects) {
-                    predictions[fi][lane / 64] |= 1u64 << (lane % 64);
-                }
-            }
+        sample_batch_into(&self.noisy, lanes, &mut rng, &mut scratch.sample);
+        // Word-scan the guard detectors once into per-lane defect lists
+        // (replaces a per-lane × per-detector bit-probe loop).
+        scratch
+            .sample
+            .result
+            .defect_lists_into(&self.guard, lanes, &mut scratch.defect_lists);
+        // Decoder scratch is keyed to the decoder list; rebuild on any
+        // shape change (cheap, and callers keep the list stable).
+        if scratch.decoder_scratch.len() != decoders.len() {
+            scratch.decoder_scratch.clear();
+            scratch
+                .decoder_scratch
+                .extend(decoders.iter().map(|d| d.make_scratch()));
         }
-        let actual = result.observable_words(0);
-        for pred in &mut predictions {
+        if scratch.predictions.len() < decoders.len() {
+            scratch.predictions.resize_with(decoders.len(), Vec::new);
+        }
+        let actual = scratch.sample.result.observable_words(0);
+        for (fi, decoder) in decoders.iter().enumerate() {
+            let pred = &mut scratch.predictions[fi];
+            pred.clear();
+            pred.resize(words, 0);
+            decoder.decode_batch(
+                &scratch.defect_lists[..lanes],
+                &mut scratch.decoder_scratch[fi],
+                pred,
+            );
             for (p, a) in pred.iter_mut().zip(actual) {
                 *p ^= a;
             }
         }
-        predictions
+        &scratch.predictions[..decoders.len()]
     }
 
     /// Runs `shots` sampled shots through several decoders at once:
@@ -379,13 +427,18 @@ impl PreparedBlock {
         seed: u64,
     ) -> Vec<u64> {
         const LANES_PER_BATCH: usize = 1024;
+        let mut scratch = BlockScratch::new();
         let mut failures = vec![0u64; decoders.len()];
         let mut remaining = shots;
         let mut batch_idx = 0u64;
         while remaining > 0 {
             let lanes = (remaining as usize).min(LANES_PER_BATCH);
-            let words =
-                self.sample_failure_words_with(decoders, lanes, seed.wrapping_add(batch_idx));
+            let words = self.sample_failure_words_into(
+                decoders,
+                lanes,
+                seed.wrapping_add(batch_idx),
+                &mut scratch,
+            );
             for (fi, decoder_words) in words.iter().enumerate() {
                 failures[fi] += decoder_words
                     .iter()
@@ -404,6 +457,31 @@ impl BlockSampler for PreparedBlock {
         self.sample_failure_words_with(&[self.decoder.as_ref()], lanes, seed)
             .pop()
             .expect("one decoder in, one word vector out")
+    }
+
+    /// Override of the trait default: identical batching and seed
+    /// schedule, but one [`BlockScratch`] is held across all batches so
+    /// the steady state allocates nothing.
+    fn run_shots(&self, shots: u64, seed: u64) -> u64 {
+        const LANES_PER_BATCH: usize = 1024;
+        let decoders = [self.decoder.as_ref()];
+        let mut scratch = BlockScratch::new();
+        let mut failures = 0u64;
+        let mut remaining = shots;
+        let mut batch_idx = 0u64;
+        while remaining > 0 {
+            let lanes = (remaining as usize).min(LANES_PER_BATCH);
+            let words = self.sample_failure_words_into(
+                &decoders,
+                lanes,
+                seed.wrapping_add(batch_idx),
+                &mut scratch,
+            );
+            failures += words[0].iter().map(|w| w.count_ones() as u64).sum::<u64>();
+            remaining -= lanes as u64;
+            batch_idx += 1;
+        }
+        failures
     }
 }
 

@@ -97,6 +97,212 @@ fn full_boundary_failure_words_match_pre_redesign_bits() {
     }
 }
 
+/// One pinned boundary-mode row: (setup, d, k, basis, p, seed, boundary,
+/// expected 192-lane failure words).
+type GoldenBoundaryRow = (Setup, usize, usize, Basis, f64, u64, Boundary, [u64; 3]);
+
+/// `PreparedBlock::sample_failure_words(192, seed)` outputs for the same
+/// four configurations under *every* [`Boundary`] mode, captured
+/// immediately before the batched sample→decode refactor (scratch-reusing
+/// decoders + word-level defect extraction). The refactor must be
+/// bit-identical: same RNG draws in the same order, same per-lane defect
+/// lists, same decode decisions — for windowed noise passes too, where
+/// the noiseless prefix/suffix exercises the empty-defect paths.
+const GOLDEN_BOUNDARY_WORDS: [GoldenBoundaryRow; 16] = [
+    (
+        Setup::Baseline,
+        3,
+        1,
+        Basis::Z,
+        5e-3,
+        42,
+        Boundary::Full,
+        [2281703744, 4616190184990444128, 9223937736126243328],
+    ),
+    (
+        Setup::Baseline,
+        3,
+        1,
+        Basis::Z,
+        5e-3,
+        42,
+        Boundary::Prep,
+        [2281701632, 4616190184990444128, 9223937735589372416],
+    ),
+    (
+        Setup::Baseline,
+        3,
+        1,
+        Basis::Z,
+        5e-3,
+        42,
+        Boundary::Readout,
+        [2281703744, 4616190184990444128, 9223937736126243328],
+    ),
+    (
+        Setup::Baseline,
+        3,
+        1,
+        Basis::Z,
+        5e-3,
+        42,
+        Boundary::MidCircuit,
+        [2281701632, 4616190184990444128, 9223937735589372416],
+    ),
+    (
+        Setup::NaturalInterleaved,
+        3,
+        3,
+        Basis::Z,
+        3e-3,
+        7,
+        Boundary::Full,
+        [
+            10952754293766096896,
+            2305843009755021440,
+            4647719282212339744,
+        ],
+    ),
+    (
+        Setup::NaturalInterleaved,
+        3,
+        3,
+        Basis::Z,
+        3e-3,
+        7,
+        Boundary::Prep,
+        [
+            10952754293766094848,
+            2305843009755021440,
+            4647719282212339712,
+        ],
+    ),
+    (
+        Setup::NaturalInterleaved,
+        3,
+        3,
+        Basis::Z,
+        3e-3,
+        7,
+        Boundary::Readout,
+        [279172875394, 9232383687847575624, 38487202463744],
+    ),
+    (
+        Setup::NaturalInterleaved,
+        3,
+        3,
+        Basis::Z,
+        3e-3,
+        7,
+        Boundary::MidCircuit,
+        [279172875394, 9223376454233096264, 36288179208192],
+    ),
+    (
+        Setup::CompactAllAtOnce,
+        3,
+        4,
+        Basis::X,
+        4e-3,
+        11,
+        Boundary::Full,
+        [
+            9225660945186295809,
+            4611686031312289864,
+            9799885738192408576,
+        ],
+    ),
+    (
+        Setup::CompactAllAtOnce,
+        3,
+        4,
+        Basis::X,
+        4e-3,
+        11,
+        Boundary::Prep,
+        [
+            9225660670308388865,
+            4611694818815377480,
+            9799885738192408576,
+        ],
+    ),
+    (
+        Setup::CompactAllAtOnce,
+        3,
+        4,
+        Basis::X,
+        4e-3,
+        11,
+        Boundary::Readout,
+        [2308288361881732868, 576460889779101720, 5800682639295774722],
+    ),
+    (
+        Setup::CompactAllAtOnce,
+        3,
+        4,
+        Basis::X,
+        4e-3,
+        11,
+        Boundary::MidCircuit,
+        [2308288361881741060, 576460889779101720, 5800647454923685890],
+    ),
+    (
+        Setup::CompactInterleaved,
+        5,
+        4,
+        Basis::Z,
+        2e-3,
+        5,
+        Boundary::Full,
+        [9277767077463064578, 1044835117849141250, 144255947042197504],
+    ),
+    (
+        Setup::CompactInterleaved,
+        5,
+        4,
+        Basis::Z,
+        2e-3,
+        5,
+        Boundary::Prep,
+        [9259752678953582594, 1044835117865918466, 144255947042197505],
+    ),
+    (
+        Setup::CompactInterleaved,
+        5,
+        4,
+        Basis::Z,
+        2e-3,
+        5,
+        Boundary::Readout,
+        [9237516156581986304, 54613446943571970, 17592188666384],
+    ),
+    (
+        Setup::CompactInterleaved,
+        5,
+        4,
+        Basis::Z,
+        2e-3,
+        5,
+        Boundary::MidCircuit,
+        [9255530555091468288, 54612897187758082, 17592188666385],
+    ),
+];
+
+#[test]
+fn all_boundary_modes_failure_words_are_pinned() {
+    for (setup, d, k, basis, p, seed, boundary, expected) in GOLDEN_BOUNDARY_WORDS {
+        let memory = MemorySpec::standard(setup, d, k, basis);
+        let block = PreparedBlock::prepare(
+            &BlockConfig::new(BlockSpec { memory, boundary }, p)
+                .with_decoder(DecoderKind::UnionFind),
+        );
+        assert_eq!(
+            block.sample_failure_words(192, seed),
+            expected,
+            "{setup} d{d} k{k} {basis:?} {boundary:?}"
+        );
+    }
+}
+
 #[test]
 fn run_memory_experiment_matches_pre_redesign_counts() {
     // (setup, d, k, basis, p, failures@threads=1, failures@threads=3),

@@ -1,0 +1,77 @@
+//! Golden pins for the raw `sample_batch` detector/observable words.
+//!
+//! Captured immediately before the batched sample→decode refactor
+//! (scratch-reusing `SampleScratch` pipeline + word-level gauge
+//! randomization). The scratch path and the word-XOR gauge kernel must
+//! draw the same RNG words in the same order and pack the same bits;
+//! these values pin that on a real memory circuit (CompactInterleaved,
+//! which exercises SWAP-based load/store and gauge randomization). The
+//! test lives in `vlq-qec` rather than `vlq-circuit` because building a
+//! realistic circuit needs the surface/arch layers above it.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vlq_arch::params::HardwareParams;
+use vlq_circuit::exec::{sample_batch, sample_batch_into, SampleScratch};
+use vlq_circuit::noise::NoiseModel;
+use vlq_surface::schedule::{memory_circuit, Basis, MemorySpec, Setup};
+
+const LANES: usize = 130;
+const SEED: u64 = 77;
+const DETECTORS: usize = 24;
+const WORDS_PER_DETECTOR: usize = 3;
+const FINGERPRINT: u64 = 11840796706460355150;
+const DET0: [u64; 3] = [1206964975013265424, 72067627148738592, 0];
+const DET7: [u64; 3] = [2305878797599129601, 4506348448788481, 0];
+const OBS0: [u64; 3] = [13430562195096216577, 2974663481700459073, 0];
+
+fn noisy_circuit() -> vlq_circuit::ir::Circuit {
+    let spec = MemorySpec::standard(Setup::CompactInterleaved, 3, 4, Basis::Z);
+    let mc = memory_circuit(spec, &HardwareParams::with_memory());
+    NoiseModel::memory_at_scale(4e-3).apply(&mc.circuit)
+}
+
+fn fingerprint(detectors: &[Vec<u64>]) -> u64 {
+    let mut acc = 0u64;
+    for (d, words) in detectors.iter().enumerate() {
+        for (w, &word) in words.iter().enumerate() {
+            acc = acc
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(word ^ (d as u64) ^ ((w as u64) << 32));
+        }
+    }
+    acc
+}
+
+#[test]
+fn sample_batch_words_match_pre_refactor_bits() {
+    let noisy = noisy_circuit();
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let res = sample_batch(&noisy, LANES, &mut rng);
+    assert_eq!(res.detectors.len(), DETECTORS);
+    assert_eq!(res.detectors[0].len(), WORDS_PER_DETECTOR);
+    assert_eq!(fingerprint(&res.detectors), FINGERPRINT);
+    assert_eq!(res.detectors[0], DET0);
+    assert_eq!(res.detectors[7], DET7);
+    assert_eq!(res.observables[0], OBS0);
+}
+
+#[test]
+fn reused_sample_scratch_matches_pins_after_other_batches() {
+    // A scratch that already sampled other batch shapes (different lane
+    // counts, stale accumulator contents) must still reproduce the
+    // pinned words exactly: reuse may never leak state across batches.
+    let noisy = noisy_circuit();
+    let mut scratch = SampleScratch::new();
+    for warm_lanes in [7usize, 192, 130] {
+        let mut rng = SmallRng::seed_from_u64(99);
+        sample_batch_into(&noisy, warm_lanes, &mut rng, &mut scratch);
+    }
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    sample_batch_into(&noisy, LANES, &mut rng, &mut scratch);
+    let res = &scratch.result;
+    assert_eq!(fingerprint(&res.detectors), FINGERPRINT);
+    assert_eq!(res.detectors[0], DET0);
+    assert_eq!(res.detectors[7], DET7);
+    assert_eq!(res.observables[0], OBS0);
+}

@@ -80,6 +80,13 @@ pub struct FrameBatch {
     x: Vec<u64>,
     /// Z bit-planes.
     z: Vec<u64>,
+    /// Reusable buffer of Bernoulli hit lanes for the noise channels.
+    /// Hits must be collected *before* the per-hit Pauli draws — the
+    /// skip draws and Pauli draws may not interleave or the RNG stream
+    /// (and every golden pin downstream) changes — so the buffer is
+    /// unavoidable; keeping it here makes steady-state noise
+    /// application allocation-free.
+    hits: Vec<usize>,
 }
 
 impl FrameBatch {
@@ -92,6 +99,7 @@ impl FrameBatch {
             words_per_qubit,
             x: vec![0; n_qubits * words_per_qubit],
             z: vec![0; n_qubits * words_per_qubit],
+            hits: Vec::new(),
         }
     }
 
@@ -196,6 +204,38 @@ impl FrameBatch {
         self.x[self.range(qubit)].to_vec()
     }
 
+    /// [`FrameBatch::measure_z`] into a caller-owned buffer (cleared
+    /// first), so steady-state sampling reuses record storage.
+    pub fn measure_z_into(&self, qubit: usize, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.x[self.range(qubit)]);
+    }
+
+    /// Measurement-projection gauge: XORs one fresh random word per
+    /// lane word into the Z plane of `qubit` (a uniformly random Z on
+    /// every lane). Draws exactly one `u64` per word, in word order;
+    /// bits beyond `n_lanes` in the final partial word are masked off —
+    /// a stray tail Z would propagate through H/CZ/iSWAP into the X
+    /// planes and corrupt failure-word popcounts.
+    pub fn randomize_z<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) {
+        let n = self.n_lanes;
+        let r = self.range(qubit);
+        let zs = &mut self.z[r];
+        let last = zs.len() - 1;
+        let tail = n % 64;
+        for (w, zw) in zs.iter_mut().enumerate() {
+            let mask: u64 = rng.random();
+            let keep = if w < last || (tail == 0 && n > 0) {
+                !0u64
+            } else if tail == 0 {
+                0 // n_lanes == 0: draw for stream parity, apply nothing
+            } else {
+                (1u64 << tail) - 1
+            };
+            *zw ^= mask & keep;
+        }
+    }
+
     /// Clears the frame on `qubit` (after a reset the qubit's error is
     /// gone by definition).
     pub fn reset_qubit(&mut self, qubit: usize) {
@@ -237,13 +277,14 @@ impl FrameBatch {
     pub fn apply_1q_noise<R: Rng + ?Sized>(&mut self, qubit: usize, p: f64, rng: &mut R) {
         let n = self.n_lanes;
         let w = self.words_per_qubit;
-        // Collect hits first to avoid borrowing issues with rng inside.
-        let mut hits: Vec<(usize, u8)> = Vec::new();
-        for_each_bernoulli_hit(rng, p, n, |lane| hits.push((lane, 0)));
-        for (lane, _) in &mut hits {
+        // All skip draws happen before any Pauli draw (see `hits` docs).
+        self.hits.clear();
+        let hits = &mut self.hits;
+        for_each_bernoulli_hit(rng, p, n, |lane| hits.push(lane));
+        for &lane in &self.hits {
             let which = rng.random_range(0..3u8);
-            let idx = qubit * w + *lane / 64;
-            let bit = 1u64 << (*lane % 64);
+            let idx = qubit * w + lane / 64;
+            let bit = 1u64 << (lane % 64);
             match which {
                 0 => self.x[idx] ^= bit, // X
                 1 => self.z[idx] ^= bit, // Z
@@ -261,9 +302,11 @@ impl FrameBatch {
     pub fn apply_2q_noise<R: Rng + ?Sized>(&mut self, a: usize, b: usize, p: f64, rng: &mut R) {
         let n = self.n_lanes;
         let w = self.words_per_qubit;
-        let mut hits: Vec<usize> = Vec::new();
+        // All skip draws happen before any Pauli draw (see `hits` docs).
+        self.hits.clear();
+        let hits = &mut self.hits;
         for_each_bernoulli_hit(rng, p, n, |lane| hits.push(lane));
-        for lane in hits {
+        for &lane in &self.hits {
             // 1..16 encodes (pa, pb) != (I, I) via two 2-bit fields.
             let code = rng.random_range(1..16u8);
             let pa = code & 0b11;
@@ -647,6 +690,57 @@ mod tests {
         }
         // All 15 non-identity pairs should appear at this sample size.
         assert_eq!(pair_kinds.len(), 15);
+    }
+
+    /// Pins the exact RNG draw order of the noise channels: captured
+    /// from the pre-scratch-buffer implementation (hits collected into
+    /// a fresh `Vec` per call). The reusable buffer must not change a
+    /// single bit or consume a single extra draw.
+    #[test]
+    fn noise_golden_rng_stream_is_unchanged() {
+        let mut fb = FrameBatch::new(3, 130);
+        let mut rng = SmallRng::seed_from_u64(1234);
+        fb.apply_1q_noise(0, 0.07, &mut rng);
+        fb.apply_2q_noise(1, 2, 0.05, &mut rng);
+        fb.apply_1q_noise(2, 0.3, &mut rng);
+        assert_eq!(fb.x_words(0), &[134742016, 4328521920, 0]);
+        assert_eq!(fb.z_words(0), &[524288, 137438953536, 0]);
+        assert_eq!(fb.x_words(1), &[4398046511120, 25165824, 0]);
+        assert_eq!(fb.z_words(1), &[4398046511104, 2305843009230471233, 0]);
+        assert_eq!(fb.x_words(2), &[9047333040586752, 46724919736402441, 0]);
+        assert_eq!(fb.z_words(2), &[36139299548475394, 6955246743269146688, 0]);
+        // The RNG must land in the identical state (no extra draws).
+        use rand::Rng;
+        assert_eq!(rng.random::<u64>(), 16532659614797596628);
+    }
+
+    /// The masked word-XOR gauge randomization consumes the same draws
+    /// as the old per-bit loop and produces the same planes.
+    #[test]
+    fn randomize_z_matches_per_bit_reference() {
+        use rand::Rng;
+        for lanes in [1usize, 63, 64, 65, 130, 192] {
+            let mut fast = FrameBatch::new(2, lanes);
+            let mut slow = FrameBatch::new(2, lanes);
+            let mut rng_a = SmallRng::seed_from_u64(77);
+            let mut rng_b = SmallRng::seed_from_u64(77);
+            fast.randomize_z(1, &mut rng_a);
+            let words = lanes.div_ceil(64).max(1);
+            for w in 0..words {
+                let mask: u64 = rng_b.random();
+                for bit in 0..64 {
+                    if mask >> bit & 1 == 1 {
+                        let lane = w * 64 + bit;
+                        if lane < lanes {
+                            slow.set_pauli(1, lane, Pauli::Z);
+                        }
+                    }
+                }
+            }
+            assert_eq!(fast.z_words(1), slow.z_words(1), "lanes {lanes}");
+            assert_eq!(fast.x_words(1), slow.x_words(1), "lanes {lanes}");
+            assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>());
+        }
     }
 
     #[test]
