@@ -18,18 +18,21 @@ use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use vlq_bench::{usage_exit, Args};
+use vlq_bench::{finish_telemetry, telemetry_from_args, usage_exit, Args};
 use vlq_circuit::exec::sample_batch;
 use vlq_decoder::{Decoder, DecoderKind};
 use vlq_qec::{BlockConfig, BlockSampler, BlockSpec, PreparedBlock};
 use vlq_surface::schedule::{Basis, MemorySpec, Setup};
+use vlq_telemetry::{Metric, Recorder};
 
-const USAGE: &str =
-    "usage: bench-report [--out PATH] [--reps N] [--shots N] [--seed S] [--check] [--quiet]
-  --out PATH   report path (default BENCH_0006.json)
+const USAGE: &str = "usage: bench-report [--out PATH] [--reps N] [--shots N] [--seed S]
+                    [--telemetry PATH] [--check] [--quiet]
+  --out PATH   report path (default BENCH_0007.json)
   --reps N     timing repetitions per point (median reported)
   --shots N    shots per repetition
   --seed S     base seed (default 2020)
+  --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
+               summary to stderr (sidecar is byte-stable across invocations)
   --check      validate the schema of an existing report at --out, run nothing
   --quiet      suppress per-point progress lines
 VLQ_BENCH_QUICK=1 shrinks the default shots/reps for smoke runs.";
@@ -41,10 +44,10 @@ const GRID_P: [f64; 2] = [1e-3, 5e-3];
 fn main() {
     let args = Args::parse_validated(
         USAGE,
-        &["out", "reps", "shots", "seed"],
+        &["out", "reps", "shots", "seed", "telemetry"],
         &["check", "quiet"],
     );
-    let out = args.get_str("out", "BENCH_0006.json");
+    let out = args.get_str("out", "BENCH_0007.json");
     if args.has("check") {
         check_report(&out);
         return;
@@ -58,6 +61,15 @@ fn main() {
     if shots == 0 || reps == 0 {
         usage_exit(USAGE, "--shots and --reps must be >= 1");
     }
+    // Phase timings always need an attached recorder; with --telemetry
+    // the same recorder also feeds the deterministic sidecar (which
+    // holds no timings, so it stays byte-stable across invocations).
+    let (sidecar, telemetry_path) = telemetry_from_args(&args);
+    let recorder = if sidecar.is_enabled() {
+        sidecar.clone()
+    } else {
+        Recorder::attached()
+    };
 
     let mut points = Vec::new();
     for d in GRID_D {
@@ -81,11 +93,33 @@ fn main() {
             });
             let after_ns = median_ns(reps, || block.run_shots(shots, seed));
             let speedup = before_ns as f64 / after_ns.max(1) as f64;
+
+            // One instrumented pass per point: the recorder accumulates
+            // across the grid, so per-point phase costs are the deltas.
+            let at = |m: Metric| recorder.value(m);
+            let (s0, e0, d0) = (
+                at(Metric::SampleNanos),
+                at(Metric::ExtractNanos),
+                at(Metric::DecodeNanos),
+            );
+            let f_recorded = block.run_shots_recorded(shots, seed, &recorder);
+            assert_eq!(
+                f_recorded, f_after,
+                "d{d} p{p}: recorded and plain paths disagree"
+            );
+            let sample_ns = at(Metric::SampleNanos) - s0;
+            let extract_ns = at(Metric::ExtractNanos) - e0;
+            let decode_ns = at(Metric::DecodeNanos) - d0;
+
             if !quiet {
                 eprintln!(
-                    "d{d} p{p:.0e}: before {:.2} ms, after {:.2} ms, speedup {speedup:.2}x",
+                    "d{d} p{p:.0e}: before {:.2} ms, after {:.2} ms, speedup {speedup:.2}x \
+                     (sample {:.2} ms, extract {:.2} ms, decode {:.2} ms)",
                     before_ns as f64 / 1e6,
-                    after_ns as f64 / 1e6
+                    after_ns as f64 / 1e6,
+                    sample_ns as f64 / 1e6,
+                    extract_ns as f64 / 1e6,
+                    decode_ns as f64 / 1e6
                 );
             }
             points.push(Point {
@@ -94,12 +128,16 @@ fn main() {
                 before_ns,
                 after_ns,
                 speedup,
+                sample_ns,
+                extract_ns,
+                decode_ns,
             });
         }
     }
 
     let json = render_report(quick, shots, reps, seed, &points);
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    finish_telemetry(&sidecar, telemetry_path.as_deref(), "bench-report", seed);
     println!("wrote {out} ({} grid points)", points.len());
 }
 
@@ -109,6 +147,9 @@ struct Point {
     before_ns: u128,
     after_ns: u128,
     speedup: f64,
+    sample_ns: u64,
+    extract_ns: u64,
+    decode_ns: u64,
 }
 
 /// The hot path exactly as it was before this refactor: a freshly
@@ -182,8 +223,16 @@ fn render_report(quick: bool, shots: u64, reps: usize, seed: u64, points: &[Poin
     for (i, pt) in points.iter().enumerate() {
         let sep = if i + 1 < points.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"d\": {}, \"p\": {}, \"before_ns\": {}, \"after_ns\": {}, \"speedup\": {:.3}}}{sep}\n",
-            pt.d, pt.p, pt.before_ns, pt.after_ns, pt.speedup
+            "    {{\"d\": {}, \"p\": {}, \"before_ns\": {}, \"after_ns\": {}, \"speedup\": {:.3}, \
+             \"sample_ns\": {}, \"extract_ns\": {}, \"decode_ns\": {}}}{sep}\n",
+            pt.d,
+            pt.p,
+            pt.before_ns,
+            pt.after_ns,
+            pt.speedup,
+            pt.sample_ns,
+            pt.extract_ns,
+            pt.decode_ns
         ));
     }
     s.push_str("  ]\n}\n");
@@ -230,6 +279,17 @@ fn check_report(path: &str) {
         if count != GRID_D.len() * GRID_P.len() {
             problems.push(format!(
                 "expected {} {field} entries, found {count}",
+                GRID_D.len() * GRID_P.len()
+            ));
+        }
+    }
+    // Phase columns arrived with BENCH_0007; older committed reports
+    // legitimately have none, but a report must be all-or-nothing.
+    for field in ["sample_ns", "extract_ns", "decode_ns"] {
+        let count = text.matches(&format!("\"{field}\":")).count();
+        if count != 0 && count != GRID_D.len() * GRID_P.len() {
+            problems.push(format!(
+                "expected 0 or {} {field} entries, found {count}",
                 GRID_D.len() * GRID_P.len()
             ));
         }

@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 
 use vlq_arch::geometry::{patch_cost, transmon_savings_vs_baseline, Embedding};
-use vlq_bench::Args;
+use vlq_bench::{finish_telemetry, telemetry_from_args, Args};
 use vlq_surface::embedding::compact_interaction_graph;
 use vlq_surface::layout::SurfaceLayout;
 use vlq_surgery::{
@@ -19,14 +19,18 @@ use vlq_surgery::{
 use vlq_sweep::artifact::{Table, Value};
 
 const USAGE: &str = "\
-usage: claims [--out DIR] [--shard I/N]
+usage: claims [--out DIR] [--shard I/N] [--telemetry PATH]
   --out    write claims.csv and claims.jsonl artifacts into DIR
   --shard  write only artifact rows with row index % N == I (merge the
-           shard directories back with sweep-merge)";
+           shard directories back with sweep-merge)
+  --telemetry  write a vlq-telemetry JSONL sidecar to PATH (claims is
+               analytic, so its counters are all zero)";
 
 fn main() {
-    let args = Args::parse_validated(USAGE, &["out", "shard"], &[]);
+    let args = Args::parse_validated(USAGE, &["out", "shard", "telemetry"], &[]);
     let shard = vlq_bench::shard_from_args(&args, USAGE);
+    let (recorder, telemetry_path) = telemetry_from_args(&args);
+    finish_telemetry(&recorder, telemetry_path.as_deref(), "claims", 0);
     let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
     let mut table = Table::new(["claim", "quantity", "value", "expected", "pass"]);
 

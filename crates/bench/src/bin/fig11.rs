@@ -12,8 +12,8 @@
 //! here are laptop-scale (see EXPERIMENTS.md for the recorded runs).
 
 use vlq_bench::{
-    engine_from_args, parse_f64_list, resume_cache_from_args, resumed_points, sci, shard_from_args,
-    usage_exit, Args, MetaBuilder, OutSinks,
+    engine_from_args, finish_telemetry, parse_f64_list, resume_cache_from_args, resumed_points,
+    sci, shard_from_args, telemetry_from_args, usage_exit, Args, MetaBuilder, OutSinks,
 };
 use vlq_qec::{estimate_threshold, run_sweep_opts, DecoderKind, ThresholdScan};
 use vlq_surface::schedule::{Basis, Setup};
@@ -23,7 +23,7 @@ const USAGE: &str = "\
 usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
              [--decoder mwpm|uf|all] [--setup NAME|all] [--basis z|x]
              [--rates P1,P2,...] [--workers N] [--out DIR] [--resume]
-             [--shard I/N] [--quiet]
+             [--shard I/N] [--telemetry PATH] [--quiet]
   --decoder  decoder(s) to scan (default mwpm; `all` runs the ablation)
   --setup    one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
   --rates    comma-separated physical error rates (default: 8 rates, 8e-4..1.6e-2)
@@ -31,14 +31,26 @@ usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
   --resume   skip grid points already present in DIR/fig11.jsonl (needs --out;
              deterministic seeding keeps resumed artifacts byte-identical)
   --shard    run only grid points with index % N == I (same global numbering
-             and seeds as the full run; `sweep-merge` restores full artifacts)";
+             and seeds as the full run; `sweep-merge` restores full artifacts)
+  --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
+               summary to stderr (sidecar is byte-stable across --workers)";
 
 fn main() {
     let args = Args::parse_validated(
         USAGE,
         &[
-            "trials", "dmax", "k", "seed", "decoder", "setup", "basis", "rates", "workers", "out",
+            "trials",
+            "dmax",
+            "k",
+            "seed",
+            "decoder",
+            "setup",
+            "basis",
+            "rates",
+            "workers",
+            "out",
             "shard",
+            "telemetry",
         ],
         &["quiet", "resume"],
     );
@@ -111,7 +123,8 @@ fn main() {
         .shots(trials)
         .base_seed(seed);
 
-    let engine = engine_from_args(&args, USAGE);
+    let (recorder, telemetry_path) = telemetry_from_args(&args);
+    let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
     let shard = shard_from_args(&args, USAGE);
     let opts = RunOptions {
         shard,
@@ -123,7 +136,7 @@ fn main() {
     let skipped = resumed_points(&spec, &cache, &opts);
     if skipped > 0 {
         eprintln!(
-            "resume: {skipped}/{} points already complete",
+            "note: resume: {skipped}/{} points already complete",
             shard.len_of(spec.len())
         );
     }
@@ -133,6 +146,7 @@ fn main() {
     out.write_meta(&meta.build());
     let records =
         run_sweep_opts(&spec, &engine, &mut out.as_dyn(), &cache, &opts).expect("sweep artifacts");
+    finish_telemetry(&recorder, telemetry_path.as_deref(), "fig11", seed);
 
     println!(
         "Figure 11: thresholds ({} trials/point, decoder {}, basis {:?}, k={k}, {} points)",

@@ -10,8 +10,8 @@
 //! transmon-t1, load-store-duration, cavity-size.
 
 use vlq_bench::{
-    engine_from_args, resume_cache_from_args, resumed_points, sci, shard_from_args, usage_exit,
-    Args, MetaBuilder, OutSinks,
+    engine_from_args, finish_telemetry, resume_cache_from_args, resumed_points, sci,
+    shard_from_args, telemetry_from_args, usage_exit, Args, MetaBuilder, OutSinks,
 };
 use vlq_qec::{run_sweep_opts, sensitivity_spec, DecoderKind, Knob};
 use vlq_surface::schedule::Setup;
@@ -20,7 +20,7 @@ use vlq_sweep::{RunOptions, SweepRecord};
 const USAGE: &str = "\
 usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
              [--extended] [--workers N] [--out DIR] [--resume]
-             [--shard I/N] [--quiet]
+             [--shard I/N] [--telemetry PATH] [--quiet]
   --panel    one of sc-sc-error|load-store-error|sc-mode-error|cavity-t1|
              transmon-t1|load-store-duration|cavity-size|all
   --extended push the cavity-size panel past the paper's plotted range
@@ -28,7 +28,9 @@ usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
   --resume   skip panel points already present in DIR/fig12.jsonl (needs --out;
              deterministic seeding keeps resumed artifacts byte-identical)
   --shard    run only points with global index % N == I (points are numbered
-             across all panels; `sweep-merge` restores full artifacts)";
+             across all panels; `sweep-merge` restores full artifacts)
+  --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
+               summary to stderr (sidecar is byte-stable across --workers)";
 
 fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
     match knob {
@@ -53,7 +55,16 @@ fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
 fn main() {
     let args = Args::parse_validated(
         USAGE,
-        &["panel", "trials", "dmax", "seed", "workers", "out", "shard"],
+        &[
+            "panel",
+            "trials",
+            "dmax",
+            "seed",
+            "workers",
+            "out",
+            "shard",
+            "telemetry",
+        ],
         &["extended", "quiet", "resume"],
     );
     let trials: u64 = args.get_or_usage(USAGE, "trials", 10_000);
@@ -85,7 +96,8 @@ fn main() {
         usage_exit(USAGE, &format!("--dmax {dmax} leaves no distances to scan"));
     }
 
-    let engine = engine_from_args(&args, USAGE);
+    let (recorder, telemetry_path) = telemetry_from_args(&args);
+    let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
     let shard = shard_from_args(&args, USAGE);
     // Read the previous artifact (if resuming) before the sinks
     // truncate it.
@@ -126,7 +138,7 @@ fn main() {
             .count();
         let skipped = resumed_points(&spec, &cache, &opts);
         if skipped > 0 {
-            eprintln!("resume: {skipped}/{owned} points already complete");
+            eprintln!("note: resume: {skipped}/{owned} points already complete");
         }
         let records = run_sweep_opts(&spec, &engine, &mut out.as_dyn(), &cache, &opts)
             .expect("sweep artifacts");
@@ -159,6 +171,7 @@ fn main() {
             println!();
         }
     }
+    finish_telemetry(&recorder, telemetry_path.as_deref(), "fig12", seed);
     out.write_meta(&meta.build());
     out.announce();
 }

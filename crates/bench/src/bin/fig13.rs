@@ -7,26 +7,31 @@
 
 use std::path::PathBuf;
 
-use vlq_bench::{usage_exit, Args};
+use vlq_bench::{finish_telemetry, telemetry_from_args, usage_exit, Args};
 use vlq_magic::distill::distillation_stats;
 use vlq_magic::factory::{FactoryProtocol, ProtocolKind};
 use vlq_sweep::artifact::Table;
 
 const USAGE: &str = "\
-usage: fig13 [--patches N] [--out DIR] [--shard I/N]
+usage: fig13 [--patches N] [--out DIR] [--shard I/N] [--telemetry PATH]
   --patches  patch budget for the rate comparison (default 100)
   --out      write fig13a/fig13b/fig13_distill CSV + JSONL artifacts into DIR
   --shard    write only artifact rows with row index % N == I (merge the
-             shard directories back with sweep-merge)";
+             shard directories back with sweep-merge)
+  --telemetry  write a vlq-telemetry JSONL sidecar to PATH (fig13 is analytic,
+               so its counters are all zero — the schema row set is still
+               emitted in full)";
 
 fn main() {
-    let args = Args::parse_validated(USAGE, &["patches", "out", "shard"], &[]);
+    let args = Args::parse_validated(USAGE, &["patches", "out", "shard", "telemetry"], &[]);
     let patches: f64 = args.get_or_usage(USAGE, "patches", 100.0);
     if !(patches.is_finite() && patches > 0.0) {
         usage_exit(USAGE, &format!("--patches must be positive, got {patches}"));
     }
     let shard = vlq_bench::shard_from_args(&args, USAGE);
     let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
+    let (recorder, telemetry_path) = telemetry_from_args(&args);
+    finish_telemetry(&recorder, telemetry_path.as_deref(), "fig13", 0);
 
     let mut fig13a = Table::new(["protocol", "t_per_step", "vs_small_lattice"]);
     println!("Figure 13(a): T-state production rate with {patches} patches");

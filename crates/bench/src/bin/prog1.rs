@@ -19,15 +19,16 @@ use vlq::qec::DecoderKind;
 use vlq::surface::schedule::{Basis, Boundary, Setup};
 use vlq::sweep::{RunOptions, SweepRecord, SweepSpec};
 use vlq_bench::{
-    engine_from_args, parse_f64_list, resume_cache_from_args, resumed_points, sci, shard_from_args,
-    usage_exit, Args, MetaBuilder, OutSinks,
+    engine_from_args, finish_telemetry, parse_f64_list, resume_cache_from_args, resumed_points,
+    sci, shard_from_args, telemetry_from_args, usage_exit, Args, MetaBuilder, OutSinks,
 };
 
 const USAGE: &str = "\
 usage: prog1 [--trials N] [--dmax D] [--k K] [--seed S]
              [--programs P1,P2,...] [--setup NAME|all] [--decoder mwpm|uf]
              [--boundary mid-circuit|full|prep|readout] [--rates P1,P2,...]
-             [--workers N] [--out DIR] [--resume] [--shard I/N] [--quiet]
+             [--workers N] [--out DIR] [--resume] [--shard I/N]
+             [--telemetry PATH] [--quiet]
   --programs  registered workloads (default ghz4,teleport,adder2;
               ghz<N>/adder<N> accept any width)
   --setup     one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
@@ -41,14 +42,27 @@ usage: prog1 [--trials N] [--dmax D] [--k K] [--seed S]
               otherwise, so different boundary models never mix)
   --resume    skip grid points already present in DIR/<stem>.jsonl (needs --out)
   --shard     run only grid points with index % N == I (same global numbering
-              and seeds as the full run; `sweep-merge` restores full artifacts)";
+              and seeds as the full run; `sweep-merge` restores full artifacts)
+  --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
+               summary to stderr (sidecar is byte-stable across --workers)";
 
 fn main() {
     let args = Args::parse_validated(
         USAGE,
         &[
-            "trials", "dmax", "k", "seed", "programs", "setup", "decoder", "boundary", "rates",
-            "workers", "out", "shard",
+            "trials",
+            "dmax",
+            "k",
+            "seed",
+            "programs",
+            "setup",
+            "decoder",
+            "boundary",
+            "rates",
+            "workers",
+            "out",
+            "shard",
+            "telemetry",
         ],
         &["quiet", "resume"],
     );
@@ -145,7 +159,8 @@ fn main() {
         .shots(trials)
         .base_seed(seed);
 
-    let engine = engine_from_args(&args, USAGE);
+    let (recorder, telemetry_path) = telemetry_from_args(&args);
+    let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
     let shard = shard_from_args(&args, USAGE);
     let opts = RunOptions {
         shard,
@@ -168,7 +183,7 @@ fn main() {
     let skipped = resumed_points(&spec, &cache, &opts);
     if skipped > 0 {
         eprintln!(
-            "resume: {skipped}/{} points already complete",
+            "note: resume: {skipped}/{} points already complete",
             shard.len_of(spec.len())
         );
     }
@@ -180,6 +195,7 @@ fn main() {
     let records = engine
         .run_opts(&spec, &executor, &mut out.as_dyn(), &cache, &opts)
         .expect("sweep artifacts");
+    finish_telemetry(&recorder, telemetry_path.as_deref(), "prog1", seed);
 
     println!(
         "prog1: program-level logical error rates ({trials} trials/point, decoder {decoder}, \

@@ -6,19 +6,23 @@
 use std::path::PathBuf;
 
 use vlq_arch::HardwareParams;
-use vlq_bench::Args;
+use vlq_bench::{finish_telemetry, telemetry_from_args, Args};
 use vlq_sweep::artifact::{Table, Value};
 
 const USAGE: &str = "\
-usage: table1 [--out DIR] [--shard I/N]
+usage: table1 [--out DIR] [--shard I/N] [--telemetry PATH]
   --out    write table1.csv and table1.jsonl artifacts into DIR
   --shard  write only artifact rows with row index % N == I (merge the
-           shard directories back with sweep-merge)";
+           shard directories back with sweep-merge)
+  --telemetry  write a vlq-telemetry JSONL sidecar to PATH (table1 is
+               analytic, so its counters are all zero)";
 
 fn main() {
-    let args = Args::parse_validated(USAGE, &["out", "shard"], &[]);
+    let args = Args::parse_validated(USAGE, &["out", "shard", "telemetry"], &[]);
     let shard = vlq_bench::shard_from_args(&args, USAGE);
     let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);
+    let (recorder, telemetry_path) = telemetry_from_args(&args);
+    finish_telemetry(&recorder, telemetry_path.as_deref(), "table1", 0);
 
     let b = HardwareParams::baseline();
     let m = HardwareParams::with_memory();

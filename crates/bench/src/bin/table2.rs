@@ -5,21 +5,25 @@
 
 use std::path::PathBuf;
 
-use vlq_bench::Args;
+use vlq_bench::{finish_telemetry, telemetry_from_args, Args};
 use vlq_magic::factory::FactoryProtocol;
 use vlq_sweep::artifact::{Table, Value};
 
 const USAGE: &str = "\
-usage: table2 [--d D] [--k K] [--out DIR] [--shard I/N]
+usage: table2 [--d D] [--k K] [--out DIR] [--shard I/N] [--telemetry PATH]
   --d      code distance (default 5, the paper's operating point)
   --k      cavity depth (default 10)
   --out    write table2.csv and table2.jsonl artifacts into DIR
   --shard  write only artifact rows with row index % N == I (merge the
-           shard directories back with sweep-merge)";
+           shard directories back with sweep-merge)
+  --telemetry  write a vlq-telemetry JSONL sidecar to PATH (table2 is
+               analytic, so its counters are all zero)";
 
 fn main() {
-    let args = Args::parse_validated(USAGE, &["d", "k", "out", "shard"], &[]);
+    let args = Args::parse_validated(USAGE, &["d", "k", "out", "shard", "telemetry"], &[]);
     let shard = vlq_bench::shard_from_args(&args, USAGE);
+    let (recorder, telemetry_path) = telemetry_from_args(&args);
+    finish_telemetry(&recorder, telemetry_path.as_deref(), "table2", 0);
     let d: usize = args.get_or_usage(USAGE, "d", 5);
     let k: usize = args.get_or_usage(USAGE, "k", 10);
     let out_dir: Option<PathBuf> = args.pairs_get("out").map(PathBuf::from);

@@ -165,6 +165,38 @@ pub fn engine_from_args(args: &Args, usage: &str) -> vlq_sweep::SweepEngine {
     engine
 }
 
+/// Parses the `--telemetry PATH` flag: an attached recorder (plus the
+/// sidecar path) when given, a disabled recorder otherwise. Pair with
+/// [`finish_telemetry`] after the run.
+pub fn telemetry_from_args(args: &Args) -> (vlq_telemetry::Recorder, Option<std::path::PathBuf>) {
+    match args.pairs_get("telemetry") {
+        Some(path) => (
+            vlq_telemetry::Recorder::attached(),
+            Some(std::path::PathBuf::from(path)),
+        ),
+        None => (vlq_telemetry::Recorder::disabled(), None),
+    }
+}
+
+/// Writes the deterministic telemetry JSONL sidecar and prints the
+/// human-readable summary (which includes the runtime-class metrics) to
+/// stderr. No-op when `--telemetry` was absent.
+///
+/// The sidecar holds only deterministic-class metrics, so for a fixed
+/// seed it is byte-identical across `--workers` counts — CI pins this.
+pub fn finish_telemetry(
+    recorder: &vlq_telemetry::Recorder,
+    path: Option<&std::path::Path>,
+    bin: &str,
+    seed: u64,
+) {
+    let Some(path) = path else { return };
+    std::fs::write(path, recorder.deterministic_jsonl(bin, seed))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprint!("{}", recorder.summary());
+    eprintln!("note: telemetry sidecar written to {}", path.display());
+}
+
 /// Parses the `--shard i/N` flag of a sweep-backed binary (default: the
 /// full `0/1` shard). An unparsable or out-of-range spec prints `usage`
 /// and exits with status 2.
@@ -205,13 +237,16 @@ pub fn resume_cache_from_args(
     };
     let path = std::path::Path::new(&dir).join(format!("{stem}.jsonl"));
     if !path.exists() {
-        eprintln!("resume: no {} yet, running the full sweep", path.display());
+        eprintln!(
+            "note: resume: no {} yet, running the full sweep",
+            path.display()
+        );
         return vlq_sweep::ResumeCache::new();
     }
     match vlq_sweep::ResumeCache::load_jsonl_expecting(&path, expected_seed) {
         Ok(cache) => {
             eprintln!(
-                "resume: loaded {} completed point(s) from {}",
+                "note: resume: loaded {} completed point(s) from {}",
                 cache.len(),
                 path.display()
             );
@@ -219,7 +254,7 @@ pub fn resume_cache_from_args(
         }
         Err(e) => {
             eprintln!("error: --resume rejected: {e}");
-            eprintln!("(rerun without --resume to regenerate the artifact)");
+            eprintln!("note: rerun without --resume to regenerate the artifact");
             std::process::exit(2);
         }
     }

@@ -44,6 +44,21 @@ pub enum DecoderScratch {
     Mwpm(mwpm::MwpmScratch),
 }
 
+impl DecoderScratch {
+    /// Attaches a telemetry recorder to the scratch: native batch
+    /// decodes report growth/matching statistics and `decode_batch`
+    /// span timings through it. Recording never changes predictions,
+    /// and an attached recorder keeps the batch path allocation-free
+    /// (the handle is an `Arc` clone; all recording is atomic ops).
+    pub fn set_recorder(&mut self, recorder: &vlq_telemetry::Recorder) {
+        match self {
+            DecoderScratch::None => {}
+            DecoderScratch::UnionFind(s) => s.set_recorder(recorder),
+            DecoderScratch::Mwpm(s) => s.set_recorder(recorder),
+        }
+    }
+}
+
 /// Common interface for sector decoders: given the defect list (indices
 /// into the sector's detector set), predict whether the logical
 /// observable flipped.

@@ -11,6 +11,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use vlq_telemetry::{Metric, Recorder};
+
 use crate::blossom::min_weight_perfect_matching;
 use crate::graph::{DecodingGraph, BOUNDARY};
 use crate::{Decoder, DecoderScratch};
@@ -43,12 +45,19 @@ pub struct MwpmDecoder {
 #[derive(Debug, Default)]
 pub struct MwpmScratch {
     edges: Vec<(usize, usize, i64)>,
+    /// Telemetry sink (disabled by default: one branch per record).
+    recorder: Recorder,
 }
 
 impl MwpmScratch {
     /// Fresh (empty) scratch.
     pub fn new() -> Self {
         MwpmScratch::default()
+    }
+
+    /// Attaches a telemetry recorder; see [`DecoderScratch::set_recorder`].
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.recorder = recorder.clone();
     }
 }
 
@@ -173,6 +182,7 @@ impl MwpmDecoder {
                 edges.push((i, m + i, scale(wb)));
             }
         }
+        scratch.recorder.incr(Metric::MwpmBlossomCalls);
         let mate = min_weight_perfect_matching(edges)
             .expect("decoding graph must admit a perfect matching");
         let mut flip = false;
@@ -215,6 +225,9 @@ impl Decoder for MwpmDecoder {
     ) {
         match scratch {
             DecoderScratch::Mwpm(s) => {
+                // The span owns its own recorder handle, so the borrow
+                // of `s` stays free for the per-lane decode loop.
+                let _span = s.recorder.span(Metric::DecodeBatchNanos);
                 let words = defects_per_lane.len().div_ceil(64);
                 out[..words].fill(0);
                 for (lane, defects) in defects_per_lane.iter().enumerate() {

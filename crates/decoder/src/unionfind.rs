@@ -20,6 +20,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use vlq_telemetry::{Metric, Recorder};
+
 use crate::graph::{DecodingGraph, BOUNDARY};
 use crate::{Decoder, DecoderScratch};
 
@@ -82,6 +84,8 @@ pub struct UfScratch {
     /// `reset` — and heavy-load batches answer the fallback once per
     /// node instead of once per defect.
     bp_memo: Vec<u8>,
+    /// Telemetry sink (disabled by default: one branch per record).
+    recorder: Recorder,
 }
 
 impl UfScratch {
@@ -112,7 +116,13 @@ impl UfScratch {
             bp_parity: vec![false; n + 1],
             bp_heap: BinaryHeap::with_capacity(n + 1),
             bp_memo: vec![0; n + 1],
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder; see [`DecoderScratch::set_recorder`].
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.recorder = recorder.clone();
     }
 
     /// Restores the invariant state by undoing only the entries the
@@ -217,14 +227,25 @@ impl UnionFindDecoder {
             return false;
         }
         scratch.reset();
-        self.grow(defects, scratch);
+        let (growth_steps, odd_peak) = self.grow(defects, scratch);
+        if scratch.recorder.is_enabled() {
+            scratch.recorder.add(Metric::UfGrowthSteps, growth_steps);
+            scratch
+                .recorder
+                .add(Metric::UfTouchedNodes, scratch.touched.len() as u64);
+            scratch
+                .recorder
+                .gauge_max(Metric::UfOddClusterPeak, odd_peak);
+        }
         self.pair_and_predict(defects, scratch)
     }
 
     /// Grows clusters until all are neutral, recording for every node
     /// reached the defect it was reached from with path parity (the
-    /// growth forest lands in `scratch.contacts`).
-    fn grow(&self, defects: &[usize], scratch: &mut UfScratch) {
+    /// growth forest lands in `scratch.contacts`). Returns the number
+    /// of growth steps (heap pops) and the peak odd-cluster count, for
+    /// telemetry.
+    fn grow(&self, defects: &[usize], scratch: &mut UfScratch) -> (u64, u64) {
         let n = self.num_nodes;
         let boundary_node = n;
         // Multi-source Dijkstra-style growth: each defect grows a region;
@@ -242,12 +263,16 @@ impl UnionFindDecoder {
                 src: d,
             });
         }
+        let mut growth_steps = 0u64;
+        let mut odd_peak = scratch.odd_clusters as u64;
         while let Some(GrowItem {
             dist: dcur,
             node,
             src,
         }) = scratch.heap.pop()
         {
+            growth_steps += 1;
+            odd_peak = odd_peak.max(scratch.odd_clusters as u64);
             if scratch.owner[node] != src && scratch.owner[node] != usize::MAX {
                 continue;
             }
@@ -300,6 +325,7 @@ impl UnionFindDecoder {
             );
             scratch.contacts[d].push(bc);
         }
+        (growth_steps, odd_peak)
     }
 
     /// Predicts the logical flip by pairing defects within clusters along
@@ -438,6 +464,9 @@ impl Decoder for UnionFindDecoder {
     ) {
         match scratch {
             DecoderScratch::UnionFind(s) if s.num_nodes == self.num_nodes => {
+                // The span owns its own recorder handle, so the borrow
+                // of `s` stays free for the per-lane decode loop.
+                let _span = s.recorder.span(Metric::DecodeBatchNanos);
                 let words = defects_per_lane.len().div_ceil(64);
                 out[..words].fill(0);
                 for (lane, defects) in defects_per_lane.iter().enumerate() {

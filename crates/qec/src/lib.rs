@@ -67,6 +67,7 @@ use vlq_circuit::noise::NoiseModel;
 use vlq_decoder::{Decoder, DecoderScratch, DecodingGraph};
 use vlq_math::stats::BinomialEstimate;
 use vlq_surface::schedule::{memory_circuit, MemoryCircuit, MemorySpec};
+use vlq_telemetry::{Metric, Recorder};
 
 pub use lambda::{lambda_scan, mean_lambda, LambdaPoint};
 pub use orchestrate::{
@@ -304,12 +305,33 @@ pub struct BlockScratch {
     defect_lists: Vec<Vec<usize>>,
     decoder_scratch: Vec<DecoderScratch>,
     predictions: Vec<Vec<u64>>,
+    /// Telemetry sink, propagated into the per-decoder scratch.
+    /// Disabled by default; recording never changes the sampled words
+    /// (no RNG access, no iteration-order dependence) and the attached
+    /// path stays allocation-free in steady state.
+    recorder: Recorder,
 }
 
 impl BlockScratch {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty scratch that reports through `recorder`.
+    pub fn with_recorder(recorder: Recorder) -> Self {
+        let mut s = Self::default();
+        s.set_recorder(recorder);
+        s
+    }
+
+    /// Attaches a telemetry recorder, including to any decoder scratch
+    /// already built.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        for ds in &mut self.decoder_scratch {
+            ds.set_recorder(&recorder);
+        }
+        self.recorder = recorder;
     }
 }
 
@@ -382,13 +404,28 @@ impl PreparedBlock {
     ) -> &'s [Vec<u64>] {
         let words = lanes.div_ceil(64).max(1);
         let mut rng = SmallRng::seed_from_u64(seed);
-        sample_batch_into(&self.noisy, lanes, &mut rng, &mut scratch.sample);
+        {
+            let _span = scratch.recorder.span(Metric::SampleNanos);
+            sample_batch_into(&self.noisy, lanes, &mut rng, &mut scratch.sample);
+        }
         // Word-scan the guard detectors once into per-lane defect lists
         // (replaces a per-lane × per-detector bit-probe loop).
-        scratch
-            .sample
-            .result
-            .defect_lists_into(&self.guard, lanes, &mut scratch.defect_lists);
+        {
+            let _span = scratch.recorder.span(Metric::ExtractNanos);
+            scratch
+                .sample
+                .result
+                .defect_lists_into(&self.guard, lanes, &mut scratch.defect_lists);
+        }
+        scratch.recorder.incr(Metric::SampleBatches);
+        scratch.recorder.add(Metric::SampleLanes, lanes as u64);
+        if scratch.recorder.is_enabled() {
+            for defects in &scratch.defect_lists[..lanes] {
+                scratch
+                    .recorder
+                    .observe(Metric::DefectsPerLane, defects.len() as u64);
+            }
+        }
         // Decoder scratch is keyed to the decoder list; rebuild on any
         // shape change (cheap, and callers keep the list stable).
         if scratch.decoder_scratch.len() != decoders.len() {
@@ -396,10 +433,14 @@ impl PreparedBlock {
             scratch
                 .decoder_scratch
                 .extend(decoders.iter().map(|d| d.make_scratch()));
+            for ds in &mut scratch.decoder_scratch {
+                ds.set_recorder(&scratch.recorder);
+            }
         }
         if scratch.predictions.len() < decoders.len() {
             scratch.predictions.resize_with(decoders.len(), Vec::new);
         }
+        let decode_span = scratch.recorder.span(Metric::DecodeNanos);
         let actual = scratch.sample.result.observable_words(0);
         for (fi, decoder) in decoders.iter().enumerate() {
             let pred = &mut scratch.predictions[fi];
@@ -413,6 +454,15 @@ impl PreparedBlock {
             for (p, a) in pred.iter_mut().zip(actual) {
                 *p ^= a;
             }
+        }
+        drop(decode_span);
+        if scratch.recorder.is_enabled() {
+            let failures: u64 = scratch.predictions[..decoders.len()]
+                .iter()
+                .flat_map(|pred| pred.iter())
+                .map(|w| w.count_ones() as u64)
+                .sum();
+            scratch.recorder.add(Metric::BlockFailures, failures);
         }
         &scratch.predictions[..decoders.len()]
     }
@@ -445,6 +495,31 @@ impl PreparedBlock {
                     .map(|w| w.count_ones() as u64)
                     .sum::<u64>();
             }
+            remaining -= lanes as u64;
+            batch_idx += 1;
+        }
+        failures
+    }
+
+    /// [`BlockSampler::run_shots`] with telemetry: identical batching,
+    /// seed schedule, and failure count, with per-phase timings and
+    /// sampling statistics reported through `recorder`.
+    pub fn run_shots_recorded(&self, shots: u64, seed: u64, recorder: &Recorder) -> u64 {
+        const LANES_PER_BATCH: usize = 1024;
+        let decoders = [self.decoder.as_ref()];
+        let mut scratch = BlockScratch::with_recorder(recorder.clone());
+        let mut failures = 0u64;
+        let mut remaining = shots;
+        let mut batch_idx = 0u64;
+        while remaining > 0 {
+            let lanes = (remaining as usize).min(LANES_PER_BATCH);
+            let words = self.sample_failure_words_into(
+                &decoders,
+                lanes,
+                seed.wrapping_add(batch_idx),
+                &mut scratch,
+            );
+            failures += words[0].iter().map(|w| w.count_ones() as u64).sum::<u64>();
             remaining -= lanes as u64;
             batch_idx += 1;
         }
@@ -519,6 +594,12 @@ impl PreparedExperiment {
         seed: u64,
     ) -> Vec<u64> {
         self.block.run_shots_with(decoders, shots, seed)
+    }
+
+    /// [`PreparedExperiment::run_shots`] with telemetry (see
+    /// [`PreparedBlock::run_shots_recorded`]).
+    pub fn run_shots_recorded(&self, shots: u64, seed: u64, recorder: &Recorder) -> u64 {
+        self.block.run_shots_recorded(shots, seed, recorder)
     }
 }
 

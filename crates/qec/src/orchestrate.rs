@@ -88,6 +88,17 @@ impl SweepExecutor for MemoryExecutor {
     ) -> u64 {
         prepared.run_shots(shots, seed)
     }
+
+    fn run_chunk_recorded(
+        &self,
+        prepared: &PreparedExperiment,
+        _point: &SweepPoint,
+        shots: u64,
+        seed: u64,
+        recorder: &vlq_telemetry::Recorder,
+    ) -> u64 {
+        prepared.run_shots_recorded(shots, seed, recorder)
+    }
 }
 
 /// [`MemoryExecutor`] generalized over block boundaries: the same
@@ -126,6 +137,17 @@ impl SweepExecutor for BlockExecutor {
         seed: u64,
     ) -> u64 {
         prepared.run_shots(shots, seed)
+    }
+
+    fn run_chunk_recorded(
+        &self,
+        prepared: &PreparedBlock,
+        _point: &SweepPoint,
+        shots: u64,
+        seed: u64,
+        recorder: &vlq_telemetry::Recorder,
+    ) -> u64 {
+        prepared.run_shots_recorded(shots, seed, recorder)
     }
 }
 

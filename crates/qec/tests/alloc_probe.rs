@@ -52,6 +52,11 @@ fn steady_state_batches_do_not_allocate() {
     let decoder = DecoderKind::UnionFind.build(&block.graph);
     let decoders: [&(dyn vlq_decoder::Decoder + Send + Sync); 1] = [decoder.as_ref()];
     let mut scratch = BlockScratch::new();
+    // The telemetry contract: an *attached* recorder must not break the
+    // zero-steady-state-allocation property (counters are pre-registered
+    // atomics; spans and histogram buckets never allocate after setup).
+    let recorder = vlq_telemetry::Recorder::attached();
+    scratch.set_recorder(recorder.clone());
     const LANES: usize = 256;
 
     // Warm-up: run the probe seeds once so every buffer (frames,
@@ -82,4 +87,14 @@ fn steady_state_batches_do_not_allocate() {
     // The batches did real work (a zero-allocation no-op would also pass
     // the count check).
     assert!(failures > 0, "probe batches produced no failures at all");
+    // And the recorder really was live the whole time.
+    assert_eq!(
+        recorder.value(vlq_telemetry::Metric::SampleBatches),
+        24,
+        "recorder missed batches"
+    );
+    assert!(
+        recorder.value(vlq_telemetry::Metric::UfGrowthSteps) > 0,
+        "recorder saw no decoder work"
+    );
 }

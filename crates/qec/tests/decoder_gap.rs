@@ -20,8 +20,9 @@ fn union_find_gap_vs_mwpm_at_d9_is_bounded() {
     let results = compare_decoders(&cfg, &[DecoderKind::Mwpm, DecoderKind::UnionFind]);
     let mwpm = results[0].logical_error_rate();
     let uf = results[1].logical_error_rate();
+    // `note:` prefix per the stderr convention in docs/observability.md.
     eprintln!(
-        "d=9 shared-syndrome rates: mwpm={mwpm} uf={uf} ratio={}",
+        "note: d=9 shared-syndrome rates: mwpm={mwpm} uf={uf} ratio={}",
         uf / mwpm
     );
 

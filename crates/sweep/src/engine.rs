@@ -19,7 +19,9 @@ use std::collections::VecDeque;
 use std::io;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Instant;
+
+use vlq_telemetry::{Metric, ProgressReporter, Recorder};
 
 use crate::shard::ShardSpec;
 use crate::sink::{RecordSink, SweepRecord};
@@ -47,6 +49,23 @@ pub trait SweepExecutor: Sync {
         shots: u64,
         seed: u64,
     ) -> u64;
+
+    /// [`SweepExecutor::run_chunk`] with a telemetry sink. Executors
+    /// that can report domain metrics (decoder statistics, phase
+    /// timings) override this; the default ignores the recorder, so
+    /// recording never changes failure counts — only what gets
+    /// observed along the way.
+    fn run_chunk_recorded(
+        &self,
+        prepared: &Self::Prepared,
+        point: &SweepPoint,
+        shots: u64,
+        seed: u64,
+        recorder: &Recorder,
+    ) -> u64 {
+        let _ = recorder;
+        self.run_chunk(prepared, point, shots, seed)
+    }
 }
 
 /// One unit of schedulable work: a chunk of one point's shots.
@@ -96,6 +115,13 @@ pub struct SweepEngine {
     pub chunk_shots: u64,
     /// Whether to report progress (completed/total, ETA) on stderr.
     pub progress: bool,
+    /// Telemetry sink shared by every worker (disabled by default).
+    /// Deterministic work counters (points, chunks, shots, failures,
+    /// plus whatever the executor's `run_chunk_recorded` reports)
+    /// aggregate identically for any worker count; wall/steal/occupancy
+    /// metrics are runtime-class and never enter machine-readable
+    /// reports.
+    pub recorder: Recorder,
 }
 
 impl Default for SweepEngine {
@@ -106,6 +132,7 @@ impl Default for SweepEngine {
                 .unwrap_or(1),
             chunk_shots: 1024,
             progress: false,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -119,6 +146,10 @@ struct Shared<'a, E: SweepExecutor> {
     locals: Vec<Mutex<VecDeque<Task>>>,
     failures: Vec<AtomicU64>,
     chunks_left: Vec<AtomicUsize>,
+    recorder: &'a Recorder,
+    /// Per-point busy nanoseconds, summed across the point's chunks
+    /// (runtime-class; feeds the per-point wall-time histogram).
+    point_nanos: Vec<AtomicU64>,
 }
 
 impl<E: SweepExecutor> Shared<'_, E> {
@@ -150,6 +181,7 @@ impl<E: SweepExecutor> Shared<'_, E> {
                 .expect("victim deque")
                 .pop_front()
             {
+                self.recorder.incr(Metric::SweepSteals);
                 return Some(t);
             }
         }
@@ -157,12 +189,22 @@ impl<E: SweepExecutor> Shared<'_, E> {
     }
 
     fn run_worker(&self, me: usize, done: &mpsc::Sender<usize>) {
+        let timing = self.recorder.is_enabled();
         while let Some(task) = self.next_task(me) {
+            let start = timing.then(Instant::now);
             let point = &self.points[task.point];
             let prepared = self.prepared[task.point].get_or_init(|| self.executor.prepare(point));
             let seed = point.chunk_seed(self.base_seed, task.chunk);
-            let failures = self.executor.run_chunk(prepared, point, task.shots, seed);
+            let failures =
+                self.executor
+                    .run_chunk_recorded(prepared, point, task.shots, seed, self.recorder);
             self.failures[task.point].fetch_add(failures, Ordering::Relaxed);
+            self.recorder.incr(Metric::SweepChunks);
+            if let Some(start) = start {
+                let ns = start.elapsed().as_nanos() as u64;
+                self.recorder.add(Metric::SweepBusyNanos, ns);
+                self.point_nanos[task.point].fetch_add(ns, Ordering::Relaxed);
+            }
             if self.chunks_left[task.point].fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last chunk of this point; the receiver may already be
                 // gone if a sink error aborted the run.
@@ -212,53 +254,6 @@ impl<'s, 'r> InOrderEmitter<'s, 'r> {
     }
 }
 
-struct Progress {
-    enabled: bool,
-    started: Instant,
-    last_print: Option<Instant>,
-    total: usize,
-}
-
-impl Progress {
-    fn new(enabled: bool, total: usize) -> Self {
-        Progress {
-            enabled,
-            started: Instant::now(),
-            last_print: None,
-            total,
-        }
-    }
-
-    fn update(&mut self, completed: usize) {
-        if !self.enabled {
-            return;
-        }
-        let now = Instant::now();
-        let due = match self.last_print {
-            Some(last) => now.duration_since(last) >= Duration::from_millis(250),
-            None => true,
-        };
-        if !due && completed < self.total {
-            return;
-        }
-        self.last_print = Some(now);
-        let elapsed = now.duration_since(self.started).as_secs_f64();
-        let eta = if completed > 0 && completed < self.total {
-            let rate = elapsed / completed as f64;
-            format!("{:.1}s", rate * (self.total - completed) as f64)
-        } else if completed >= self.total {
-            "done".to_string()
-        } else {
-            "?".to_string()
-        };
-        eprintln!(
-            "sweep: {completed}/{} points ({:.0}%) elapsed {elapsed:.1}s eta {eta}",
-            self.total,
-            100.0 * completed as f64 / self.total.max(1) as f64,
-        );
-    }
-}
-
 impl SweepEngine {
     /// A single-threaded engine (useful for determinism baselines).
     pub fn serial() -> Self {
@@ -279,6 +274,12 @@ impl SweepEngine {
     /// Enables or disables stderr progress reporting.
     pub fn progress(mut self, on: bool) -> Self {
         self.progress = on;
+        self
+    }
+
+    /// Attaches a telemetry recorder shared by every worker.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -376,6 +377,7 @@ impl SweepEngine {
         let points = &points[..];
         let workers = self.workers.max(1);
         let chunk_shots = self.chunk_shots.max(1);
+        let run_start = self.recorder.is_enabled().then(Instant::now);
 
         // Chunk every point; zero-shot and cache-satisfied points
         // complete immediately.
@@ -408,11 +410,13 @@ impl SweepEngine {
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             failures: (0..points.len()).map(|_| AtomicU64::new(0)).collect(),
             chunks_left,
+            recorder: &self.recorder,
+            point_nanos: (0..points.len()).map(|_| AtomicU64::new(0)).collect(),
         };
 
         let (tx, rx) = mpsc::channel::<usize>();
         let mut emitter = InOrderEmitter::new(points.len(), sinks);
-        let mut progress = Progress::new(self.progress, points.len());
+        let mut progress = ProgressReporter::new(self.progress, points.len());
         let mut io_result = Ok(());
 
         std::thread::scope(|scope| {
@@ -444,6 +448,9 @@ impl SweepEngine {
                     },
                     None => continue,
                 };
+                self.recorder.incr(Metric::SweepPoints);
+                self.recorder.add(Metric::SweepShots, record.shots);
+                self.recorder.add(Metric::SweepFailures, record.failures);
                 if let Err(e) = emitter.complete(i, record) {
                     io_result = Err(e);
                     return;
@@ -459,6 +466,15 @@ impl SweepEngine {
                     shots: points[point_idx].shots,
                     failures: shared.failures[point_idx].load(Ordering::Acquire),
                 };
+                self.recorder.incr(Metric::SweepPoints);
+                self.recorder.add(Metric::SweepShots, record.shots);
+                self.recorder.add(Metric::SweepFailures, record.failures);
+                if self.recorder.is_enabled() {
+                    self.recorder.observe(
+                        Metric::SweepPointNanos,
+                        shared.point_nanos[point_idx].load(Ordering::Relaxed),
+                    );
+                }
                 if let Err(e) = emitter.complete(point_idx, record) {
                     io_result = Err(e);
                     // Workers keep draining tasks; their sends fail
@@ -470,6 +486,10 @@ impl SweepEngine {
             }
         });
 
+        if let Some(start) = run_start {
+            self.recorder
+                .add(Metric::SweepWallNanos, start.elapsed().as_nanos() as u64);
+        }
         io_result?;
         for sink in emitter.sinks.iter_mut() {
             sink.finish()?;

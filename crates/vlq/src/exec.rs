@@ -66,6 +66,7 @@ use vlq_surface::schedule::{Basis, Boundary, MemorySpec, Setup};
 use vlq_surgery::LogicalOp;
 use vlq_sweep::artifact::{Table, Value};
 use vlq_sweep::{splitmix64, SweepExecutor, SweepPoint};
+use vlq_telemetry::{Metric, Recorder};
 
 use crate::isa::{Instr, LogicalGate1Q, Schedule};
 use crate::machine::{
@@ -128,6 +129,40 @@ impl Executor for CostExecutor {
     fn run(&self, schedule: &Schedule) -> Result<MachineReport, MachineError> {
         schedule.validate()?;
         Ok(replay_costs(schedule))
+    }
+}
+
+impl CostExecutor {
+    /// [`Executor::run`] with telemetry: the identical report, with its
+    /// deadline-miss count and the schedule's page traffic recorded
+    /// through `recorder` (the memory-hierarchy contention counters the
+    /// multi-tenant roadmap item measures against).
+    pub fn run_recorded(
+        &self,
+        schedule: &Schedule,
+        recorder: &Recorder,
+    ) -> Result<MachineReport, MachineError> {
+        let report = self.run(schedule)?;
+        record_machine_report(&report, schedule, recorder);
+        Ok(report)
+    }
+}
+
+/// Records a cost replay's contention counters: deadline misses from
+/// the report, page-in/out traffic counted from the schedule.
+pub fn record_machine_report(report: &MachineReport, schedule: &Schedule, recorder: &Recorder) {
+    recorder.add(Metric::CostDeadlineMisses, report.deadline_misses);
+    if recorder.is_enabled() {
+        let (mut ins, mut outs) = (0u64, 0u64);
+        for instr in schedule.instrs() {
+            match instr {
+                Instr::PageIn { .. } => ins += 1,
+                Instr::PageOut { .. } => outs += 1,
+                _ => {}
+            }
+        }
+        recorder.add(Metric::CostPageIns, ins);
+        recorder.add(Metric::CostPageOuts, outs);
     }
 }
 
@@ -468,6 +503,26 @@ impl Executor for FrameExecutor {
     }
 }
 
+impl FrameExecutor {
+    /// [`Executor::run`] with telemetry: the identical report, plus
+    /// per-instruction-kind block-exposure counters recorded into
+    /// `recorder` (see [`FramePrepared::run_failures_recorded`]).
+    pub fn run_recorded(
+        &self,
+        schedule: &Schedule,
+        recorder: &Recorder,
+    ) -> Result<ProgramReport, MachineError> {
+        schedule.validate()?;
+        let prepared = FramePrepared::new(schedule.clone(), self.p, self.decoder, self.boundary);
+        let failures = prepared.run_failures_recorded(self.shots, self.seed, recorder);
+        Ok(ProgramReport {
+            shots: self.shots,
+            failures,
+            blocks_per_shot: prepared.blocks_per_shot(),
+        })
+    }
+}
+
 /// A schedule prepared for repeated seeded frame replay: the noisy
 /// syndrome-block circuits, decoding graphs, and decoders for every
 /// block length the schedule needs, in both guard sectors.
@@ -659,6 +714,55 @@ impl FramePrepared {
             batch_idx += 1;
         }
         failures
+    }
+
+    /// [`FramePrepared::run_failures`] with telemetry: the identical
+    /// failure count, plus per-instruction-kind block-exposure counters
+    /// (one replay of the schedule per batch, so the counts are a pure
+    /// function of the schedule and the batch count — deterministic for
+    /// any worker schedule).
+    pub fn run_failures_recorded(&self, shots: u64, seed: u64, recorder: &Recorder) -> u64 {
+        const LANES_PER_BATCH: usize = 1024;
+        let failures = self.run_failures(shots, seed);
+        if recorder.is_enabled() {
+            let batches = shots.div_ceil(LANES_PER_BATCH as u64);
+            self.record_block_exposures(recorder, batches);
+        }
+        failures
+    }
+
+    /// Adds each instruction kind's sampled block-exposure count —
+    /// mirroring the [`FramePrepared::blocks_per_shot`] accounting — to
+    /// the recorder, scaled by `batches` (each batch replays the
+    /// schedule once for all of its lanes).
+    fn record_block_exposures(&self, recorder: &Recorder, batches: u64) {
+        let legacy = self.boundary == Boundary::Full;
+        for instr in self.schedule.instrs() {
+            let exposures = match instr {
+                Instr::RefreshRound { .. } => 1,
+                _ if legacy => instr.span() * instr.qubits().len() as u64,
+                _ if instr.span() > 0 => instr.qubits().len() as u64,
+                _ => 0,
+            };
+            if exposures == 0 {
+                continue;
+            }
+            let metric = match instr {
+                Instr::RefreshRound { .. } => Metric::ExecRefreshBlocks,
+                Instr::Logical1Q { .. } => Metric::ExecLogical1QBlocks,
+                Instr::TransversalCnot { .. } | Instr::LatticeSurgeryCnot { .. } => {
+                    Metric::ExecCnotBlocks
+                }
+                Instr::SurgeryMerge { .. } | Instr::SurgerySplit { .. } => {
+                    Metric::ExecSurgeryBlocks
+                }
+                Instr::Move { .. } => Metric::ExecMoveBlocks,
+                Instr::ConsumeMagic { .. } => Metric::ExecMagicBlocks,
+                Instr::MeasureLogical { .. } => Metric::ExecMeasureBlocks,
+                Instr::PageIn { .. } | Instr::PageOut { .. } | Instr::Correction { .. } => continue,
+            };
+            recorder.add(metric, exposures * batches);
+        }
     }
 
     /// Exposes one qubit slot to a single sampled block of `rounds`
@@ -1002,6 +1106,17 @@ impl SweepExecutor for ProgramSweepExecutor {
         seed: u64,
     ) -> u64 {
         prepared.run_failures(shots, seed)
+    }
+
+    fn run_chunk_recorded(
+        &self,
+        prepared: &FramePrepared,
+        _point: &SweepPoint,
+        shots: u64,
+        seed: u64,
+        recorder: &Recorder,
+    ) -> u64 {
+        prepared.run_failures_recorded(shots, seed, recorder)
     }
 }
 
