@@ -113,7 +113,7 @@ fn main() {
 
             if !quiet {
                 eprintln!(
-                    "d{d} p{p:.0e}: before {:.2} ms, after {:.2} ms, speedup {speedup:.2}x \
+                    "note: d{d} p{p:.0e}: before {:.2} ms, after {:.2} ms, speedup {speedup:.2}x \
                      (sample {:.2} ms, extract {:.2} ms, decode {:.2} ms)",
                     before_ns as f64 / 1e6,
                     after_ns as f64 / 1e6,

@@ -171,6 +171,16 @@ metrics! {
     CostDeadlineMisses => ("cost.deadline_misses", Counter, Deterministic),
     CostPageIns => ("cost.page_ins", Counter, Deterministic),
     CostPageOuts => ("cost.page_outs", Counter, Deterministic),
+    // -- tenancy (multi-tenant contention accounting) -----------------
+    TenantQueueDelay => ("tenant.queue_delay", Counter, Deterministic),
+    TenantDeadlineMisses => ("tenant.deadline_misses", Counter, Deterministic),
+    TenantEvictions => ("tenant.evictions", Counter, Deterministic),
+    TenantPageFaults => ("tenant.page_faults", Counter, Deterministic),
+    TenantRefreshSkips => ("tenant.refresh_skips", Counter, Deterministic),
+    TenantInstructions => ("tenant.instructions", Counter, Deterministic),
+    TenantFinishT => ("tenant.finish_t", GaugeMax, Deterministic),
+    TenantIdealT => ("tenant.ideal_t", GaugeMax, Deterministic),
+    TenantSlowdownPermille => ("tenant.slowdown_permille", GaugeMax, Deterministic),
     // -- sweep engine (deterministic work accounting) -----------------
     SweepPoints => ("sweep.points_completed", Counter, Deterministic),
     SweepChunks => ("sweep.chunks_completed", Counter, Deterministic),

@@ -1,0 +1,43 @@
+//! # vlq-tenant — multi-programming for the virtualized-qubit machine
+//!
+//! The paper's core claim is that cavity stacks virtualize logical
+//! qubits the way DRAM virtualizes memory. This crate adds the piece
+//! every virtual-memory system grows next: a **multi-tenant scheduler**
+//! that time-shares one machine across N concurrent programs.
+//!
+//! * [`TenantScheduler`] admits independently compiled programs (each a
+//!   solo [`vlq::isa::Schedule`] against the shared
+//!   [`vlq::machine::MachineConfig`]), interleaves them
+//!   instruction-by-instruction, and emits a single merged, replayable
+//!   schedule that the existing executors (`CostExecutor`,
+//!   `FrameExecutor`, `TraceExecutor`) consume unchanged.
+//! * Cavity-page residency is owned by the scheduler through a
+//!   pluggable [`ReplacementPolicy`] ([`RefreshDeadline`], [`Lru`],
+//!   [`DeadlinePriority`]); contention shows up as typed `PageIn` /
+//!   `PageOut` traffic in the merged schedule, and swap-out time counts
+//!   against the paper's `k`-cycle refresh deadline.
+//! * Tenants are isolated: disjoint `LogicalId` spaces (so Pauli frames
+//!   never mix in `FrameExecutor`), one standalone sub-schedule each,
+//!   and per-tenant [`TenantReport`]s that feed one `vlq-telemetry`
+//!   recorder per tenant — deterministic contention sidecars fall out
+//!   of the existing machinery.
+//! * [`TenantSweepExecutor`] puts tenant-count × policy grids on the
+//!   `vlq-sweep` engine via `tenants<N>@<policy>` program names (the
+//!   `tenants1` bench binary).
+//!
+//! See `docs/tenancy.md` for the admission rules, the policy contract,
+//! and the contention-report schema.
+
+pub mod policy;
+pub mod scheduler;
+pub mod sweep;
+
+pub use policy::{DeadlinePriority, Lru, PageView, PolicyKind, RefreshDeadline, ReplacementPolicy};
+pub use scheduler::{
+    MultiProgram, TenantError, TenantReport, TenantScheduler, TenantSpec, MAX_TENANTS,
+    MAX_TENANT_QUBITS, TENANT_ID_BITS,
+};
+pub use sweep::{
+    machine_config_for_tenants, merge_standard_mix, parse_tenant_program, standard_mix,
+    tenant_program_name, TenantSweepExecutor,
+};

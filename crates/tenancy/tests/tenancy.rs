@@ -1,0 +1,128 @@
+//! Integration pins for the multi-tenant scheduler: merged schedules
+//! replay on every executor backend, per-tenant telemetry is
+//! deterministic, and the deadline-aware policy measurably protects the
+//! deadline tenant where LRU does not.
+
+use vlq::decoder::DecoderKind;
+use vlq::exec::{CostExecutor, Executor, FrameExecutor, TraceExecutor};
+use vlq::machine::MachineConfig;
+use vlq::program::{compile, LogicalCircuit};
+use vlq_telemetry::Recorder;
+use vlq_tenant::{merge_standard_mix, MultiProgram, PolicyKind, TenantScheduler, TenantSpec};
+
+/// The `tenants1` sweep shape at d = 3, k = 3: two stacks, Compact
+/// embedding, interleaved refresh (see
+/// `vlq_tenant::machine_config_for_tenants`).
+fn contended_config() -> MachineConfig {
+    let mut config = MachineConfig::compact_demo();
+    config.stacks_x = 1;
+    config.stacks_y = 2;
+    config.k = 3;
+    config
+}
+
+fn two_ghz_tenants() -> MultiProgram {
+    let config = MachineConfig::compact_demo();
+    let mut sched = TenantScheduler::new(config, PolicyKind::RefreshDeadline.build());
+    for name in ["alice", "bob"] {
+        let program = compile(&LogicalCircuit::ghz(3), config).unwrap();
+        sched.admit(TenantSpec::new(name, program)).unwrap();
+    }
+    sched.run().unwrap()
+}
+
+#[test]
+fn merged_schedule_replays_on_every_backend() {
+    let multi = two_ghz_tenants();
+
+    let cost = CostExecutor.run(&multi.schedule).unwrap();
+    assert!(cost.total_timesteps >= multi.tenants[0].ideal_t);
+    assert_eq!(cost.transversal_cnots + cost.surgery_cnots, 4); // 2 per GHZ-3
+
+    let trace = TraceExecutor.run(&multi.schedule).unwrap();
+    assert_eq!(trace.len(), multi.schedule.len());
+
+    let frames = FrameExecutor::at_scale(2e-3)
+        .with_shots(50)
+        .with_seed(7)
+        .run(&multi.schedule)
+        .unwrap();
+    assert_eq!(frames.shots, 50);
+}
+
+#[test]
+fn per_tenant_sub_schedules_replay_standalone() {
+    let multi = two_ghz_tenants();
+    for report in &multi.tenants {
+        let cost = CostExecutor.run(&report.subschedule).unwrap();
+        assert!(cost.total_timesteps >= report.ideal_t);
+    }
+}
+
+#[test]
+fn deadline_priority_beats_lru_on_deadline_misses() {
+    // Three 3-qubit tenants on a capacity-4 machine (two k=3 stacks):
+    // nine live qubits contend for four modes. LRU evicts the deadline
+    // tenant's idle pages, whose skipped refresh passes then run past
+    // the k-cycle deadline; deadline-aware priority keeps them
+    // resident. The same cells appear in the `tenants1` artifact.
+    let config = contended_config();
+    let lru = merge_standard_mix(3, PolicyKind::Lru, config).unwrap();
+    let dp = merge_standard_mix(3, PolicyKind::DeadlinePriority, config).unwrap();
+    let (lru_t0, dp_t0) = (&lru.tenants[0], &dp.tenants[0]);
+    assert!(lru_t0.deadline.is_some() && dp_t0.deadline.is_some());
+    assert!(
+        dp_t0.deadline_misses < lru_t0.deadline_misses,
+        "deadline tenant: {} misses under deadline-priority vs {} under lru",
+        dp_t0.deadline_misses,
+        lru_t0.deadline_misses
+    );
+    // Both schedules stay structurally valid under thrash.
+    lru.schedule.validate().unwrap();
+    dp.schedule.validate().unwrap();
+}
+
+#[test]
+fn per_tenant_sidecars_are_deterministic() {
+    // Same tenants, same seed label => byte-identical per-tenant
+    // deterministic reports (the contract the tenants1 CI smoke pins
+    // across --workers 1/2/4; the merge itself is worker-independent).
+    let render = || {
+        let multi =
+            merge_standard_mix(3, PolicyKind::DeadlinePriority, contended_config()).unwrap();
+        multi
+            .tenants
+            .iter()
+            .map(|report| {
+                let recorder = Recorder::attached();
+                report.record_full(&recorder).unwrap();
+                recorder.deterministic_jsonl("tenancy-test", 42)
+            })
+            .collect::<Vec<String>>()
+    };
+    let (a, b) = (render(), render());
+    assert_eq!(a, b);
+    for sidecar in &a {
+        assert!(sidecar.contains("tenant.queue_delay"));
+        assert!(sidecar.contains("cost.deadline_misses"));
+        assert!(sidecar.contains("cost.page_ins"));
+    }
+}
+
+#[test]
+fn frame_replay_distinguishes_policies_only_by_paging() {
+    // The merged schedules under two policies differ only in page
+    // traffic and addresses; both frame-replay to valid failure counts
+    // with the same shot accounting.
+    let config = contended_config();
+    for kind in PolicyKind::ALL {
+        let multi = merge_standard_mix(2, kind, config).unwrap();
+        let failures = FrameExecutor::at_scale(5e-3)
+            .with_shots(40)
+            .with_seed(11)
+            .with_decoder(DecoderKind::UnionFind)
+            .run(&multi.schedule)
+            .unwrap();
+        assert!(failures.failures <= 40, "{kind}");
+    }
+}

@@ -345,12 +345,13 @@ impl Executor for TraceExecutor {
         schedule.validate()?;
         let mut table = Table::new(TRACE_COLUMNS);
         for (i, instr) in schedule.instrs().iter().enumerate() {
-            let qubits = instr
-                .qubits()
-                .iter()
-                .map(|q| format!("L{}", q.0))
-                .collect::<Vec<_>>()
-                .join(" ");
+            let mut qubits = String::new();
+            instr.for_each_qubit(|q| {
+                if !qubits.is_empty() {
+                    qubits.push(' ');
+                }
+                qubits.push_str(&format!("L{}", q.0));
+            });
             let (stack, rounds) = match *instr {
                 Instr::PageIn { addr, .. }
                 | Instr::PageOut { addr, .. }
@@ -609,10 +610,10 @@ impl FramePrepared {
         let mut fresh: std::collections::BTreeSet<LogicalId> = Default::default();
         for (idx, instr) in schedule.instrs().iter().enumerate() {
             let idx = idx as u64;
-            for q in instr.qubits() {
+            instr.for_each_qubit(|q| {
                 let next = slots.len();
                 slots.entry(q).or_insert(next);
-            }
+            });
             if legacy {
                 // Legacy: operations expose participants one timestep
                 // (= d rounds) at a time, every block a full memory
@@ -643,11 +644,13 @@ impl FramePrepared {
                 other if other.span() > 0 => {
                     let window = other.span() as usize * config.d;
                     let measures = matches!(other, Instr::MeasureLogical { .. });
-                    for (off, q) in other.qubits().iter().enumerate() {
-                        let b = exposure_boundary(boundary, fresh.remove(q), measures);
-                        exposure_boundaries.insert((idx, off as u64), b);
+                    let mut off = 0u64;
+                    other.for_each_qubit(|q| {
+                        let b = exposure_boundary(boundary, fresh.remove(&q), measures);
+                        exposure_boundaries.insert((idx, off), b);
                         needed.insert((window, b));
-                    }
+                        off += 1;
+                    });
                 }
                 _ => {}
             }
@@ -688,8 +691,8 @@ impl FramePrepared {
             .iter()
             .map(|i| match i {
                 Instr::RefreshRound { .. } => 1,
-                _ if legacy => i.span() * i.qubits().len() as u64,
-                _ if i.span() > 0 => i.qubits().len() as u64,
+                _ if legacy => i.span() * i.num_qubits() as u64,
+                _ if i.span() > 0 => i.num_qubits() as u64,
                 _ => 0,
             })
             .sum()
@@ -740,8 +743,8 @@ impl FramePrepared {
         for instr in self.schedule.instrs() {
             let exposures = match instr {
                 Instr::RefreshRound { .. } => 1,
-                _ if legacy => instr.span() * instr.qubits().len() as u64,
-                _ if instr.span() > 0 => instr.qubits().len() as u64,
+                _ if legacy => instr.span() * instr.num_qubits() as u64,
+                _ if instr.span() > 0 => instr.num_qubits() as u64,
                 _ => 0,
             };
             if exposures == 0 {

@@ -235,7 +235,18 @@ impl Instr {
 
     /// The logical qubits the instruction acts on (bookkeeping targets
     /// included), in operand order.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`Instr::for_each_qubit`].
     pub fn qubits(&self) -> Vec<LogicalId> {
+        let mut out = Vec::with_capacity(self.num_qubits());
+        self.for_each_qubit(|q| out.push(q));
+        out
+    }
+
+    /// Visits the instruction's logical-qubit operands in operand order
+    /// without allocating (the hot-path form of [`Instr::qubits`]).
+    pub fn for_each_qubit(&self, mut f: impl FnMut(LogicalId)) {
         match *self {
             Instr::PageIn { qubit, .. }
             | Instr::PageOut { qubit, .. }
@@ -244,14 +255,31 @@ impl Instr {
             | Instr::Logical1Q { qubit, .. }
             | Instr::Move { qubit, .. }
             | Instr::ConsumeMagic { qubit, .. }
-            | Instr::MeasureLogical { qubit, .. } => vec![qubit],
+            | Instr::MeasureLogical { qubit, .. } => f(qubit),
             Instr::TransversalCnot {
                 control, target, ..
             }
             | Instr::LatticeSurgeryCnot {
                 control, target, ..
-            } => vec![control, target],
-            Instr::SurgeryMerge { a, b, .. } | Instr::SurgerySplit { a, b, .. } => vec![a, b],
+            } => {
+                f(control);
+                f(target);
+            }
+            Instr::SurgeryMerge { a, b, .. } | Instr::SurgerySplit { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+        }
+    }
+
+    /// Number of logical-qubit operands (1 or 2).
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Instr::TransversalCnot { .. }
+            | Instr::LatticeSurgeryCnot { .. }
+            | Instr::SurgeryMerge { .. }
+            | Instr::SurgerySplit { .. } => 2,
+            _ => 1,
         }
     }
 }
@@ -337,19 +365,31 @@ impl Schedule {
         self.instrs.iter().filter(|i| pred(i)).count()
     }
 
-    /// Structural validation: time-ordering and qubit lifetimes.
+    /// Structural validation: time-ordering, qubit lifetimes, and
+    /// exclusive claims.
     ///
     /// Checks that start times never decrease, that every instruction
-    /// addresses qubits currently paged in, and that page-ins don't
-    /// collide with live qubits. Machine-emitted schedules are valid by
-    /// construction; this is the safety net for hand-built ones.
+    /// addresses qubits currently paged in, that page-ins don't collide
+    /// with live qubits, and that no two timeline-spanning instructions
+    /// claim the same logical qubit in overlapping spans (a qubit is
+    /// claimed for the half-open interval `[t, t + span)`; span-0
+    /// bookkeeping — refreshes, corrections, paging — is exempt, since
+    /// the background refresh cycle legitimately touches qubits during
+    /// logical operations). Machine-emitted schedules are valid by
+    /// construction; this is the safety net for hand-built and merged
+    /// multi-tenant ones.
     ///
     /// # Errors
     ///
     /// Returns [`MachineError::Schedule`] wrapping the underlying
-    /// per-qubit error and naming the offending instruction.
+    /// per-qubit error and naming the offending instruction; span
+    /// conflicts surface as [`MachineError::OverlappingClaim`] carrying
+    /// both instruction indices.
     pub fn validate(&self) -> Result<(), MachineError> {
         let mut live: std::collections::BTreeSet<LogicalId> = std::collections::BTreeSet::new();
+        // Last exclusive claim per qubit: (claim end, claiming index).
+        let mut claims: std::collections::BTreeMap<LogicalId, (u64, usize)> =
+            std::collections::BTreeMap::new();
         let mut last_t = 0u64;
         for (index, instr) in self.instrs.iter().enumerate() {
             let at_instr = |source: MachineError| MachineError::Schedule {
@@ -376,10 +416,34 @@ impl Schedule {
                     }
                 }
                 other => {
-                    for q in other.qubits() {
-                        if !live.contains(&q) {
-                            return Err(at_instr(MachineError::UnknownQubit(q)));
+                    let t = other.t();
+                    let span = other.span();
+                    let mut err = None;
+                    other.for_each_qubit(|q| {
+                        if err.is_some() {
+                            return;
                         }
+                        if !live.contains(&q) {
+                            err = Some(MachineError::UnknownQubit(q));
+                        } else if span > 0 {
+                            if let Some(&(end, first_index)) = claims.get(&q) {
+                                if t < end {
+                                    err = Some(MachineError::OverlappingClaim {
+                                        qubit: q,
+                                        first_index,
+                                        second_index: index,
+                                    });
+                                }
+                            }
+                        }
+                    });
+                    if let Some(source) = err {
+                        return Err(at_instr(source));
+                    }
+                    if span > 0 {
+                        other.for_each_qubit(|q| {
+                            claims.insert(q, (t + span, index));
+                        });
                     }
                 }
             }
@@ -488,6 +552,106 @@ mod tests {
             s.validate(),
             Err(MachineError::Schedule { index: 1, .. })
         ));
+    }
+
+    #[test]
+    fn for_each_qubit_matches_qubits() {
+        let q = LogicalId(3);
+        let r = LogicalId(5);
+        let samples = [
+            Instr::PageIn {
+                qubit: q,
+                addr: addr(0, 0, 0),
+                t: 0,
+            },
+            Instr::TransversalCnot {
+                control: q,
+                target: r,
+                stack: StackCoord::new(0, 0),
+                t: 1,
+            },
+            Instr::SurgeryMerge { a: r, b: q, t: 2 },
+            Instr::ConsumeMagic { qubit: r, t: 3 },
+        ];
+        for instr in &samples {
+            let mut visited = Vec::new();
+            instr.for_each_qubit(|id| visited.push(id));
+            assert_eq!(visited, instr.qubits());
+            assert_eq!(visited.len(), instr.num_qubits());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_claims() {
+        let mut s = Schedule::new(MachineConfig::compact_demo());
+        let q = LogicalId(0);
+        let r = LogicalId(1);
+        s.push(Instr::PageIn {
+            qubit: q,
+            addr: addr(0, 0, 0),
+            t: 0,
+        });
+        s.push(Instr::PageIn {
+            qubit: r,
+            addr: addr(0, 0, 1),
+            t: 0,
+        });
+        // Surgery claims both qubits for [0, 6); a gate on q at t = 2
+        // lands inside the claim.
+        s.push(Instr::LatticeSurgeryCnot {
+            control: q,
+            target: r,
+            control_stack: StackCoord::new(0, 0),
+            target_stack: StackCoord::new(1, 0),
+            t: 0,
+        });
+        s.push(Instr::Logical1Q {
+            qubit: q,
+            gate: LogicalGate1Q::H,
+            t: 2,
+        });
+        match s.validate().unwrap_err() {
+            MachineError::Schedule { index, source, .. } => {
+                assert_eq!(index, 3);
+                assert_eq!(
+                    *source,
+                    MachineError::OverlappingClaim {
+                        qubit: q,
+                        first_index: 2,
+                        second_index: 3,
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_exempts_bookkeeping_from_claims() {
+        // The machine emits refresh rounds and correction touches during
+        // logical-op spans; those must not count as conflicting claims,
+        // and a back-to-back op at the claim's end boundary is legal.
+        let mut s = Schedule::new(MachineConfig::compact_demo());
+        let q = LogicalId(0);
+        s.push(Instr::PageIn {
+            qubit: q,
+            addr: addr(0, 0, 0),
+            t: 0,
+        });
+        s.push(Instr::ConsumeMagic { qubit: q, t: 0 }); // claims [0, 2)
+        s.push(Instr::RefreshRound {
+            stack: StackCoord::new(0, 0),
+            qubit: q,
+            rounds: 1,
+            t: 1,
+        });
+        s.push(Instr::Correction { qubit: q, t: 2 });
+        s.push(Instr::Logical1Q {
+            qubit: q,
+            gate: LogicalGate1Q::H,
+            t: 2, // the consume claim ends at 2 (half-open)
+        });
+        s.validate().unwrap();
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub enum MachineError {
         /// The preceding instruction's start time.
         previous: u64,
     },
+    /// Two timeline-spanning instructions claim the same logical qubit
+    /// in overlapping spans (schedule validation; span-0 bookkeeping is
+    /// exempt).
+    OverlappingClaim {
+        /// The doubly-claimed qubit.
+        qubit: LogicalId,
+        /// Index of the instruction holding the claim.
+        first_index: usize,
+        /// Index of the instruction that violated it.
+        second_index: usize,
+    },
     /// A schedule-level failure: the underlying error plus which
     /// instruction triggered it (schedule validation and replay).
     Schedule {
@@ -74,6 +85,17 @@ impl std::fmt::Display for MachineError {
                 write!(
                     f,
                     "instruction at t={t} starts before its predecessor (t={previous})"
+                )
+            }
+            MachineError::OverlappingClaim {
+                qubit,
+                first_index,
+                second_index,
+            } => {
+                write!(
+                    f,
+                    "logical qubit {qubit:?} claimed by overlapping instructions \
+                     #{first_index} and #{second_index}"
                 )
             }
             MachineError::Schedule {
