@@ -13,17 +13,18 @@
 
 use vlq_bench::{
     engine_from_args, finish_telemetry, parse_f64_list, resume_cache_from_args, resumed_points,
-    sci, shard_from_args, telemetry_from_args, usage_exit, Args, MetaBuilder, OutSinks,
+    sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
+    OutSinks,
 };
-use vlq_qec::{estimate_threshold, run_sweep_opts, DecoderKind, ThresholdScan};
+use vlq_qec::{estimate_threshold, run_sweep_opts_par, DecoderKind, ThresholdScan};
 use vlq_surface::schedule::{Basis, Setup};
 use vlq_sweep::{RunOptions, SweepSpec};
 
 const USAGE: &str = "\
 usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
              [--decoder mwpm|uf|all] [--setup NAME|all] [--basis z|x]
-             [--rates P1,P2,...] [--workers N] [--out DIR] [--resume]
-             [--shard I/N] [--telemetry PATH] [--quiet]
+             [--rates P1,P2,...] [--workers N] [--threads N] [--out DIR]
+             [--resume] [--shard I/N] [--telemetry PATH] [--quiet]
   --decoder  decoder(s) to scan (default mwpm; `all` runs the ablation)
   --setup    one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
   --rates    comma-separated physical error rates (default: 8 rates, 8e-4..1.6e-2)
@@ -32,8 +33,11 @@ usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
              deterministic seeding keeps resumed artifacts byte-identical)
   --shard    run only grid points with index % N == I (same global numbering
              and seeds as the full run; `sweep-merge` restores full artifacts)
+  --threads  in-block sample-pool workers per chunk (default 1; results and
+             sidecars are bit-identical at any value)
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
-               summary to stderr (sidecar is byte-stable across --workers)";
+               summary to stderr (sidecar is byte-stable across --workers and
+               --threads)";
 
 fn main() {
     let args = Args::parse_validated(
@@ -48,6 +52,7 @@ fn main() {
             "basis",
             "rates",
             "workers",
+            "threads",
             "out",
             "shard",
             "telemetry",
@@ -125,6 +130,7 @@ fn main() {
 
     let (recorder, telemetry_path) = telemetry_from_args(&args);
     let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
+    let par = threads_from_args(&args, USAGE);
     let shard = shard_from_args(&args, USAGE);
     let opts = RunOptions {
         shard,
@@ -144,8 +150,8 @@ fn main() {
     let mut meta = MetaBuilder::new(seed, shard);
     meta.absorb(&spec);
     out.write_meta(&meta.build());
-    let records =
-        run_sweep_opts(&spec, &engine, &mut out.as_dyn(), &cache, &opts).expect("sweep artifacts");
+    let records = run_sweep_opts_par(&spec, &engine, &mut out.as_dyn(), &cache, &opts, &par)
+        .expect("sweep artifacts");
     finish_telemetry(&recorder, telemetry_path.as_deref(), "fig11", seed);
 
     println!(

@@ -11,16 +11,17 @@
 
 use vlq_bench::{
     engine_from_args, finish_telemetry, resume_cache_from_args, resumed_points, sci,
-    shard_from_args, telemetry_from_args, usage_exit, Args, MetaBuilder, OutSinks,
+    shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
+    OutSinks,
 };
-use vlq_qec::{run_sweep_opts, sensitivity_spec, DecoderKind, Knob};
+use vlq_qec::{run_sweep_opts_par, sensitivity_spec, DecoderKind, Knob};
 use vlq_surface::schedule::Setup;
 use vlq_sweep::{RunOptions, SweepRecord};
 
 const USAGE: &str = "\
 usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
-             [--extended] [--workers N] [--out DIR] [--resume]
-             [--shard I/N] [--telemetry PATH] [--quiet]
+             [--extended] [--workers N] [--threads N] [--out DIR]
+             [--resume] [--shard I/N] [--telemetry PATH] [--quiet]
   --panel    one of sc-sc-error|load-store-error|sc-mode-error|cavity-t1|
              transmon-t1|load-store-duration|cavity-size|all
   --extended push the cavity-size panel past the paper's plotted range
@@ -29,8 +30,11 @@ usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
              deterministic seeding keeps resumed artifacts byte-identical)
   --shard    run only points with global index % N == I (points are numbered
              across all panels; `sweep-merge` restores full artifacts)
+  --threads  in-block sample-pool workers per chunk (default 1; results and
+             sidecars are bit-identical at any value)
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
-               summary to stderr (sidecar is byte-stable across --workers)";
+               summary to stderr (sidecar is byte-stable across --workers and
+               --threads)";
 
 fn values_for(knob: Knob, extended: bool) -> Vec<f64> {
     match knob {
@@ -61,6 +65,7 @@ fn main() {
             "dmax",
             "seed",
             "workers",
+            "threads",
             "out",
             "shard",
             "telemetry",
@@ -98,6 +103,7 @@ fn main() {
 
     let (recorder, telemetry_path) = telemetry_from_args(&args);
     let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
+    let par = threads_from_args(&args, USAGE);
     let shard = shard_from_args(&args, USAGE);
     // Read the previous artifact (if resuming) before the sinks
     // truncate it.
@@ -140,7 +146,7 @@ fn main() {
         if skipped > 0 {
             eprintln!("note: resume: {skipped}/{owned} points already complete");
         }
-        let records = run_sweep_opts(&spec, &engine, &mut out.as_dyn(), &cache, &opts)
+        let records = run_sweep_opts_par(&spec, &engine, &mut out.as_dyn(), &cache, &opts, &par)
             .expect("sweep artifacts");
         if !shard.is_full() {
             println!(

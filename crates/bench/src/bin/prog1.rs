@@ -20,15 +20,16 @@ use vlq::surface::schedule::{Basis, Boundary, Setup};
 use vlq::sweep::{RunOptions, SweepRecord, SweepSpec};
 use vlq_bench::{
     engine_from_args, finish_telemetry, parse_f64_list, resume_cache_from_args, resumed_points,
-    sci, shard_from_args, telemetry_from_args, usage_exit, Args, MetaBuilder, OutSinks,
+    sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
+    OutSinks,
 };
 
 const USAGE: &str = "\
 usage: prog1 [--trials N] [--dmax D] [--k K] [--seed S]
              [--programs P1,P2,...] [--setup NAME|all] [--decoder mwpm|uf]
              [--boundary mid-circuit|full|prep|readout] [--rates P1,P2,...]
-             [--workers N] [--out DIR] [--resume] [--shard I/N]
-             [--telemetry PATH] [--quiet]
+             [--workers N] [--threads N] [--out DIR] [--resume]
+             [--shard I/N] [--telemetry PATH] [--quiet]
   --programs  registered workloads (default ghz4,teleport,adder2;
               ghz<N>/adder<N> accept any width)
   --setup     one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
@@ -43,8 +44,11 @@ usage: prog1 [--trials N] [--dmax D] [--k K] [--seed S]
   --resume    skip grid points already present in DIR/<stem>.jsonl (needs --out)
   --shard     run only grid points with index % N == I (same global numbering
               and seeds as the full run; `sweep-merge` restores full artifacts)
+  --threads   in-block sample-pool workers per chunk (default 1; results and
+              sidecars are bit-identical at any value)
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
-               summary to stderr (sidecar is byte-stable across --workers)";
+               summary to stderr (sidecar is byte-stable across --workers and
+               --threads)";
 
 fn main() {
     let args = Args::parse_validated(
@@ -60,6 +64,7 @@ fn main() {
             "boundary",
             "rates",
             "workers",
+            "threads",
             "out",
             "shard",
             "telemetry",
@@ -161,6 +166,7 @@ fn main() {
 
     let (recorder, telemetry_path) = telemetry_from_args(&args);
     let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
+    let par = threads_from_args(&args, USAGE);
     let shard = shard_from_args(&args, USAGE);
     let opts = RunOptions {
         shard,
@@ -191,7 +197,7 @@ fn main() {
     let mut meta = MetaBuilder::new(seed, shard);
     meta.absorb(&spec);
     out.write_meta(&meta.build());
-    let executor = ProgramSweepExecutor::new(boundary);
+    let executor = ProgramSweepExecutor::new(boundary).with_parallelism(par);
     let records = engine
         .run_opts(&spec, &executor, &mut out.as_dyn(), &cache, &opts)
         .expect("sweep artifacts");

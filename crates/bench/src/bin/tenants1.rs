@@ -25,7 +25,8 @@ use vlq::sweep::artifact::{Table, Value};
 use vlq::sweep::{RunOptions, SweepPoint, SweepRecord, SweepSpec};
 use vlq_bench::{
     engine_from_args, finish_telemetry, parse_f64_list, resume_cache_from_args, resumed_points,
-    sci, shard_from_args, telemetry_from_args, usage_exit, Args, MetaBuilder, OutSinks,
+    sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
+    OutSinks,
 };
 use vlq_telemetry::Recorder;
 use vlq_tenant::{
@@ -37,8 +38,8 @@ const USAGE: &str = "\
 usage: tenants1 [--trials N] [--tenants N1,N2,...] [--policies P1,P2,...|all]
                 [--dmax D] [--k K] [--seed S] [--setup NAME|all]
                 [--decoder mwpm|uf] [--rates P1,P2,...] [--workers N]
-                [--out DIR] [--resume] [--shard I/N] [--telemetry PATH]
-                [--quiet]
+                [--threads N] [--out DIR] [--resume] [--shard I/N]
+                [--telemetry PATH] [--quiet]
   --tenants   concurrent-program counts to scan (default 2,3; each >= 1;
               slots cycle ghz3,teleport,adder1 with slot 0 the deadline
               tenant)
@@ -55,9 +56,12 @@ usage: tenants1 [--trials N] [--tenants N1,N2,...] [--policies P1,P2,...|all]
   --shard     run only grid points with index % N == I and write only
               report rows with row index % N == I (sweep-merge restores
               both artifacts)
+  --threads   in-block sample-pool workers per chunk (default 1; results and
+              sidecars are bit-identical at any value)
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH plus per-tenant
                sidecars (<PATH minus .jsonl>-tenant<i>.jsonl) for the most
-               contended cell; all sidecars are byte-stable across --workers";
+               contended cell; all sidecars are byte-stable across --workers
+               and --threads";
 
 /// The machine a report cell merges onto (same shape the sweep executor
 /// uses for its grid points).
@@ -121,6 +125,7 @@ fn main() {
             "decoder",
             "rates",
             "workers",
+            "threads",
             "out",
             "shard",
             "telemetry",
@@ -231,6 +236,7 @@ fn main() {
 
     let (recorder, telemetry_path) = telemetry_from_args(&args);
     let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
+    let par = threads_from_args(&args, USAGE);
     let shard = shard_from_args(&args, USAGE);
     let opts = RunOptions {
         shard,
@@ -302,7 +308,7 @@ fn main() {
             });
     }
 
-    let executor = TenantSweepExecutor::default();
+    let executor = TenantSweepExecutor::default().with_parallelism(par);
     let records = engine
         .run_opts(&spec, &executor, &mut out.as_dyn(), &cache, &opts)
         .expect("sweep artifacts");

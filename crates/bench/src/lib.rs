@@ -165,6 +165,26 @@ pub fn engine_from_args(args: &Args, usage: &str) -> vlq_sweep::SweepEngine {
     engine
 }
 
+/// Parses the `--threads N` flag into an in-block worker policy
+/// ([`vlq_qec::Parallelism`]): absent or `1` means serial; `N >= 2`
+/// attaches a shared sample pool spreading each chunk's 1024-lane
+/// batches across `N` workers. Results and deterministic telemetry are
+/// bit-identical either way, so `--threads` composes freely with
+/// `--workers`, `--shard`, and `--resume`. Exits 2 (usage) on
+/// `--threads 0` or a non-numeric value.
+pub fn threads_from_args(args: &Args, usage: &str) -> vlq_qec::Parallelism {
+    match args.pairs_get("threads") {
+        Some(_) => {
+            let threads: usize = args.get_or_usage(usage, "threads", 0);
+            if threads == 0 {
+                usage_exit(usage, "--threads must be >= 1");
+            }
+            vlq_qec::Parallelism::threads(threads)
+        }
+        None => vlq_qec::Parallelism::serial(),
+    }
+}
+
 /// Parses the `--telemetry PATH` flag: an attached recorder (plus the
 /// sidecar path) when given, a disabled recorder otherwise. Pair with
 /// [`finish_telemetry`] after the run.

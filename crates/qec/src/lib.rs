@@ -55,6 +55,7 @@
 
 pub mod lambda;
 pub mod orchestrate;
+pub mod pool;
 pub mod sensitivity;
 pub mod threshold;
 
@@ -71,9 +72,10 @@ use vlq_telemetry::{Metric, Recorder};
 
 pub use lambda::{lambda_scan, mean_lambda, LambdaPoint};
 pub use orchestrate::{
-    block_config_for_point, config_for_point, run_sweep, run_sweep_opts, run_sweep_resumable,
-    run_sweep_with, BlockExecutor, MemoryExecutor,
+    block_config_for_point, config_for_point, run_sweep, run_sweep_opts, run_sweep_opts_par,
+    run_sweep_resumable, run_sweep_with, BlockExecutor, MemoryExecutor,
 };
+pub use pool::{Parallelism, SamplePool};
 pub use sensitivity::{sensitivity_spec, sensitivity_sweep, Knob, SensitivityPoint};
 pub use threshold::{estimate_threshold, threshold_scan, threshold_spec, ScanPoint, ThresholdScan};
 
@@ -333,6 +335,16 @@ impl BlockScratch {
         }
         self.recorder = recorder;
     }
+
+    /// Drops any decoder scratch so the next batch rebuilds it. The
+    /// sample pool calls this when a persistent worker scratch is about
+    /// to serve a different (block, decoder list) than it was built
+    /// for: decoder scratch can carry graph-keyed memoisation, and the
+    /// length-only rebuild check in `sample_failure_words_into` cannot
+    /// see a graph change.
+    pub(crate) fn reset_decoder_scratch(&mut self) {
+        self.decoder_scratch.clear();
+    }
 }
 
 /// A block prepared for repeated seeded sampling: the noisy circuit,
@@ -355,11 +367,15 @@ pub struct PreparedBlock {
     pub boundary: Boundary,
     decoder: Box<dyn Decoder + Send + Sync>,
     guard: Vec<usize>,
+    /// Process-unique id (never reused), the key the sample pool uses
+    /// to decide whether persistent worker scratch may be carried over.
+    identity: u64,
 }
 
 impl PreparedBlock {
     /// Prepares circuits, graph, and decoder for a block config.
     pub fn prepare(cfg: &BlockConfig) -> Self {
+        static NEXT_IDENTITY: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         let memory = memory_circuit(cfg.spec.memory, &cfg.noise.hw);
         let (start, end) = memory.noise_window(cfg.spec.boundary);
         let noisy = cfg.noise.apply_window(&memory.circuit, start, end);
@@ -373,7 +389,13 @@ impl PreparedBlock {
             boundary: cfg.spec.boundary,
             decoder,
             guard,
+            identity: NEXT_IDENTITY.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// The process-unique block id (see the `identity` field).
+    pub(crate) fn identity(&self) -> u64 {
+        self.identity
     }
 
     /// [`BlockSampler::sample_failure_words`] for several decoders over
@@ -525,6 +547,77 @@ impl PreparedBlock {
         }
         failures
     }
+
+    /// [`BlockSampler::run_shots`] under a worker policy: serial when
+    /// `par` carries no pool, otherwise the batches are claimed
+    /// work-stealing-style by the pool's workers. Bit-identical to the
+    /// serial path at any worker count (batches are independently
+    /// seeded; counts reduce in batch order — see [`pool::SamplePool`]).
+    pub fn run_shots_par(&self, shots: u64, seed: u64, par: &Parallelism) -> u64 {
+        match par.pool() {
+            None => self.run_shots(shots, seed),
+            Some(pool) => {
+                let mut failures = [0u64];
+                pool.run_block_shots(
+                    self,
+                    &[self.decoder.as_ref()],
+                    shots,
+                    seed,
+                    None,
+                    &mut failures,
+                );
+                failures[0]
+            }
+        }
+    }
+
+    /// [`PreparedBlock::run_shots_with`] under a worker policy (see
+    /// [`PreparedBlock::run_shots_par`]).
+    pub fn run_shots_with_par(
+        &self,
+        decoders: &[&(dyn Decoder + Send + Sync)],
+        shots: u64,
+        seed: u64,
+        par: &Parallelism,
+    ) -> Vec<u64> {
+        match par.pool() {
+            None => self.run_shots_with(decoders, shots, seed),
+            Some(pool) => {
+                let mut failures = vec![0u64; decoders.len()];
+                pool.run_block_shots(self, decoders, shots, seed, None, &mut failures);
+                failures
+            }
+        }
+    }
+
+    /// [`PreparedBlock::run_shots_recorded`] under a worker policy:
+    /// identical failure count *and* identical deterministic telemetry
+    /// (per-worker recorders merge commutatively, so the JSONL sidecar
+    /// stays byte-identical at any worker count; steal/busy timings land
+    /// in the runtime summary only).
+    pub fn run_shots_recorded_par(
+        &self,
+        shots: u64,
+        seed: u64,
+        recorder: &Recorder,
+        par: &Parallelism,
+    ) -> u64 {
+        match par.pool() {
+            None => self.run_shots_recorded(shots, seed, recorder),
+            Some(pool) => {
+                let mut failures = [0u64];
+                pool.run_block_shots(
+                    self,
+                    &[self.decoder.as_ref()],
+                    shots,
+                    seed,
+                    Some(recorder),
+                    &mut failures,
+                );
+                failures[0]
+            }
+        }
+    }
 }
 
 impl BlockSampler for PreparedBlock {
@@ -600,6 +693,37 @@ impl PreparedExperiment {
     /// [`PreparedBlock::run_shots_recorded`]).
     pub fn run_shots_recorded(&self, shots: u64, seed: u64, recorder: &Recorder) -> u64 {
         self.block.run_shots_recorded(shots, seed, recorder)
+    }
+
+    /// [`PreparedExperiment::run_shots`] under a worker policy (see
+    /// [`PreparedBlock::run_shots_par`]).
+    pub fn run_shots_par(&self, shots: u64, seed: u64, par: &Parallelism) -> u64 {
+        self.block.run_shots_par(shots, seed, par)
+    }
+
+    /// [`PreparedExperiment::run_shots_with`] under a worker policy
+    /// (see [`PreparedBlock::run_shots_with_par`]).
+    pub fn run_shots_with_par(
+        &self,
+        decoders: &[&(dyn Decoder + Send + Sync)],
+        shots: u64,
+        seed: u64,
+        par: &Parallelism,
+    ) -> Vec<u64> {
+        self.block.run_shots_with_par(decoders, shots, seed, par)
+    }
+
+    /// [`PreparedExperiment::run_shots_recorded`] under a worker policy
+    /// (see [`PreparedBlock::run_shots_recorded_par`]).
+    pub fn run_shots_recorded_par(
+        &self,
+        shots: u64,
+        seed: u64,
+        recorder: &Recorder,
+        par: &Parallelism,
+    ) -> u64 {
+        self.block
+            .run_shots_recorded_par(shots, seed, recorder, par)
     }
 }
 

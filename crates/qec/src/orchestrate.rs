@@ -15,7 +15,7 @@ use vlq_sweep::{RecordSink, SweepEngine, SweepExecutor, SweepPoint, SweepRecord,
 use vlq_surface::schedule::{Boundary, MemorySpec};
 
 use crate::sensitivity::{noise_with_knob, Knob};
-use crate::{BlockConfig, BlockSampler, ExperimentConfig, PreparedBlock, PreparedExperiment};
+use crate::{BlockConfig, ExperimentConfig, Parallelism, PreparedBlock, PreparedExperiment};
 
 /// Builds the experiment configuration a sweep point describes.
 ///
@@ -67,10 +67,22 @@ pub fn block_config_for_point(pt: &SweepPoint, boundary: Boundary) -> BlockConfi
 
 /// [`SweepExecutor`] running this crate's memory experiments.
 ///
-/// Chunk-level parallelism comes from the engine; each chunk runs
-/// single-threaded against the shared [`PreparedExperiment`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct MemoryExecutor;
+/// Point-level parallelism comes from the engine (`--workers`);
+/// `parallelism` additionally spreads each chunk's batches over the
+/// in-block sample pool (`--threads`). Both axes preserve bit-identical
+/// records and sidecars, so they compose freely.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryExecutor {
+    /// In-block worker policy every chunk is sampled under.
+    pub parallelism: Parallelism,
+}
+
+impl MemoryExecutor {
+    /// An executor sampling chunks under `parallelism`.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        MemoryExecutor { parallelism }
+    }
+}
 
 impl SweepExecutor for MemoryExecutor {
     type Prepared = PreparedExperiment;
@@ -86,7 +98,7 @@ impl SweepExecutor for MemoryExecutor {
         shots: u64,
         seed: u64,
     ) -> u64 {
-        prepared.run_shots(shots, seed)
+        prepared.run_shots_par(shots, seed, &self.parallelism)
     }
 
     fn run_chunk_recorded(
@@ -97,7 +109,7 @@ impl SweepExecutor for MemoryExecutor {
         seed: u64,
         recorder: &vlq_telemetry::Recorder,
     ) -> u64 {
-        prepared.run_shots_recorded(shots, seed, recorder)
+        prepared.run_shots_recorded_par(shots, seed, recorder, &self.parallelism)
     }
 }
 
@@ -109,16 +121,27 @@ impl SweepExecutor for MemoryExecutor {
 /// record-for-record (same prepared circuit, same chunk seeding, same
 /// sample-and-decode core); `Boundary::MidCircuit` sweeps per-round
 /// steady-state error rates instead of whole memory experiments.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BlockExecutor {
     /// The boundary every point of the sweep is sampled under.
     pub boundary: Boundary,
+    /// In-block worker policy every chunk is sampled under.
+    pub parallelism: Parallelism,
 }
 
 impl BlockExecutor {
     /// An executor sampling every point under `boundary`.
     pub fn new(boundary: Boundary) -> Self {
-        BlockExecutor { boundary }
+        BlockExecutor {
+            boundary,
+            parallelism: Parallelism::serial(),
+        }
+    }
+
+    /// Sets the in-block worker policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -136,7 +159,7 @@ impl SweepExecutor for BlockExecutor {
         shots: u64,
         seed: u64,
     ) -> u64 {
-        prepared.run_shots(shots, seed)
+        prepared.run_shots_par(shots, seed, &self.parallelism)
     }
 
     fn run_chunk_recorded(
@@ -147,7 +170,7 @@ impl SweepExecutor for BlockExecutor {
         seed: u64,
         recorder: &vlq_telemetry::Recorder,
     ) -> u64 {
-        prepared.run_shots_recorded(shots, seed, recorder)
+        prepared.run_shots_recorded_par(shots, seed, recorder, &self.parallelism)
     }
 }
 
@@ -163,7 +186,7 @@ pub fn run_sweep_with(
     engine: &SweepEngine,
     sinks: &mut [&mut dyn RecordSink],
 ) -> io::Result<Vec<SweepRecord>> {
-    engine.run(spec, &MemoryExecutor, sinks)
+    engine.run(spec, &MemoryExecutor::default(), sinks)
 }
 
 /// [`run_sweep_with`], reusing completed points from a previous run's
@@ -176,7 +199,7 @@ pub fn run_sweep_resumable(
     sinks: &mut [&mut dyn RecordSink],
     cache: &vlq_sweep::ResumeCache,
 ) -> io::Result<Vec<SweepRecord>> {
-    engine.run_resumable(spec, &MemoryExecutor, sinks, cache)
+    engine.run_resumable(spec, &MemoryExecutor::default(), sinks, cache)
 }
 
 /// The fully-general memory-experiment sweep: resumable, shardable
@@ -192,7 +215,28 @@ pub fn run_sweep_opts(
     cache: &vlq_sweep::ResumeCache,
     opts: &vlq_sweep::RunOptions,
 ) -> io::Result<Vec<SweepRecord>> {
-    engine.run_opts(spec, &MemoryExecutor, sinks, cache, opts)
+    run_sweep_opts_par(spec, engine, sinks, cache, opts, &Parallelism::serial())
+}
+
+/// [`run_sweep_opts`] with an in-block worker policy (`--threads`):
+/// every chunk's batches are additionally spread over the sample pool.
+/// Records and telemetry sidecars are byte-identical for any policy —
+/// both parallelism axes preserve the bit-identity contract.
+pub fn run_sweep_opts_par(
+    spec: &SweepSpec,
+    engine: &SweepEngine,
+    sinks: &mut [&mut dyn RecordSink],
+    cache: &vlq_sweep::ResumeCache,
+    opts: &vlq_sweep::RunOptions,
+    par: &Parallelism,
+) -> io::Result<Vec<SweepRecord>> {
+    engine.run_opts(
+        spec,
+        &MemoryExecutor::with_parallelism(par.clone()),
+        sinks,
+        cache,
+        opts,
+    )
 }
 
 #[cfg(test)]
@@ -297,7 +341,7 @@ mod tests {
             .base_seed(13);
         let engine = SweepEngine::serial();
         let memory = engine
-            .run(&spec, &MemoryExecutor, &mut [])
+            .run(&spec, &MemoryExecutor::default(), &mut [])
             .expect("no sinks");
         let full = engine
             .run(&spec, &BlockExecutor::new(Boundary::Full), &mut [])

@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use vlq_qec::{BlockConfig, BlockScratch, BlockSpec, DecoderKind, PreparedBlock};
+use vlq_qec::{BlockConfig, BlockSampler, BlockScratch, BlockSpec, DecoderKind, PreparedBlock};
 use vlq_surface::schedule::{Basis, MemorySpec, Setup};
 
 struct CountingAlloc;
@@ -96,5 +96,36 @@ fn steady_state_batches_do_not_allocate() {
     assert!(
         recorder.value(vlq_telemetry::Metric::UfGrowthSteps) > 0,
         "recorder saw no decoder work"
+    );
+
+    // The same contract with the sample pool attached: pool creation and
+    // warm-up may allocate (threads, injector, per-worker scratch
+    // growth), but re-running identical pooled batches must not — the
+    // pool reuses its slot buffer and queues, workers park on a condvar,
+    // and every worker holds its scratch at the high-water mark.
+    let par = vlq_qec::Parallelism::threads(2);
+    const POOL_SHOTS: u64 = 2048;
+    let mut pooled_warm = 0u64;
+    for seed in 200..204u64 {
+        pooled_warm += block.run_shots_par(POOL_SHOTS, seed, &par);
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let mut pooled = 0u64;
+    for seed in 200..204u64 {
+        pooled += block.run_shots_par(POOL_SHOTS, seed, &par);
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pooled batches allocated ({pooled_warm} warm-up / {pooled} steady failures)"
+    );
+    assert_eq!(pooled, pooled_warm, "pooled runs were not deterministic");
+    assert_eq!(
+        pooled,
+        (200..204u64)
+            .map(|s| block.run_shots(POOL_SHOTS, s))
+            .sum::<u64>(),
+        "pooled failure counts diverged from serial"
     );
 }

@@ -57,7 +57,7 @@ fn run_to_dir(
     engine
         .run_opts(
             spec,
-            &MemoryExecutor,
+            &MemoryExecutor::default(),
             &mut [&mut csv, &mut jsonl],
             &ResumeCache::new(),
             &RunOptions {

@@ -10,6 +10,7 @@
 use vlq::exec::{config_for_setup, FramePrepared};
 use vlq::machine::MachineConfig;
 use vlq::program::{compile, LogicalCircuit};
+use vlq::qec::Parallelism;
 use vlq::surface::schedule::Boundary;
 use vlq::sweep::{SweepExecutor, SweepPoint};
 use vlq_telemetry::Recorder;
@@ -125,16 +126,19 @@ pub fn merge_standard_mix(
 /// `prepare` panics on a missing or malformed program name and on
 /// merge failures — tenant specs are validated at binary construction,
 /// mirroring `ProgramSweepExecutor`'s unknown-program contract.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TenantSweepExecutor {
     /// Block boundary every exposure is sampled under.
     pub boundary: Boundary,
+    /// In-block worker policy every chunk is replayed under.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TenantSweepExecutor {
     fn default() -> Self {
         TenantSweepExecutor {
             boundary: Boundary::MidCircuit,
+            parallelism: Parallelism::serial(),
         }
     }
 }
@@ -142,7 +146,16 @@ impl Default for TenantSweepExecutor {
 impl TenantSweepExecutor {
     /// An executor sampling under `boundary`.
     pub fn new(boundary: Boundary) -> Self {
-        TenantSweepExecutor { boundary }
+        TenantSweepExecutor {
+            boundary,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the in-block worker policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -169,7 +182,7 @@ impl SweepExecutor for TenantSweepExecutor {
         shots: u64,
         seed: u64,
     ) -> u64 {
-        prepared.run_failures(shots, seed)
+        prepared.run_failures_par(shots, seed, &self.parallelism)
     }
 
     fn run_chunk_recorded(
@@ -180,7 +193,7 @@ impl SweepExecutor for TenantSweepExecutor {
         seed: u64,
         recorder: &Recorder,
     ) -> u64 {
-        prepared.run_failures_recorded(shots, seed, recorder)
+        prepared.run_failures_recorded_par(shots, seed, recorder, &self.parallelism)
     }
 }
 

@@ -60,7 +60,7 @@ use std::collections::BTreeMap;
 
 use vlq_decoder::DecoderKind;
 use vlq_math::stats::BinomialEstimate;
-use vlq_qec::{BlockConfig, BlockSampler, BlockSpec, PreparedBlock};
+use vlq_qec::{BlockConfig, BlockSampler, BlockSpec, Parallelism, PreparedBlock};
 use vlq_sim::{CliffordGate, FrameBatch};
 use vlq_surface::schedule::{Basis, Boundary, MemorySpec, Setup};
 use vlq_surgery::LogicalOp;
@@ -427,7 +427,7 @@ impl ProgramReport {
 ///     .unwrap();
 /// println!("GHZ-4 logical error rate: {:.3e}", report.logical_error_rate());
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FrameExecutor {
     /// Physical error scale `p` (the SC-SC two-qubit rate; all other
     /// rates derive from it through the setup's noise model).
@@ -438,6 +438,9 @@ pub struct FrameExecutor {
     pub shots: u64,
     /// Base RNG seed (runs are deterministic given the seed).
     pub seed: u64,
+    /// In-block worker policy the shot batches are replayed under
+    /// (serial by default; results are bit-identical either way).
+    pub parallelism: Parallelism,
     /// Which block boundary exposures are sampled under.
     ///
     /// [`Boundary::MidCircuit`] (the default) sizes one block to each
@@ -460,6 +463,7 @@ impl FrameExecutor {
             decoder: DecoderKind::UnionFind,
             shots: 1024,
             seed: 2020,
+            parallelism: Parallelism::serial(),
             boundary: Boundary::MidCircuit,
         }
     }
@@ -487,6 +491,12 @@ impl FrameExecutor {
         self.boundary = boundary;
         self
     }
+
+    /// Sets the in-block worker policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 impl Executor for FrameExecutor {
@@ -495,7 +505,7 @@ impl Executor for FrameExecutor {
     fn run(&self, schedule: &Schedule) -> Result<ProgramReport, MachineError> {
         schedule.validate()?;
         let prepared = FramePrepared::new(schedule.clone(), self.p, self.decoder, self.boundary);
-        let failures = prepared.run_failures(self.shots, self.seed);
+        let failures = prepared.run_failures_par(self.shots, self.seed, &self.parallelism);
         Ok(ProgramReport {
             shots: self.shots,
             failures,
@@ -515,7 +525,8 @@ impl FrameExecutor {
     ) -> Result<ProgramReport, MachineError> {
         schedule.validate()?;
         let prepared = FramePrepared::new(schedule.clone(), self.p, self.decoder, self.boundary);
-        let failures = prepared.run_failures_recorded(self.shots, self.seed, recorder);
+        let failures =
+            prepared.run_failures_recorded_par(self.shots, self.seed, recorder, &self.parallelism);
         Ok(ProgramReport {
             shots: self.shots,
             failures,
@@ -719,16 +730,58 @@ impl FramePrepared {
         failures
     }
 
+    /// [`FramePrepared::run_failures`] under a worker policy: the
+    /// batches (independently seeded through the same
+    /// `splitmix64(seed ^ splitmix64(batch_idx))` schedule) are claimed
+    /// work-stealing-style by the pool's workers, and the per-batch
+    /// failure counts reduce in batch order — bit-identical to the
+    /// serial loop at any worker count. Unlike the `vlq-qec` block path
+    /// the frame replay builds its working set per batch, so this path
+    /// trades allocation-freedom for cross-core scaling.
+    pub fn run_failures_par(&self, shots: u64, seed: u64, par: &Parallelism) -> u64 {
+        const LANES_PER_BATCH: u64 = 1024;
+        let Some(pool) = par.pool() else {
+            return self.run_failures(shots, seed);
+        };
+        let tasks = shots.div_ceil(LANES_PER_BATCH);
+        let mut out = [0u64];
+        pool.run_tasks(tasks, 1, &mut out, &|batch_idx, _worker, slots| {
+            let lanes = (shots - batch_idx * LANES_PER_BATCH).min(LANES_PER_BATCH) as usize;
+            let batch_seed = splitmix64(seed ^ splitmix64(batch_idx));
+            let failures = if self.boundary == Boundary::Full {
+                self.run_batch_legacy(lanes, batch_seed)
+            } else {
+                self.run_batch(lanes, batch_seed)
+            };
+            slots[0].store(failures, std::sync::atomic::Ordering::Relaxed);
+        });
+        out[0]
+    }
+
     /// [`FramePrepared::run_failures`] with telemetry: the identical
     /// failure count, plus per-instruction-kind block-exposure counters
     /// (one replay of the schedule per batch, so the counts are a pure
     /// function of the schedule and the batch count — deterministic for
     /// any worker schedule).
     pub fn run_failures_recorded(&self, shots: u64, seed: u64, recorder: &Recorder) -> u64 {
-        const LANES_PER_BATCH: usize = 1024;
-        let failures = self.run_failures(shots, seed);
+        self.run_failures_recorded_par(shots, seed, recorder, &Parallelism::serial())
+    }
+
+    /// [`FramePrepared::run_failures_recorded`] under a worker policy.
+    /// The exposure counters are a pure function of the schedule and
+    /// the batch count, so the recorded values — like the failure
+    /// count — are identical at any worker count.
+    pub fn run_failures_recorded_par(
+        &self,
+        shots: u64,
+        seed: u64,
+        recorder: &Recorder,
+        par: &Parallelism,
+    ) -> u64 {
+        const LANES_PER_BATCH: u64 = 1024;
+        let failures = self.run_failures_par(shots, seed, par);
         if recorder.is_enabled() {
-            let batches = shots.div_ceil(LANES_PER_BATCH as u64);
+            let batches = shots.div_ceil(LANES_PER_BATCH);
             self.record_block_exposures(recorder, batches);
         }
         failures
@@ -1065,16 +1118,19 @@ pub fn machine_config_for_point(point: &SweepPoint, num_qubits: usize) -> Machin
 /// `prepare` panics when the point carries no program name or an
 /// unregistered one — specs are validated at construction, so this
 /// mirrors the unknown-knob contract of `vlq-qec`'s `MemoryExecutor`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ProgramSweepExecutor {
     /// Block boundary every exposure is sampled under.
     pub boundary: Boundary,
+    /// In-block worker policy every chunk is replayed under.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ProgramSweepExecutor {
     fn default() -> Self {
         ProgramSweepExecutor {
             boundary: Boundary::MidCircuit,
+            parallelism: Parallelism::serial(),
         }
     }
 }
@@ -1082,7 +1138,16 @@ impl Default for ProgramSweepExecutor {
 impl ProgramSweepExecutor {
     /// An executor sampling under `boundary`.
     pub fn new(boundary: Boundary) -> Self {
-        ProgramSweepExecutor { boundary }
+        ProgramSweepExecutor {
+            boundary,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the in-block worker policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -1108,7 +1173,7 @@ impl SweepExecutor for ProgramSweepExecutor {
         shots: u64,
         seed: u64,
     ) -> u64 {
-        prepared.run_failures(shots, seed)
+        prepared.run_failures_par(shots, seed, &self.parallelism)
     }
 
     fn run_chunk_recorded(
@@ -1119,7 +1184,7 @@ impl SweepExecutor for ProgramSweepExecutor {
         seed: u64,
         recorder: &Recorder,
     ) -> u64 {
-        prepared.run_failures_recorded(shots, seed, recorder)
+        prepared.run_failures_recorded_par(shots, seed, recorder, &self.parallelism)
     }
 }
 

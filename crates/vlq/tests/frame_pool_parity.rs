@@ -1,0 +1,37 @@
+//! The frame path's pool parity: a `FrameExecutor` with in-block
+//! workers attached must reproduce the serial failure counts exactly —
+//! including the committed golden pins — because per-exposure batch
+//! seeds depend only on the batch index, never on which worker ran it.
+
+use vlq::exec::{Executor, FrameExecutor};
+use vlq::machine::MachineConfig;
+use vlq::program::{compile, LogicalCircuit};
+use vlq::qec::{Boundary, Parallelism};
+
+#[test]
+fn pooled_frame_runs_match_serial_and_golden_pins() {
+    let compiled = compile(&LogicalCircuit::ghz(3), MachineConfig::compact_demo()).unwrap();
+    for boundary in [Boundary::Full, Boundary::MidCircuit] {
+        let base = FrameExecutor::at_scale(5e-3)
+            .with_shots(2000)
+            .with_seed(17)
+            .with_boundary(boundary);
+        let serial = base.clone().run(&compiled.schedule).unwrap();
+        for threads in [2usize, 3] {
+            let pooled = base
+                .clone()
+                .with_parallelism(Parallelism::threads(threads))
+                .run(&compiled.schedule)
+                .unwrap();
+            assert_eq!(
+                pooled.failures, serial.failures,
+                "{boundary:?} threads={threads}: frame failure counts diverged"
+            );
+        }
+        if boundary == Boundary::Full {
+            // The pre-redesign golden pin (frame_boundary_golden.rs)
+            // must hold pooled as well as serial.
+            assert_eq!(serial.failures, 1974);
+        }
+    }
+}
