@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use vlq_bench::{finish_telemetry, telemetry_from_args, usage_exit, Args};
+use vlq_bench::{count_from_args, finish_telemetry, telemetry_from_args, usage_exit, Args};
 use vlq_circuit::exec::sample_batch;
 use vlq_decoder::{Decoder, DecoderKind};
 use vlq_qec::{BlockConfig, BlockSampler, BlockSpec, Parallelism, PreparedBlock};
@@ -36,15 +36,17 @@ use vlq_surface::schedule::{Basis, MemorySpec, Setup};
 use vlq_telemetry::{Metric, Recorder};
 
 const USAGE: &str = "usage: bench-report [--out PATH] [--reps N] [--shots N] [--seed S]
-                    [--threads N] [--telemetry PATH] [--check] [--quiet]
+                    [--threads N|auto] [--telemetry PATH] [--check] [--quiet]
   --out PATH   report path (default BENCH_0009.json)
   --reps N     timing repetitions per point (median reported)
   --shots N    shots per repetition
   --seed S     base seed (default 2020)
-  --threads N  in-block sample-pool workers (default 1). With N >= 2 every
-               point proves the pooled path bit-identical to serial, and the
-               d=9 rows gain a timed multicore section. In --check mode this
-               is the *expected* worker provenance of the artifact instead.
+  --threads N  in-block sample-pool workers (default 1; `auto` resolves to
+               available_parallelism, and the resolved count is what lands in
+               the report's provenance). With N >= 2 every point proves the
+               pooled path bit-identical to serial, and the d=9 rows gain a
+               timed multicore section. In --check mode this is the *expected*
+               worker provenance of the artifact instead.
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
                summary to stderr (sidecar is byte-stable across invocations)
   --check      validate an existing report at --out, run nothing; exits 1 with
@@ -73,16 +75,9 @@ fn main() {
         &["check", "quiet"],
     );
     let out = args.get_str("out", "BENCH_0009.json");
-    let threads = match args.pairs_get("threads") {
-        Some(_) => {
-            let threads: usize = args.get_or_usage(USAGE, "threads", 0);
-            if threads == 0 {
-                usage_exit(USAGE, "--threads must be >= 1");
-            }
-            Some(threads)
-        }
-        None => None,
-    };
+    // `auto` resolves here (with a stderr note), so both run mode and
+    // --check mode see the same concrete worker count.
+    let threads = count_from_args(&args, USAGE, "threads");
     let quick = std::env::var("VLQ_BENCH_QUICK").is_ok_and(|v| v == "1");
     if args.has("check") {
         check_report(&out, threads, quick);

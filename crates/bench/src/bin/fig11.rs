@@ -12,9 +12,9 @@
 //! here are laptop-scale (see EXPERIMENTS.md for the recorded runs).
 
 use vlq_bench::{
-    engine_from_args, finish_telemetry, parse_f64_list, resume_cache_from_args, resumed_points,
-    sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
-    OutSinks,
+    engine_from_args, finish_telemetry, parse_f64_list, plan_from_args, resume_cache_from_args,
+    resumed_points, sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args,
+    MetaBuilder, OutSinks,
 };
 use vlq_qec::{estimate_threshold, run_sweep_opts_par, DecoderKind, ThresholdScan};
 use vlq_surface::schedule::{Basis, Setup};
@@ -23,8 +23,9 @@ use vlq_sweep::{RunOptions, SweepSpec};
 const USAGE: &str = "\
 usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
              [--decoder mwpm|uf|all] [--setup NAME|all] [--basis z|x]
-             [--rates P1,P2,...] [--workers N] [--threads N] [--out DIR]
-             [--resume] [--shard I/N] [--telemetry PATH] [--quiet]
+             [--rates P1,P2,...] [--workers N] [--threads N|auto] [--out DIR]
+             [--resume] [--shard I/N] [--plan PATH] [--times PATH]
+             [--telemetry PATH] [--quiet]
   --decoder  decoder(s) to scan (default mwpm; `all` runs the ablation)
   --setup    one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
   --rates    comma-separated physical error rates (default: 8 rates, 8e-4..1.6e-2)
@@ -33,8 +34,14 @@ usage: fig11 [--trials N] [--dmax D] [--k K] [--seed S]
              deterministic seeding keeps resumed artifacts byte-identical)
   --shard    run only grid points with index % N == I (same global numbering
              and seeds as the full run; `sweep-merge` restores full artifacts)
-  --threads  in-block sample-pool workers per chunk (default 1; results and
-             sidecars are bit-identical at any value)
+  --plan     explicit shard-plan file (from `sweep-launch --shard-by time`):
+             this shard runs the grid points the plan assigns it instead of
+             the stride rule (needs --shard; seeds and bytes are unchanged)
+  --times    record per-point wall times (nanos) to PATH in the
+             vlq-sweep-times-v1 format the time-based planner calibrates from
+  --threads  in-block sample-pool workers per chunk (default 1; `auto` uses
+             available_parallelism; results and sidecars are bit-identical
+             at any value)
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
                summary to stderr (sidecar is byte-stable across --workers and
                --threads)";
@@ -55,6 +62,8 @@ fn main() {
             "threads",
             "out",
             "shard",
+            "plan",
+            "times",
             "telemetry",
         ],
         &["quiet", "resume"],
@@ -132,22 +141,22 @@ fn main() {
     let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
     let par = threads_from_args(&args, USAGE);
     let shard = shard_from_args(&args, USAGE);
+    let plan = plan_from_args(&args, USAGE, shard);
     let opts = RunOptions {
         shard,
         index_offset: 0,
+        plan,
     };
     // Read the previous artifact (if resuming) before the sinks
     // truncate it.
     let cache = resume_cache_from_args(&args, USAGE, "fig11", seed);
     let skipped = resumed_points(&spec, &cache, &opts);
     if skipped > 0 {
-        eprintln!(
-            "note: resume: {skipped}/{} points already complete",
-            shard.len_of(spec.len())
-        );
+        let owned = (0..spec.len()).filter(|&i| opts.owns(i)).count();
+        eprintln!("note: resume: {skipped}/{owned} points already complete");
     }
     let mut out = OutSinks::from_args(&args, "fig11");
-    let mut meta = MetaBuilder::new(seed, shard);
+    let mut meta = MetaBuilder::new(seed, shard).with_plan(opts.plan.as_ref());
     meta.absorb(&spec);
     out.write_meta(&meta.build());
     let records = run_sweep_opts_par(&spec, &engine, &mut out.as_dyn(), &cache, &opts, &par)

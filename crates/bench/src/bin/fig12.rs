@@ -10,8 +10,8 @@
 //! transmon-t1, load-store-duration, cavity-size.
 
 use vlq_bench::{
-    engine_from_args, finish_telemetry, resume_cache_from_args, resumed_points, sci,
-    shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
+    engine_from_args, finish_telemetry, plan_from_args, resume_cache_from_args, resumed_points,
+    sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
     OutSinks,
 };
 use vlq_qec::{run_sweep_opts_par, sensitivity_spec, DecoderKind, Knob};
@@ -20,8 +20,9 @@ use vlq_sweep::{RunOptions, SweepRecord};
 
 const USAGE: &str = "\
 usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
-             [--extended] [--workers N] [--threads N] [--out DIR]
-             [--resume] [--shard I/N] [--telemetry PATH] [--quiet]
+             [--extended] [--workers N] [--threads N|auto] [--out DIR]
+             [--resume] [--shard I/N] [--plan PATH] [--times PATH]
+             [--telemetry PATH] [--quiet]
   --panel    one of sc-sc-error|load-store-error|sc-mode-error|cavity-t1|
              transmon-t1|load-store-duration|cavity-size|all
   --extended push the cavity-size panel past the paper's plotted range
@@ -30,8 +31,13 @@ usage: fig12 [--panel NAME|all] [--trials N] [--dmax D] [--seed S]
              deterministic seeding keeps resumed artifacts byte-identical)
   --shard    run only points with global index % N == I (points are numbered
              across all panels; `sweep-merge` restores full artifacts)
-  --threads  in-block sample-pool workers per chunk (default 1; results and
-             sidecars are bit-identical at any value)
+  --plan     explicit shard-plan file (from `sweep-launch --shard-by time`):
+             this shard runs the points the plan assigns it (needs --shard)
+  --times    record per-point wall times (nanos) to PATH in the
+             vlq-sweep-times-v1 format the time-based planner calibrates from
+  --threads  in-block sample-pool workers per chunk (default 1; `auto` uses
+             available_parallelism; results and sidecars are bit-identical
+             at any value)
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
                summary to stderr (sidecar is byte-stable across --workers and
                --threads)";
@@ -68,6 +74,8 @@ fn main() {
             "threads",
             "out",
             "shard",
+            "plan",
+            "times",
             "telemetry",
         ],
         &["extended", "quiet", "resume"],
@@ -105,11 +113,12 @@ fn main() {
     let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
     let par = threads_from_args(&args, USAGE);
     let shard = shard_from_args(&args, USAGE);
+    let plan = plan_from_args(&args, USAGE, shard);
     // Read the previous artifact (if resuming) before the sinks
     // truncate it.
     let cache = resume_cache_from_args(&args, USAGE, "fig12", seed);
     let mut out = OutSinks::from_args(&args, "fig12");
-    let mut meta = MetaBuilder::new(seed, shard);
+    let mut meta = MetaBuilder::new(seed, shard).with_plan(plan.as_ref());
 
     println!(
         "Figure 12: Compact-Interleaved sensitivity at operating point p=2e-3 ({trials} trials/point)"
@@ -136,11 +145,12 @@ fn main() {
         let opts = RunOptions {
             shard,
             index_offset,
+            plan: plan.clone(),
         };
         index_offset += spec.len();
         meta.absorb(&spec);
         let owned = (0..spec.len())
-            .filter(|i| shard.owns(opts.index_offset + i))
+            .filter(|i| opts.owns(opts.index_offset + i))
             .count();
         let skipped = resumed_points(&spec, &cache, &opts);
         if skipped > 0 {

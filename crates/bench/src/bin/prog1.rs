@@ -19,17 +19,18 @@ use vlq::qec::DecoderKind;
 use vlq::surface::schedule::{Basis, Boundary, Setup};
 use vlq::sweep::{RunOptions, SweepRecord, SweepSpec};
 use vlq_bench::{
-    engine_from_args, finish_telemetry, parse_f64_list, resume_cache_from_args, resumed_points,
-    sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
-    OutSinks,
+    engine_from_args, finish_telemetry, parse_f64_list, plan_from_args, resume_cache_from_args,
+    resumed_points, sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args,
+    MetaBuilder, OutSinks,
 };
 
 const USAGE: &str = "\
 usage: prog1 [--trials N] [--dmax D] [--k K] [--seed S]
              [--programs P1,P2,...] [--setup NAME|all] [--decoder mwpm|uf]
              [--boundary mid-circuit|full|prep|readout] [--rates P1,P2,...]
-             [--workers N] [--threads N] [--out DIR] [--resume]
-             [--shard I/N] [--telemetry PATH] [--quiet]
+             [--workers N] [--threads N|auto] [--out DIR] [--resume]
+             [--shard I/N] [--plan PATH] [--times PATH]
+             [--telemetry PATH] [--quiet]
   --programs  registered workloads (default ghz4,teleport,adder2;
               ghz<N>/adder<N> accept any width)
   --setup     one of baseline|natural-aao|natural-int|compact-aao|compact-int|all
@@ -44,8 +45,14 @@ usage: prog1 [--trials N] [--dmax D] [--k K] [--seed S]
   --resume    skip grid points already present in DIR/<stem>.jsonl (needs --out)
   --shard     run only grid points with index % N == I (same global numbering
               and seeds as the full run; `sweep-merge` restores full artifacts)
-  --threads   in-block sample-pool workers per chunk (default 1; results and
-              sidecars are bit-identical at any value)
+  --plan      explicit shard-plan file (from `sweep-launch --shard-by time`):
+              this shard runs the grid points the plan assigns it instead of
+              the stride rule (needs --shard; seeds and bytes are unchanged)
+  --times     record per-point wall times (nanos) to PATH in the
+              vlq-sweep-times-v1 format the time-based planner calibrates from
+  --threads   in-block sample-pool workers per chunk (default 1; `auto` uses
+              available_parallelism; results and sidecars are bit-identical
+              at any value)
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH and print a runtime
                summary to stderr (sidecar is byte-stable across --workers and
                --threads)";
@@ -67,6 +74,8 @@ fn main() {
             "threads",
             "out",
             "shard",
+            "plan",
+            "times",
             "telemetry",
         ],
         &["quiet", "resume"],
@@ -168,9 +177,11 @@ fn main() {
     let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
     let par = threads_from_args(&args, USAGE);
     let shard = shard_from_args(&args, USAGE);
+    let plan = plan_from_args(&args, USAGE, shard);
     let opts = RunOptions {
         shard,
         index_offset: 0,
+        plan,
     };
     // The boundary model changes every sampled value but is not a grid
     // coordinate (not in SweepPoint, so not in the seed/fingerprint
@@ -188,13 +199,11 @@ fn main() {
     let cache = resume_cache_from_args(&args, USAGE, &stem, seed);
     let skipped = resumed_points(&spec, &cache, &opts);
     if skipped > 0 {
-        eprintln!(
-            "note: resume: {skipped}/{} points already complete",
-            shard.len_of(spec.len())
-        );
+        let owned = (0..spec.len()).filter(|&i| opts.owns(i)).count();
+        eprintln!("note: resume: {skipped}/{owned} points already complete");
     }
     let mut out = OutSinks::from_args(&args, &stem);
-    let mut meta = MetaBuilder::new(seed, shard);
+    let mut meta = MetaBuilder::new(seed, shard).with_plan(opts.plan.as_ref());
     meta.absorb(&spec);
     out.write_meta(&meta.build());
     let executor = ProgramSweepExecutor::new(boundary).with_parallelism(par);

@@ -21,14 +21,18 @@
 use std::path::PathBuf;
 
 use vlq_bench::{usage_exit, Args};
-use vlq_sweep::{merge_artifacts, verify_artifact, MergeError, VerifyExpectations};
+use vlq_sweep::{merge_artifacts_with_plan, verify_artifact, MergeError, VerifyExpectations};
 
 const USAGE: &str = "\
-usage: sweep-merge --stem STEM --out DIR SHARD_DIR...
+usage: sweep-merge --stem STEM --out DIR [--plan PATH] SHARD_DIR...
        sweep-merge --verify --stem STEM [--expect-rows N] [--expect-seed S]
                    [--expect-shots N] DIR
   --stem         artifact stem (fig11 reads/writes fig11.csv + fig11.jsonl)
   --out          directory for the merged artifacts (merge mode)
+  --plan         shard-plan file the shards ran under (merge mode; validates
+                 each shard holds exactly its planned points instead of the
+                 stride pattern — plan-stamped sidecars are detected even
+                 without this flag)
   --verify       check one artifact directory instead of merging
   --expect-rows  verify: require exactly N data rows
   --expect-seed  verify: require the uniform seed column to equal S
@@ -45,7 +49,14 @@ fn fail(e: &MergeError) -> ! {
 fn main() {
     let (args, dirs) = Args::parse_validated_positional(
         USAGE,
-        &["stem", "out", "expect-rows", "expect-seed", "expect-shots"],
+        &[
+            "stem",
+            "out",
+            "plan",
+            "expect-rows",
+            "expect-seed",
+            "expect-shots",
+        ],
         &["verify"],
     );
     let Some(stem) = args.pairs_get("stem") else {
@@ -56,7 +67,7 @@ fn main() {
         let [dir] = &dirs[..] else {
             usage_exit(USAGE, "--verify takes exactly one artifact directory");
         };
-        for merge_only in ["out"] {
+        for merge_only in ["out", "plan"] {
             if args.pairs_get(merge_only).is_some() {
                 usage_exit(USAGE, &format!("--{merge_only} is a merge-mode flag"));
             }
@@ -100,7 +111,13 @@ fn main() {
     }
     let shard_dirs: Vec<PathBuf> = dirs.iter().map(PathBuf::from).collect();
     let out = PathBuf::from(out);
-    match merge_artifacts(&shard_dirs, &stem, &out) {
+    let plan = args.pairs_get("plan").map(|path| {
+        vlq_sweep::ShardPlan::load(std::path::Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("error: --plan {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    match merge_artifacts_with_plan(&shard_dirs, &stem, &out, plan.as_ref()) {
         Ok(report) => {
             let seed = report.seed.map_or("(none)".to_string(), |s| s.to_string());
             println!(

@@ -24,9 +24,9 @@ use vlq::surface::schedule::{Basis, Setup};
 use vlq::sweep::artifact::{Table, Value};
 use vlq::sweep::{RunOptions, SweepPoint, SweepRecord, SweepSpec};
 use vlq_bench::{
-    engine_from_args, finish_telemetry, parse_f64_list, resume_cache_from_args, resumed_points,
-    sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args, MetaBuilder,
-    OutSinks,
+    engine_from_args, finish_telemetry, parse_f64_list, plan_from_args, resume_cache_from_args,
+    resumed_points, sci, shard_from_args, telemetry_from_args, threads_from_args, usage_exit, Args,
+    MetaBuilder, OutSinks,
 };
 use vlq_telemetry::Recorder;
 use vlq_tenant::{
@@ -38,8 +38,8 @@ const USAGE: &str = "\
 usage: tenants1 [--trials N] [--tenants N1,N2,...] [--policies P1,P2,...|all]
                 [--dmax D] [--k K] [--seed S] [--setup NAME|all]
                 [--decoder mwpm|uf] [--rates P1,P2,...] [--workers N]
-                [--threads N] [--out DIR] [--resume] [--shard I/N]
-                [--telemetry PATH] [--quiet]
+                [--threads N|auto] [--out DIR] [--resume] [--shard I/N]
+                [--plan PATH] [--times PATH] [--telemetry PATH] [--quiet]
   --tenants   concurrent-program counts to scan (default 2,3; each >= 1;
               slots cycle ghz3,teleport,adder1 with slot 0 the deadline
               tenant)
@@ -56,8 +56,15 @@ usage: tenants1 [--trials N] [--tenants N1,N2,...] [--policies P1,P2,...|all]
   --shard     run only grid points with index % N == I and write only
               report rows with row index % N == I (sweep-merge restores
               both artifacts)
-  --threads   in-block sample-pool workers per chunk (default 1; results and
-              sidecars are bit-identical at any value)
+  --plan      explicit shard-plan file (from `sweep-launch --shard-by time`):
+              this shard runs the grid points the plan assigns it instead of
+              the stride rule (needs --shard; the tenants1-report table
+              stays stride-sharded; seeds and bytes are unchanged)
+  --times     record per-point wall times (nanos) to PATH in the
+              vlq-sweep-times-v1 format the time-based planner calibrates from
+  --threads   in-block sample-pool workers per chunk (default 1; `auto` uses
+              available_parallelism; results and sidecars are bit-identical
+              at any value)
   --telemetry  write a vlq-telemetry JSONL sidecar to PATH plus per-tenant
                sidecars (<PATH minus .jsonl>-tenant<i>.jsonl) for the most
                contended cell; all sidecars are byte-stable across --workers
@@ -128,6 +135,8 @@ fn main() {
             "threads",
             "out",
             "shard",
+            "plan",
+            "times",
             "telemetry",
         ],
         &["quiet", "resume"],
@@ -238,20 +247,20 @@ fn main() {
     let engine = engine_from_args(&args, USAGE).with_recorder(recorder.clone());
     let par = threads_from_args(&args, USAGE);
     let shard = shard_from_args(&args, USAGE);
+    let plan = plan_from_args(&args, USAGE, shard);
     let opts = RunOptions {
         shard,
         index_offset: 0,
+        plan,
     };
     let cache = resume_cache_from_args(&args, USAGE, "tenants1", seed);
     let skipped = resumed_points(&spec, &cache, &opts);
     if skipped > 0 {
-        eprintln!(
-            "note: resume: {skipped}/{} points already complete",
-            shard.len_of(spec.len())
-        );
+        let owned = (0..spec.len()).filter(|&i| opts.owns(i)).count();
+        eprintln!("note: resume: {skipped}/{owned} points already complete");
     }
     let mut out = OutSinks::from_args(&args, "tenants1");
-    let mut meta = MetaBuilder::new(seed, shard);
+    let mut meta = MetaBuilder::new(seed, shard).with_plan(opts.plan.as_ref());
     meta.absorb(&spec);
     out.write_meta(&meta.build());
 

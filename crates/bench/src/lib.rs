@@ -62,6 +62,25 @@ impl Args {
         Self::parse_argv(&argv, usage, keys, flags, true)
     }
 
+    /// [`Args::parse_validated`] for binaries that forward a verbatim
+    /// tail to a child process (`sweep-launch`): everything after the
+    /// first bare `--` separator is returned unparsed, everything
+    /// before it is validated as usual.
+    pub fn parse_validated_passthrough(
+        usage: &str,
+        keys: &[&str],
+        flags: &[&str],
+    ) -> (Self, Vec<String>) {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let (head, tail) = match argv.iter().position(|a| a == "--") {
+            Some(sep) => (&argv[..sep], argv[sep + 1..].to_vec()),
+            None => (&argv[..], Vec::new()),
+        };
+        let (args, positionals) = Self::parse_argv(head, usage, keys, flags, false);
+        debug_assert!(positionals.is_empty());
+        (args, tail)
+    }
+
     fn parse_argv(
         argv: &[String],
         usage: &str,
@@ -165,22 +184,38 @@ pub fn engine_from_args(args: &Args, usage: &str) -> vlq_sweep::SweepEngine {
     engine
 }
 
-/// Parses the `--threads N` flag into an in-block worker policy
+/// Resolves a `--<key> N|auto` count flag: `None` when absent,
+/// `available_parallelism` for `auto` (with a stderr note recording the
+/// resolved value — provenance for runs sharing artifacts), the number
+/// otherwise. Exits 2 (usage) on `0` or a non-numeric non-`auto` value.
+pub fn count_from_args(args: &Args, usage: &str, key: &str) -> Option<usize> {
+    let raw = args.pairs_get(key)?;
+    let n = if raw == "auto" {
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        eprintln!("note: --{key} auto resolved to {n}");
+        n
+    } else {
+        raw.parse()
+            .unwrap_or_else(|_| usage_exit(usage, &format!("invalid value {raw:?} for --{key}")))
+    };
+    if n == 0 {
+        usage_exit(usage, &format!("--{key} must be >= 1"));
+    }
+    Some(n)
+}
+
+/// Parses the `--threads N|auto` flag into an in-block worker policy
 /// ([`vlq_qec::Parallelism`]): absent or `1` means serial; `N >= 2`
 /// attaches a shared sample pool spreading each chunk's 1024-lane
-/// batches across `N` workers. Results and deterministic telemetry are
-/// bit-identical either way, so `--threads` composes freely with
-/// `--workers`, `--shard`, and `--resume`. Exits 2 (usage) on
-/// `--threads 0` or a non-numeric value.
+/// batches across `N` workers; `auto` resolves via
+/// `std::thread::available_parallelism` (the resolved value is noted on
+/// stderr). Results and deterministic telemetry are bit-identical
+/// either way, so `--threads` composes freely with `--workers`,
+/// `--shard`, and `--resume`. Exits 2 (usage) on `--threads 0` or a
+/// non-numeric value other than `auto`.
 pub fn threads_from_args(args: &Args, usage: &str) -> vlq_qec::Parallelism {
-    match args.pairs_get("threads") {
-        Some(_) => {
-            let threads: usize = args.get_or_usage(usage, "threads", 0);
-            if threads == 0 {
-                usage_exit(usage, "--threads must be >= 1");
-            }
-            vlq_qec::Parallelism::threads(threads)
-        }
+    match count_from_args(args, usage, "threads") {
+        Some(threads) => vlq_qec::Parallelism::threads(threads),
         None => vlq_qec::Parallelism::serial(),
     }
 }
@@ -281,8 +316,8 @@ pub fn resume_cache_from_args(
 }
 
 /// How many of the points a sharded run owns the resume cache
-/// satisfies (`opts` carries the shard and the global numbering
-/// offset, exactly as passed to the engine).
+/// satisfies (`opts` carries the shard, the plan, and the global
+/// numbering offset, exactly as passed to the engine).
 pub fn resumed_points(
     spec: &vlq_sweep::SweepSpec,
     cache: &vlq_sweep::ResumeCache,
@@ -294,24 +329,55 @@ pub fn resumed_points(
     spec.expand()
         .iter()
         .enumerate()
-        .filter(|(i, _)| opts.shard.owns(opts.index_offset + i))
+        .filter(|(i, _)| opts.owns(opts.index_offset + i))
         .filter(|(_, pt)| cache.failures_for(pt, spec.base_seed).is_some())
         .count()
 }
 
+/// Parses the `--plan PATH` flag of a sweep-backed binary: an explicit
+/// [`vlq_sweep::ShardPlan`] (written by `sweep-launch --shard-by time`)
+/// overriding the default stride sharding. The plan file is
+/// self-checking (schema tag + fingerprint); a malformed plan, or one
+/// whose shard count disagrees with `--shard i/N`, prints `usage` and
+/// exits 2. Returns `None` when the flag is absent.
+pub fn plan_from_args(
+    args: &Args,
+    usage: &str,
+    shard: vlq_sweep::ShardSpec,
+) -> Option<vlq_sweep::ShardPlan> {
+    let path = args.pairs_get("plan")?;
+    let plan = vlq_sweep::ShardPlan::load(std::path::Path::new(&path))
+        .unwrap_or_else(|e| usage_exit(usage, &format!("--plan: {e}")));
+    if plan.count() != shard.count {
+        usage_exit(
+            usage,
+            &format!(
+                "--plan has {} shards but --shard says {}/{}",
+                plan.count(),
+                shard.index,
+                shard.count
+            ),
+        );
+    }
+    Some(plan)
+}
+
 /// The optional `--out` CSV + JSON-lines sink pair of a Monte-Carlo
-/// binary (shared by fig11 and fig12).
+/// binary (shared by fig11 and fig12), plus the optional `--times`
+/// wall-time sink feeding the `--shard-by time` cost model.
 pub struct OutSinks {
     /// The `--out` directory, if given.
     pub dir: Option<std::path::PathBuf>,
     stem: String,
-    csv: Option<vlq_sweep::CsvSink<std::io::BufWriter<std::fs::File>>>,
-    jsonl: Option<vlq_sweep::JsonlSink<std::io::BufWriter<std::fs::File>>>,
+    csv: Option<vlq_sweep::CsvSink<std::io::LineWriter<std::fs::File>>>,
+    jsonl: Option<vlq_sweep::JsonlSink<std::io::LineWriter<std::fs::File>>>,
+    times: Option<vlq_sweep::TimesSink<std::io::LineWriter<std::fs::File>>>,
 }
 
 impl OutSinks {
     /// Creates `<stem>.csv` / `<stem>.jsonl` sinks under the `--out`
-    /// directory, or an inert pair when the flag is absent.
+    /// directory (inert when the flag is absent) and a
+    /// [`vlq_sweep::TimesSink`] at the `--times` path when given.
     pub fn from_args(args: &Args, stem: &str) -> OutSinks {
         let dir = args.pairs_get("out").map(std::path::PathBuf::from);
         let (csv, jsonl) = match &dir {
@@ -327,11 +393,16 @@ impl OutSinks {
             ),
             None => (None, None),
         };
+        let times = args.pairs_get("times").map(|p| {
+            vlq_sweep::TimesSink::create(std::path::Path::new(&p))
+                .unwrap_or_else(|e| panic!("create {p}: {e}"))
+        });
         OutSinks {
             dir,
             stem: stem.to_string(),
             csv,
             jsonl,
+            times,
         }
     }
 
@@ -342,6 +413,9 @@ impl OutSinks {
             sinks.push(s);
         }
         if let Some(s) = self.jsonl.as_mut() {
+            sinks.push(s);
+        }
+        if let Some(s) = self.times.as_mut() {
             sinks.push(s);
         }
         sinks
@@ -381,6 +455,7 @@ pub struct MetaBuilder {
     shard: vlq_sweep::ShardSpec,
     fingerprint: u64,
     points: u64,
+    plan: Option<u64>,
 }
 
 impl MetaBuilder {
@@ -391,7 +466,17 @@ impl MetaBuilder {
             shard,
             fingerprint: 0,
             points: 0,
+            plan: None,
         }
+    }
+
+    /// Records the explicit shard plan's fingerprint (`--plan`), so
+    /// `sweep-merge` validates the disjoint cover instead of the
+    /// default stride layout. Stride plans have no fingerprint and
+    /// leave the sidecar unchanged.
+    pub fn with_plan(mut self, plan: Option<&vlq_sweep::ShardPlan>) -> Self {
+        self.plan = plan.and_then(vlq_sweep::ShardPlan::fingerprint);
+        self
     }
 
     /// Folds one spec's full grid into the artifact identity.
@@ -407,6 +492,7 @@ impl MetaBuilder {
             spec_fingerprint: self.fingerprint,
             points: self.points,
             shard: self.shard,
+            plan: self.plan,
         }
     }
 }

@@ -489,6 +489,25 @@ impl PreparedBlock {
         &scratch.predictions[..decoders.len()]
     }
 
+    /// [`BlockSampler::sample_failure_words`] against caller-owned
+    /// scratch: the identical packed failure words through the block's
+    /// own configured decoder, with every buffer of the sample→decode
+    /// pipeline reused across calls. The scratch must not be shared
+    /// across *different* blocks without clearing — decoder scratch can
+    /// carry graph-keyed memoisation, and the length-only rebuild check
+    /// in [`PreparedBlock::sample_failure_words_into`] cannot see a
+    /// graph change (keep one scratch per block, as the `vlq` frame
+    /// replay does).
+    pub fn sample_failure_words_reusing<'s>(
+        &self,
+        lanes: usize,
+        seed: u64,
+        scratch: &'s mut BlockScratch,
+    ) -> &'s [u64] {
+        let decoders: [&(dyn Decoder + Send + Sync); 1] = [self.decoder.as_ref()];
+        &self.sample_failure_words_into(&decoders, lanes, seed, scratch)[0]
+    }
+
     /// Runs `shots` sampled shots through several decoders at once:
     /// every decoder sees the *identical* defect sets. Returns one
     /// failure count per decoder.

@@ -190,6 +190,9 @@ pub struct SamplePool {
     core: Arc<Core>,
     resources: Mutex<Resources>,
     scratches: Vec<Mutex<BlockScratch>>,
+    /// Typed per-worker state for custom [`SamplePool::run_tasks`]
+    /// closures (see [`SamplePool::worker_state`]).
+    user_states: Vec<Mutex<Box<dyn std::any::Any + Send>>>,
     worker_recorders: Vec<Recorder>,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -235,6 +238,9 @@ impl SamplePool {
             }),
             scratches: (0..threads)
                 .map(|_| Mutex::new(BlockScratch::new()))
+                .collect(),
+            user_states: (0..threads)
+                .map(|_| Mutex::new(Box::new(()) as Box<dyn std::any::Any + Send>))
                 .collect(),
             worker_recorders,
             handles: Mutex::new(handles),
@@ -332,6 +338,28 @@ impl SamplePool {
                 *o += res.slots[t * width + j].load(Ordering::Relaxed);
             }
         }
+    }
+
+    /// Runs `f` against worker `worker`'s persistent typed state slot,
+    /// installing `init()` the first time (or whenever the stored type
+    /// changes). Custom task closures passed to
+    /// [`SamplePool::run_tasks`] use this to keep per-worker working
+    /// sets — e.g. the `vlq` frame replay's batch scratch — alive
+    /// across jobs, so their steady state allocates nothing. Callers
+    /// are responsible for invalidating state that is keyed to job
+    /// inputs (the same hazard the per-worker [`BlockScratch`] contract
+    /// above documents).
+    pub fn worker_state<T: std::any::Any + Send, R>(
+        &self,
+        worker: usize,
+        init: impl FnOnce() -> T,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        let mut slot = self.user_states[worker].lock().expect("worker state");
+        if !slot.is::<T>() {
+            *slot = Box::new(init());
+        }
+        f(slot.downcast_mut::<T>().expect("state type just installed"))
     }
 
     /// Runs `shots` of `block` through `decoders` across the workers:

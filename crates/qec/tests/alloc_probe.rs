@@ -102,25 +102,38 @@ fn steady_state_batches_do_not_allocate() {
     // warm-up may allocate (threads, injector, per-worker scratch
     // growth), but re-running identical pooled batches must not — the
     // pool reuses its slot buffer and queues, workers park on a condvar,
-    // and every worker holds its scratch at the high-water mark.
+    // and every worker holds its scratch at the high-water mark. Work
+    // stealing does not guarantee a given worker touches a batch on any
+    // given pass (under load one worker can sit a pass out and first
+    // grow its scratch later), so warm-up repeats until a full pass
+    // allocates nothing — per-worker growth converges once every worker
+    // has participated, while per-batch allocation never does, which
+    // the attempt bound turns into a failure.
     let par = vlq_qec::Parallelism::threads(2);
     const POOL_SHOTS: u64 = 2048;
     let mut pooled_warm = 0u64;
     for seed in 200..204u64 {
         pooled_warm += block.run_shots_par(POOL_SHOTS, seed, &par);
     }
-    let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    let mut pooled = 0u64;
-    for seed in 200..204u64 {
-        pooled += block.run_shots_par(POOL_SHOTS, seed, &par);
+    let mut settled = false;
+    for _attempt in 0..32 {
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let mut pooled = 0u64;
+        for seed in 200..204u64 {
+            pooled += block.run_shots_par(POOL_SHOTS, seed, &par);
+        }
+        let after = ALLOC_CALLS.load(Ordering::Relaxed);
+        assert_eq!(pooled, pooled_warm, "pooled runs were not deterministic");
+        if after == before {
+            settled = true;
+            break;
+        }
     }
-    let after = ALLOC_CALLS.load(Ordering::Relaxed);
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state pooled batches allocated ({pooled_warm} warm-up / {pooled} steady failures)"
+    assert!(
+        settled,
+        "pooled batches kept allocating after 32 warm passes ({pooled_warm} failures/pass)"
     );
-    assert_eq!(pooled, pooled_warm, "pooled runs were not deterministic");
+    let pooled = pooled_warm;
     assert_eq!(
         pooled,
         (200..204u64)

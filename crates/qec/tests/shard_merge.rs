@@ -35,6 +35,7 @@ fn meta_of(spec: &SweepSpec, shard: ShardSpec) -> SweepMeta {
         spec_fingerprint: combine_fingerprints(0, spec.fingerprint()),
         points: spec.len() as u64,
         shard,
+        plan: None,
     }
 }
 
@@ -63,6 +64,7 @@ fn run_to_dir(
             &RunOptions {
                 shard,
                 index_offset: 0,
+                plan: None,
             },
         )
         .unwrap()

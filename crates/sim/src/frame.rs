@@ -89,6 +89,14 @@ pub struct FrameBatch {
     hits: Vec<usize>,
 }
 
+impl Default for FrameBatch {
+    /// An empty (0-qubit, 0-lane) batch; reshape with
+    /// [`FrameBatch::reset`] before use.
+    fn default() -> Self {
+        FrameBatch::new(0, 0)
+    }
+}
+
 impl FrameBatch {
     /// Creates an all-identity frame batch.
     pub fn new(n_qubits: usize, n_lanes: usize) -> Self {
@@ -101,6 +109,22 @@ impl FrameBatch {
             z: vec![0; n_qubits * words_per_qubit],
             hits: Vec::new(),
         }
+    }
+
+    /// Reinitializes to an all-identity batch of the given shape,
+    /// reusing the existing plane buffers when their capacity allows —
+    /// bit-identical to a fresh [`FrameBatch::new`], without the
+    /// allocation once the batch has reached its high-water size.
+    pub fn reset(&mut self, n_qubits: usize, n_lanes: usize) {
+        let words_per_qubit = n_lanes.div_ceil(64).max(1);
+        self.n_qubits = n_qubits;
+        self.n_lanes = n_lanes;
+        self.words_per_qubit = words_per_qubit;
+        let len = n_qubits * words_per_qubit;
+        self.x.clear();
+        self.x.resize(len, 0);
+        self.z.clear();
+        self.z.resize(len, 0);
     }
 
     /// Number of qubits.

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use vlq_telemetry::{Metric, ProgressReporter, Recorder};
 
+use crate::plan::ShardPlan;
 use crate::shard::ShardSpec;
 use crate::sink::{RecordSink, SweepRecord};
 use crate::spec::{SweepPoint, SweepSpec};
@@ -83,7 +84,7 @@ const REFILL_BATCH: usize = 4;
 
 /// Cross-cutting options of one engine run (see
 /// [`SweepEngine::run_opts`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunOptions {
     /// Which shard of the globally-numbered point grid to run
     /// (default: the full `0/1` shard).
@@ -93,6 +94,23 @@ pub struct RunOptions {
     /// each spec's full length so `index` stays globally unique — the
     /// invariant `sweep-merge` interleaves by.
     pub index_offset: usize,
+    /// Optional explicit shard plan (`--shard-by time`). When set, it
+    /// overrides the stride rule: this run owns the global indices the
+    /// plan assigns to `shard.index`. `shard.count` must equal the
+    /// plan's shard count; per-point seeding is unchanged, so any
+    /// disjoint-cover plan recomposes byte-identically.
+    pub plan: Option<ShardPlan>,
+}
+
+impl RunOptions {
+    /// Whether this run owns global point index `g`: the plan's
+    /// assignment when a plan is set, the stride rule otherwise.
+    pub fn owns(&self, g: usize) -> bool {
+        match &self.plan {
+            Some(plan) => plan.owner_of(g) == Some(self.shard.index),
+            None => self.shard.owns(g),
+        }
+    }
 }
 
 impl Default for RunOptions {
@@ -100,6 +118,7 @@ impl Default for RunOptions {
         RunOptions {
             shard: ShardSpec::FULL,
             index_offset: 0,
+            plan: None,
         }
     }
 }
@@ -148,8 +167,12 @@ struct Shared<'a, E: SweepExecutor> {
     chunks_left: Vec<AtomicUsize>,
     recorder: &'a Recorder,
     /// Per-point busy nanoseconds, summed across the point's chunks
-    /// (runtime-class; feeds the per-point wall-time histogram).
+    /// (runtime-class; feeds the per-point wall-time histogram and any
+    /// timing-aware sink).
     point_nanos: Vec<AtomicU64>,
+    /// Whether a sink asked for per-point wall times (so workers time
+    /// chunks even without a telemetry recorder).
+    time_points: bool,
 }
 
 impl<E: SweepExecutor> Shared<'_, E> {
@@ -189,7 +212,7 @@ impl<E: SweepExecutor> Shared<'_, E> {
     }
 
     fn run_worker(&self, me: usize, done: &mpsc::Sender<usize>) {
-        let timing = self.recorder.is_enabled();
+        let timing = self.recorder.is_enabled() || self.time_points;
         while let Some(task) = self.next_task(me) {
             let start = timing.then(Instant::now);
             let point = &self.points[task.point];
@@ -220,7 +243,7 @@ impl<E: SweepExecutor> Shared<'_, E> {
 /// the records themselves carry global indices.
 struct InOrderEmitter<'s, 'r> {
     sinks: &'s mut [&'r mut dyn RecordSink],
-    pending: Vec<Option<SweepRecord>>,
+    pending: Vec<Option<(SweepRecord, u64)>>,
     next: usize,
     emitted: Vec<SweepRecord>,
 }
@@ -235,14 +258,14 @@ impl<'s, 'r> InOrderEmitter<'s, 'r> {
         }
     }
 
-    fn complete(&mut self, slot: usize, record: SweepRecord) -> io::Result<()> {
+    fn complete(&mut self, slot: usize, record: SweepRecord, nanos: u64) -> io::Result<()> {
         debug_assert!(self.pending[slot].is_none(), "point completed twice");
-        self.pending[slot] = Some(record);
+        self.pending[slot] = Some((record, nanos));
         while self.next < self.pending.len() {
             match self.pending[self.next].take() {
-                Some(r) => {
+                Some((r, ns)) => {
                     for sink in self.sinks.iter_mut() {
-                        sink.write(&r)?;
+                        sink.write_timed(&r, ns)?;
                     }
                     self.emitted.push(r);
                     self.next += 1;
@@ -354,7 +377,7 @@ impl SweepEngine {
             .into_iter()
             .enumerate()
             .map(|(i, pt)| (opts.index_offset + i, pt))
-            .filter(|(g, _)| opts.shard.owns(*g))
+            .filter(|(g, _)| opts.owns(*g))
             .collect();
         self.run_entries(&entries, spec.base_seed, executor, sinks, &|pt| {
             cache.failures_for(pt, spec.base_seed)
@@ -401,6 +424,7 @@ impl SweepEngine {
             chunks_left.push(AtomicUsize::new(n_chunks as usize));
         }
 
+        let time_points = sinks.iter().any(|s| s.wants_timing());
         let shared = Shared {
             executor,
             points,
@@ -412,6 +436,7 @@ impl SweepEngine {
             chunks_left,
             recorder: &self.recorder,
             point_nanos: (0..points.len()).map(|_| AtomicU64::new(0)).collect(),
+            time_points,
         };
 
         let (tx, rx) = mpsc::channel::<usize>();
@@ -451,7 +476,7 @@ impl SweepEngine {
                 self.recorder.incr(Metric::SweepPoints);
                 self.recorder.add(Metric::SweepShots, record.shots);
                 self.recorder.add(Metric::SweepFailures, record.failures);
-                if let Err(e) = emitter.complete(i, record) {
+                if let Err(e) = emitter.complete(i, record, 0) {
                     io_result = Err(e);
                     return;
                 }
@@ -469,13 +494,11 @@ impl SweepEngine {
                 self.recorder.incr(Metric::SweepPoints);
                 self.recorder.add(Metric::SweepShots, record.shots);
                 self.recorder.add(Metric::SweepFailures, record.failures);
+                let nanos = shared.point_nanos[point_idx].load(Ordering::Relaxed);
                 if self.recorder.is_enabled() {
-                    self.recorder.observe(
-                        Metric::SweepPointNanos,
-                        shared.point_nanos[point_idx].load(Ordering::Relaxed),
-                    );
+                    self.recorder.observe(Metric::SweepPointNanos, nanos);
                 }
-                if let Err(e) = emitter.complete(point_idx, record) {
+                if let Err(e) = emitter.complete(point_idx, record, nanos) {
                     io_result = Err(e);
                     // Workers keep draining tasks; their sends fail
                     // silently once the receiver drops.
@@ -654,6 +677,7 @@ mod tests {
                 let opts = RunOptions {
                     shard: ShardSpec::new(index, count).unwrap(),
                     index_offset: 0,
+                    plan: None,
                 };
                 let recs = engine
                     .run_opts(
@@ -676,12 +700,48 @@ mod tests {
     }
 
     #[test]
+    fn explicit_plan_partitions_identically_to_full_run() {
+        // An arbitrary (non-stride) disjoint cover must recompose the
+        // full run record-for-record, because seeds are positional.
+        let spec = demo_spec();
+        let engine = SweepEngine::with_workers(3);
+        let full = engine.run(&spec, &HashExecutor, &mut []).unwrap();
+        let owners: Vec<u32> = (0..full.len() as u32).map(|g| (g / 5) % 3).collect();
+        let plan = ShardPlan::Explicit { count: 3, owners };
+        let mut merged: Vec<Option<SweepRecord>> = vec![None; full.len()];
+        for index in 0..3 {
+            let opts = RunOptions {
+                shard: ShardSpec::new(index, 3).unwrap(),
+                index_offset: 0,
+                plan: Some(plan.clone()),
+            };
+            let recs = engine
+                .run_opts(
+                    &spec,
+                    &HashExecutor,
+                    &mut [],
+                    &crate::resume::ResumeCache::new(),
+                    &opts,
+                )
+                .unwrap();
+            assert_eq!(recs.len(), plan.shard_len(index).unwrap());
+            for r in recs {
+                assert_eq!(plan.owner_of(r.index), Some(index), "record in wrong shard");
+                assert!(merged[r.index].replace(r).is_none(), "duplicate index");
+            }
+        }
+        let merged: Vec<SweepRecord> = merged.into_iter().map(Option::unwrap).collect();
+        assert_eq!(merged, full, "planned shards do not recompose the full run");
+    }
+
+    #[test]
     fn index_offset_renumbers_globally() {
         let spec = SweepSpec::new().distances([3, 5]).error_rates([1e-3]);
         let engine = SweepEngine::serial();
         let opts = RunOptions {
             shard: ShardSpec::FULL,
             index_offset: 10,
+            plan: None,
         };
         let recs = engine
             .run_opts(
@@ -701,6 +761,7 @@ mod tests {
         let opts = RunOptions {
             shard: ShardSpec::new(1, 2).unwrap(),
             index_offset: 10,
+            plan: None,
         };
         let recs = engine
             .run_opts(

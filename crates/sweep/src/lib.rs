@@ -61,6 +61,7 @@
 pub mod artifact;
 pub mod engine;
 pub mod merge;
+pub mod plan;
 pub mod resume;
 pub mod shard;
 pub mod sink;
@@ -68,12 +69,17 @@ pub mod spec;
 
 pub use engine::{RunOptions, SweepEngine, SweepExecutor};
 pub use merge::{
-    merge_artifacts, verify_artifact, ArtifactError, MergeError, MergeReport, SweepMeta,
-    VerifyExpectations, VerifyReport,
+    merge_artifacts, merge_artifacts_with_plan, salvage_jsonl, verify_artifact, ArtifactError,
+    MergeError, MergeReport, SweepMeta, VerifyExpectations, VerifyReport,
+};
+pub use plan::{
+    load_times, parse_times, PlanError, ShardPlan, TimesEntry, TimesFile, PLAN_SCHEMA, TIMES_SCHEMA,
 };
 pub use resume::{ResumeCache, ResumeKey};
 pub use shard::{ShardError, ShardSpec};
-pub use sink::{CsvSink, JsonlSink, MemorySink, RecordSink, SweepRecord, RECORD_COLUMNS};
+pub use sink::{
+    CsvSink, JsonlSink, MemorySink, RecordSink, SweepRecord, TimesSink, RECORD_COLUMNS,
+};
 pub use spec::{
     combine_fingerprints, points_fingerprint, splitmix64, KnobSetting, SweepAxis, SweepPoint,
     SweepSpec,

@@ -21,6 +21,7 @@ use std::fmt;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
 
+use crate::plan::ShardPlan;
 use crate::shard::ShardSpec;
 use crate::sink::{SweepRecord, RECORD_COLUMNS};
 use crate::spec::{KnobSetting, SweepPoint};
@@ -153,6 +154,11 @@ pub struct SweepMeta {
     pub points: u64,
     /// Which shard of those points this artifact holds.
     pub shard: ShardSpec,
+    /// Fingerprint of the explicit [`ShardPlan`] the run was sharded
+    /// under (`--shard-by time`), `None` for the default stride rule.
+    /// Merged sidecars always carry `None`, so they stay byte-identical
+    /// to a single-process run's regardless of how the fleet sharded.
+    pub plan: Option<u64>,
 }
 
 impl SweepMeta {
@@ -162,10 +168,15 @@ impl SweepMeta {
     }
 
     /// Renders the sidecar's single JSON line (fixed field order, so
-    /// a merged sidecar is byte-identical to a full run's).
+    /// a merged sidecar is byte-identical to a full run's; the `plan`
+    /// field is omitted entirely when absent, preserving the exact
+    /// pre-plan rendering).
     pub fn render(&self) -> String {
+        let plan = self
+            .plan
+            .map_or(String::new(), |fp| format!(",\"plan\":\"{fp:016x}\""));
         format!(
-            "{{\"schema\":\"{META_SCHEMA}\",\"seed\":{},\"spec_fingerprint\":\"{:016x}\",\"points\":{},\"shard\":\"{}\"}}",
+            "{{\"schema\":\"{META_SCHEMA}\",\"seed\":{},\"spec_fingerprint\":\"{:016x}\",\"points\":{},\"shard\":\"{}\"{plan}}}",
             self.seed, self.spec_fingerprint, self.points, self.shard
         )
     }
@@ -218,11 +229,19 @@ impl SweepMeta {
             JsonValue::Str(s) => s.parse().map_err(|e| bad(&format!("shard: {e}")))?,
             _ => return Err(bad("shard is not a string")),
         };
+        let plan = match obj.get("plan") {
+            None => None,
+            Some(JsonValue::Str(s)) => Some(
+                u64::from_str_radix(s, 16).map_err(|_| bad("plan is not a hex u64 fingerprint"))?,
+            ),
+            Some(_) => return Err(bad("plan is not a string")),
+        };
         Ok(SweepMeta {
             seed: uint("seed")?,
             spec_fingerprint,
             points: uint("points")?,
             shard,
+            plan,
         })
     }
 }
@@ -519,11 +538,13 @@ pub struct MergeReport {
 ///
 /// Validates each shard (see [`load_record_artifact`]), that all shards
 /// agree on seed and — when `.meta.json` sidecars are present — on
-/// spec fingerprint and total point count, and that the shards' global
-/// indices interleave into exactly `0..total`. Rows are re-emitted
-/// verbatim, so the merged CSV/JSONL are byte-identical to a full run's
-/// (this is what the canonical-form check in the loader guarantees);
-/// the merged artifact is also a valid `--resume` cache.
+/// spec fingerprint, total point count, and plan fingerprint, and that
+/// the shards' global indices recompose exactly `0..total` (the default
+/// stride interleave, or any disjoint cover when the sidecars carry an
+/// explicit plan fingerprint). Rows are re-emitted verbatim in global
+/// index order, so the merged CSV/JSONL are byte-identical to a full
+/// run's (this is what the canonical-form check in the loader
+/// guarantees); the merged artifact is also a valid `--resume` cache.
 ///
 /// # Errors
 ///
@@ -533,6 +554,25 @@ pub fn merge_artifacts(
     stem: &str,
     out_dir: &Path,
 ) -> Result<MergeReport, MergeError> {
+    merge_artifacts_with_plan(shard_dirs, stem, out_dir, None)
+}
+
+/// [`merge_artifacts`] with an explicit [`ShardPlan`] to validate
+/// *exact* ownership against (`sweep-merge --plan`): beyond the
+/// disjoint-cover checks, every record must sit on precisely the shard
+/// the plan assigned it to, and the plan's fingerprint must match the
+/// sidecars'. Passing a stride plan (or `None`) requires the default
+/// stride layout.
+///
+/// # Errors
+///
+/// Typed [`MergeError`]s; the `sweep-merge` binary exits 2 on any.
+pub fn merge_artifacts_with_plan(
+    shard_dirs: &[PathBuf],
+    stem: &str,
+    out_dir: &Path,
+    plan: Option<&ShardPlan>,
+) -> Result<MergeReport, MergeError> {
     assert!(!shard_dirs.is_empty(), "merge of zero shard directories");
     // Dispatch on the first shard's CSV header: sweep-record artifacts
     // get full semantic validation; any other schema (the analytic
@@ -540,6 +580,11 @@ pub fn merge_artifacts(
     // structurally. Only the header line is read here — each path then
     // loads its shards in full.
     if read_header(&shard_dirs[0].join(format!("{stem}.csv")))? != RECORD_COLUMNS.join(",") {
+        if plan.is_some() && plan.and_then(ShardPlan::fingerprint).is_some() {
+            return Err(MergeError::MetaMismatch(format!(
+                "{stem}: generic table artifacts are always stride-sharded; --plan does not apply"
+            )));
+        }
         return merge_generic(shard_dirs, stem, out_dir);
     }
     let count = shard_dirs.len();
@@ -549,8 +594,9 @@ pub fn merge_artifacts(
         .collect::<Result<_, _>>()?;
     let total: usize = artifacts.iter().map(|a| a.records.len()).sum();
 
-    // Cross-shard identity: seeds always; fingerprints and point counts
-    // through the sidecars when present (all-or-none).
+    // Cross-shard identity: seeds always; fingerprints, point counts,
+    // and plan fingerprints through the sidecars when present
+    // (all-or-none).
     let with_meta = artifacts.iter().filter(|a| a.meta.is_some()).count();
     if with_meta != 0 && with_meta != count {
         return Err(MergeError::MetaMismatch(format!(
@@ -585,6 +631,15 @@ pub fn merge_artifacts(
                     reference.spec_fingerprint
                 )));
             }
+            if meta.plan != reference.plan {
+                return Err(MergeError::MetaMismatch(format!(
+                    "{}: plan fingerprint {:?} differs from {}'s {:?} — shards of different plans",
+                    a.dir.display(),
+                    meta.plan.map(|fp| format!("{fp:016x}")),
+                    artifacts[0].dir.display(),
+                    reference.plan.map(|fp| format!("{fp:016x}")),
+                )));
+            }
         }
         let a_seed = a
             .meta
@@ -600,21 +655,125 @@ pub fn merge_artifacts(
             }
             _ => {}
         }
-        validate_shard_indices(a, shard, total)?;
+    }
+    // Reconcile the sidecars' plan fingerprint with any explicit plan.
+    let meta_plan_fp = artifacts[0].meta.and_then(|m| m.plan);
+    let arg_plan_fp = plan.and_then(ShardPlan::fingerprint);
+    if let Some(p) = plan {
+        if p.count() != count {
+            return Err(MergeError::MetaMismatch(format!(
+                "plan has {} shards, {count} directories passed",
+                p.count()
+            )));
+        }
+        if let Some(points) = p.points() {
+            if points != total {
+                return Err(MergeError::MetaMismatch(format!(
+                    "plan covers {points} points, shards sum to {total}"
+                )));
+            }
+        }
+        if with_meta == count && arg_plan_fp != meta_plan_fp {
+            return Err(MergeError::MetaMismatch(format!(
+                "plan fingerprint {:?} does not match the sidecars' {:?}",
+                arg_plan_fp.map(|fp| format!("{fp:016x}")),
+                meta_plan_fp.map(|fp| format!("{fp:016x}")),
+            )));
+        }
     }
 
-    let header = RECORD_COLUMNS.join(",");
-    let csv_rows: Vec<&[String]> = artifacts.iter().map(|a| a.csv_rows.as_slice()).collect();
-    let jsonl_rows: Vec<&[String]> = artifacts.iter().map(|a| a.jsonl_lines.as_slice()).collect();
-    write_interleaved(
-        &out_dir.join(format!("{stem}.csv")),
-        Some(&header),
-        &csv_rows,
-    )?;
-    write_interleaved(&out_dir.join(format!("{stem}.jsonl")), None, &jsonl_rows)?;
+    let planned = meta_plan_fp.is_some() || arg_plan_fp.is_some();
+    if planned {
+        // Arbitrary disjoint cover: per-shard strictly ascending, union
+        // exactly 0..total; with an explicit plan, exact ownership too.
+        let mut cover: Vec<Option<(usize, usize)>> = vec![None; total];
+        for (i, a) in artifacts.iter().enumerate() {
+            let mut prev: Option<usize> = None;
+            for (j, r) in a.records.iter().enumerate() {
+                if prev.is_some_and(|p| r.index <= p) {
+                    return Err(MergeError::IndexMismatch(format!(
+                        "{}: record {j} has global index {} out of ascending order",
+                        a.dir.display(),
+                        r.index
+                    )));
+                }
+                prev = Some(r.index);
+                if r.index >= total {
+                    return Err(MergeError::IndexMismatch(format!(
+                        "{}: record {j} has global index {} beyond the {total}-point grid",
+                        a.dir.display(),
+                        r.index
+                    )));
+                }
+                if let Some((other, _)) = cover[r.index] {
+                    return Err(MergeError::IndexMismatch(format!(
+                        "{}: global index {} already emitted by {}",
+                        a.dir.display(),
+                        r.index,
+                        artifacts[other].dir.display()
+                    )));
+                }
+                if let Some(p) = plan {
+                    if p.owner_of(r.index) != Some(i) {
+                        return Err(MergeError::IndexMismatch(format!(
+                            "{}: global index {} belongs to shard {:?} under the plan, found on shard {i}",
+                            a.dir.display(),
+                            r.index,
+                            p.owner_of(r.index)
+                        )));
+                    }
+                }
+                cover[r.index] = Some((i, j));
+            }
+        }
+        // Disjointness + counts guarantee full coverage, but say which
+        // index is missing rather than relying on that arithmetic.
+        let cover: Vec<(usize, usize)> = cover
+            .into_iter()
+            .enumerate()
+            .map(|(g, c)| {
+                c.ok_or_else(|| {
+                    MergeError::IndexMismatch(format!("no shard emitted global index {g}"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let header = RECORD_COLUMNS.join(",");
+        let pick = |rows: fn(&RecordArtifact) -> &[String]| -> Vec<&str> {
+            cover
+                .iter()
+                .map(|&(i, j)| rows(&artifacts[i])[j].as_str())
+                .collect()
+        };
+        write_rows(
+            &out_dir.join(format!("{stem}.csv")),
+            Some(&header),
+            &pick(|a| &a.csv_rows),
+        )?;
+        write_rows(
+            &out_dir.join(format!("{stem}.jsonl")),
+            None,
+            &pick(|a| &a.jsonl_lines),
+        )?;
+    } else {
+        for (i, a) in artifacts.iter().enumerate() {
+            let shard = ShardSpec::new(i, count).expect("i < count");
+            validate_shard_indices(a, shard, total)?;
+        }
+        let header = RECORD_COLUMNS.join(",");
+        let csv_rows: Vec<&[String]> = artifacts.iter().map(|a| a.csv_rows.as_slice()).collect();
+        let jsonl_rows: Vec<&[String]> =
+            artifacts.iter().map(|a| a.jsonl_lines.as_slice()).collect();
+        write_interleaved(
+            &out_dir.join(format!("{stem}.csv")),
+            Some(&header),
+            &csv_rows,
+        )?;
+        write_interleaved(&out_dir.join(format!("{stem}.jsonl")), None, &jsonl_rows)?;
+    }
     if let Some(meta) = artifacts[0].meta {
         SweepMeta {
             shard: ShardSpec::FULL,
+            plan: None,
             ..meta
         }
         .write(out_dir, stem)
@@ -626,6 +785,39 @@ pub fn merge_artifacts(
         seed,
         meta: with_meta == count,
     })
+}
+
+/// Rewrites a JSON-lines sweep artifact down to its longest valid
+/// prefix: the leading run of lines that parse strictly as canonical
+/// sweep records. A child process killed mid-write leaves at most one
+/// torn final line; the supervisor salvages the file so the restarted
+/// child's strict `--resume` loader accepts it. Returns
+/// `(kept, dropped)` line counts; the file is only rewritten when
+/// something was dropped.
+///
+/// # Errors
+///
+/// I/O errors reading or rewriting the file.
+pub fn salvage_jsonl(path: &Path) -> io::Result<(usize, usize)> {
+    let text = std::fs::read_to_string(path)?;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut kept = 0;
+    for line in &lines {
+        match parse_record_line(line) {
+            Ok(r) if record_jsonl_line(&r) == *line => kept += 1,
+            _ => break,
+        }
+    }
+    let dropped = lines.len() - kept;
+    if dropped > 0 || (kept > 0 && !text.ends_with('\n')) {
+        let mut salvaged = String::with_capacity(text.len());
+        for line in &lines[..kept] {
+            salvaged.push_str(line);
+            salvaged.push('\n');
+        }
+        std::fs::write(path, salvaged)?;
+    }
+    Ok((kept, dropped))
 }
 
 /// Writes the shards' rows interleaved back into global order — global
@@ -649,6 +841,24 @@ fn write_interleaved(
     }
     for g in 0..total {
         writeln!(w, "{}", shard_rows[g % count][g / count]).map_err(wrap)?;
+    }
+    w.flush().map_err(wrap)
+}
+
+/// Writes an explicit row sequence (already in global order — the
+/// planned-merge path resolves each global index to its shard row
+/// before calling this) behind an optional header.
+fn write_rows(path: &Path, header: Option<&str>, rows: &[&str]) -> Result<(), MergeError> {
+    let wrap = |e: io::Error| MergeError::Io(path.to_path_buf(), e);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(wrap)?;
+    }
+    let mut w = io::BufWriter::new(std::fs::File::create(path).map_err(wrap)?);
+    if let Some(h) = header {
+        writeln!(w, "{h}").map_err(wrap)?;
+    }
+    for row in rows {
+        writeln!(w, "{row}").map_err(wrap)?;
     }
     w.flush().map_err(wrap)
 }
@@ -768,7 +978,23 @@ pub fn verify_artifact(
         Some(meta) => (meta.shard, meta.points as usize),
         None => (ShardSpec::FULL, rows),
     };
-    validate_shard_indices(&artifact, shard, total)?;
+    if artifact.meta.and_then(|m| m.plan).is_some() && shard != ShardSpec::FULL {
+        // A planned shard owns an arbitrary subset; without the plan we
+        // can still require strictly ascending in-range indices.
+        let mut prev: Option<usize> = None;
+        for (j, r) in artifact.records.iter().enumerate() {
+            if r.index >= total || prev.is_some_and(|p| r.index <= p) {
+                return Err(MergeError::IndexMismatch(format!(
+                    "{}: record {j} has global index {} (planned shard needs ascending indices below {total})",
+                    artifact.dir.display(),
+                    r.index
+                )));
+            }
+            prev = Some(r.index);
+        }
+    } else {
+        validate_shard_indices(&artifact, shard, total)?;
+    }
     if let Some(expected) = expect.rows {
         if rows != expected {
             return Err(MergeError::Expectation(format!(
@@ -1016,10 +1242,24 @@ mod tests {
             spec_fingerprint: 0x0123_4567_89ab_cdef,
             points: 12,
             shard: ShardSpec { index: 2, count: 3 },
+            plan: None,
         };
         meta.write(&dir, "fig11").unwrap();
         let loaded = SweepMeta::load(&SweepMeta::path_for(&dir, "fig11")).unwrap();
         assert_eq!(loaded, meta);
+        // A plan fingerprint round-trips too, and planless rendering is
+        // byte-identical to the pre-plan schema.
+        assert!(!meta.render().contains("plan"));
+        let planned = SweepMeta {
+            plan: Some(0xdead_beef_0042_1111),
+            ..meta
+        };
+        planned.write(&dir, "fig11p").unwrap();
+        let loaded = SweepMeta::load(&SweepMeta::path_for(&dir, "fig11p")).unwrap();
+        assert_eq!(loaded, planned);
+        assert!(planned
+            .render()
+            .ends_with(",\"plan\":\"deadbeef00421111\"}"));
     }
 
     #[test]
@@ -1041,6 +1281,7 @@ mod tests {
                 spec_fingerprint: fp,
                 points: full.len() as u64,
                 shard: ShardSpec::new(i, count).unwrap(),
+                plan: None,
             };
             write_artifact(&dir, "fig11", &records, Some(meta));
             dirs.push(dir);
@@ -1061,6 +1302,7 @@ mod tests {
                 spec_fingerprint: fp,
                 points: 7,
                 shard: ShardSpec::FULL,
+                plan: None,
             }),
         );
         for file in ["fig11.csv", "fig11.jsonl", "fig11.meta.json"] {
@@ -1095,6 +1337,7 @@ mod tests {
             spec_fingerprint: fp,
             points: 2,
             shard,
+            plan: None,
         };
         let s0 = ShardSpec::new(0, 2).unwrap();
         let s1 = ShardSpec::new(1, 2).unwrap();
@@ -1119,6 +1362,152 @@ mod tests {
         let b = mk("b4", &[record(2, 3, 1)], Some(meta(1, 5, s1)));
         let err = merge_artifacts(&[a, b], "s", &base.join("out4")).unwrap_err();
         assert!(matches!(err, MergeError::IndexMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn planned_shards_merge_back_to_the_full_artifact() {
+        let base = tmp("merge-plan");
+        let full: Vec<SweepRecord> = (0..7).map(|i| record(i, 3 + 2 * (i % 3), 9)).collect();
+        let fp = 0xfeed_beef_u64;
+        // A deliberately non-stride cover: contiguous runs per shard.
+        let owners: Vec<u32> = vec![0, 0, 0, 1, 1, 2, 2];
+        let plan = ShardPlan::Explicit { count: 3, owners };
+        let plan_fp = plan.fingerprint().unwrap();
+        let mut dirs = Vec::new();
+        for i in 0..3 {
+            let dir = base.join(format!("shard{i}"));
+            let records: Vec<SweepRecord> = full
+                .iter()
+                .filter(|r| plan.owner_of(r.index) == Some(i))
+                .cloned()
+                .collect();
+            let meta = SweepMeta {
+                seed: 9,
+                spec_fingerprint: fp,
+                points: full.len() as u64,
+                shard: ShardSpec::new(i, 3).unwrap(),
+                plan: Some(plan_fp),
+            };
+            write_artifact(&dir, "fig11", &records, Some(meta));
+            // Each planned shard verifies standalone (ascending check).
+            verify_artifact(&dir, "fig11", &VerifyExpectations::default()).unwrap();
+            dirs.push(dir);
+        }
+        let out = base.join("merged");
+        let report = merge_artifacts_with_plan(&dirs, "fig11", &out, Some(&plan)).unwrap();
+        assert_eq!(report.rows, 7);
+        assert_eq!(report.seed, Some(9));
+
+        // The merged artifact is byte-identical to the unsharded run's,
+        // including the sidecar (plan field dropped on merge).
+        let reference = base.join("reference");
+        write_artifact(
+            &reference,
+            "fig11",
+            &full,
+            Some(SweepMeta {
+                seed: 9,
+                spec_fingerprint: fp,
+                points: 7,
+                shard: ShardSpec::FULL,
+                plan: None,
+            }),
+        );
+        for file in ["fig11.csv", "fig11.jsonl", "fig11.meta.json"] {
+            assert_eq!(
+                std::fs::read(out.join(file)).unwrap(),
+                std::fs::read(reference.join(file)).unwrap(),
+                "{file} differs from the unsharded artifact"
+            );
+        }
+        // Without the explicit plan the sidecar fingerprints still gate
+        // the merge into the disjoint-cover path.
+        let out2 = base.join("merged2");
+        merge_artifacts(&dirs, "fig11", &out2).unwrap();
+        assert_eq!(
+            std::fs::read(out.join("fig11.jsonl")).unwrap(),
+            std::fs::read(out2.join("fig11.jsonl")).unwrap()
+        );
+        // A mismatched plan is rejected.
+        let wrong = ShardPlan::Explicit {
+            count: 3,
+            owners: vec![0, 1, 2, 0, 1, 2, 0],
+        };
+        let err = merge_artifacts_with_plan(&dirs, "fig11", &base.join("out-bad"), Some(&wrong))
+            .unwrap_err();
+        assert!(matches!(err, MergeError::MetaMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn planned_merge_rejects_overlap_and_gaps() {
+        let base = tmp("merge-plan-bad");
+        let fp = 0x1234_u64;
+        let plan = ShardPlan::Explicit {
+            count: 2,
+            owners: vec![0, 1, 0, 1],
+        };
+        let plan_fp = plan.fingerprint().unwrap();
+        let meta = |i: usize, points: u64| SweepMeta {
+            seed: 9,
+            spec_fingerprint: fp,
+            points,
+            shard: ShardSpec::new(i, 2).unwrap(),
+            plan: Some(plan_fp),
+        };
+        let mk = |name: &str, idxs: &[usize], m: SweepMeta| {
+            let dir = base.join(name);
+            let records: Vec<SweepRecord> = idxs.iter().map(|&i| record(i, 3, 9)).collect();
+            write_artifact(&dir, "s", &records, Some(m));
+            dir
+        };
+        // Overlap: index 2 emitted by both shards (and 3 by neither, so
+        // the totals still balance — the duplicate must be what trips).
+        let a = mk("a", &[0, 2], meta(0, 4));
+        let b = mk("b", &[1, 2], meta(1, 4));
+        let err = merge_artifacts(&[a, b], "s", &base.join("o1")).unwrap_err();
+        assert!(matches!(err, MergeError::IndexMismatch(_)), "{err}");
+        // Out-of-range: index 3 beyond a 3-point grid (2 missing).
+        let a = mk("a2", &[0, 3], meta(0, 3));
+        let b = mk("b2", &[1], meta(1, 3));
+        let err = merge_artifacts(&[a, b], "s", &base.join("o2")).unwrap_err();
+        assert!(matches!(err, MergeError::IndexMismatch(_)), "{err}");
+        // Descending order within a shard.
+        let a3 = base.join("a3");
+        let recs = vec![record(2, 3, 9), record(0, 3, 9)];
+        write_artifact(&a3, "s", &recs, Some(meta(0, 3)));
+        let b = mk("b3", &[1], meta(1, 3));
+        let err = merge_artifacts(&[a3, b], "s", &base.join("o3")).unwrap_err();
+        assert!(matches!(err, MergeError::IndexMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn salvage_truncates_to_longest_valid_prefix() {
+        let dir = tmp("salvage");
+        let records: Vec<SweepRecord> = (0..4).map(|i| record(i, 3 + 2 * i, 7)).collect();
+        write_artifact(&dir, "s", &records, None);
+        let path = dir.join("s.jsonl");
+
+        // Intact file: nothing dropped, bytes untouched.
+        let before = std::fs::read(&path).unwrap();
+        assert_eq!(salvage_jsonl(&path).unwrap(), (4, 0));
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+
+        // Torn final line (killed mid-write): dropped, rest kept.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 15]).unwrap();
+        assert_eq!(salvage_jsonl(&path).unwrap(), (3, 1));
+        let cache = crate::resume::ResumeCache::load_jsonl(&path).expect("salvaged file strict");
+        assert_eq!(cache.len(), 3);
+
+        // Garbage mid-file: everything from the bad line on is dropped.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = "{\"not\":\"a record\"}".to_string();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        assert_eq!(salvage_jsonl(&path).unwrap(), (1, 3));
+        assert_eq!(
+            crate::resume::ResumeCache::load_jsonl(&path).unwrap().len(),
+            1
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! order (it buffers out-of-order completions), so file sinks produce
 //! byte-identical artifacts regardless of worker count or steal order.
 
-use std::io::{self, BufWriter, Write};
+use std::io::{self, LineWriter, Write};
 use std::path::Path;
 
 use vlq_math::stats::BinomialEstimate;
@@ -85,6 +85,23 @@ pub trait RecordSink {
     /// Consumes one record (called in expansion order).
     fn write(&mut self, record: &SweepRecord) -> io::Result<()>;
 
+    /// Consumes one record together with its measured wall time in
+    /// nanoseconds (0 for prefilled/resumed points, which ran no
+    /// chunks). The default ignores the timing and delegates to
+    /// [`RecordSink::write`]; only timing-aware sinks ([`TimesSink`])
+    /// override it.
+    fn write_timed(&mut self, record: &SweepRecord, nanos: u64) -> io::Result<()> {
+        let _ = nanos;
+        self.write(record)
+    }
+
+    /// Whether this sink wants per-point wall times. When any attached
+    /// sink returns `true` the engine measures point wall time even
+    /// without a telemetry recorder.
+    fn wants_timing(&self) -> bool {
+        false
+    }
+
     /// Flushes any buffered output; called once after the last record.
     fn finish(&mut self) -> io::Result<()> {
         Ok(())
@@ -111,13 +128,15 @@ impl<W: Write> CsvSink<W> {
     }
 }
 
-impl CsvSink<BufWriter<std::fs::File>> {
-    /// Creates (or truncates) a CSV file sink at `path`.
+impl CsvSink<LineWriter<std::fs::File>> {
+    /// Creates (or truncates) a CSV file sink at `path`. Line-buffered:
+    /// every completed row reaches the file promptly, so an external
+    /// supervisor (`sweep-launch`) can poll the artifact for progress.
     pub fn create(path: &Path) -> io::Result<Self> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        CsvSink::new(BufWriter::new(std::fs::File::create(path)?))
+        CsvSink::new(LineWriter::new(std::fs::File::create(path)?))
     }
 }
 
@@ -179,13 +198,17 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl JsonlSink<BufWriter<std::fs::File>> {
+impl JsonlSink<LineWriter<std::fs::File>> {
     /// Creates (or truncates) a JSON-lines file sink at `path`.
+    /// Line-buffered for the same supervisor-polling reason as
+    /// [`CsvSink::create`].
     pub fn create(path: &Path) -> io::Result<Self> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        Ok(JsonlSink::new(BufWriter::new(std::fs::File::create(path)?)))
+        Ok(JsonlSink::new(LineWriter::new(std::fs::File::create(
+            path,
+        )?)))
     }
 }
 
@@ -265,6 +288,77 @@ impl RecordSink for MemorySink {
     }
 }
 
+/// Sink recording per-point wall times in the
+/// [`crate::plan::TIMES_SCHEMA`] format the `--shard-by time` cost
+/// model consumes: a header line carrying the base seed, then one
+/// `{"index":G,"shots":S,"nanos":N}` row per point.
+///
+/// The nanos column is *not* deterministic (it is a measurement), so
+/// times files are calibration inputs, never merged artifacts.
+pub struct TimesSink<W: Write> {
+    w: W,
+    header_written: bool,
+}
+
+impl<W: Write> TimesSink<W> {
+    /// Wraps a writer; the header is emitted lazily with the first
+    /// record's seed.
+    pub fn new(w: W) -> Self {
+        TimesSink {
+            w,
+            header_written: false,
+        }
+    }
+
+    /// Consumes the sink, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl TimesSink<LineWriter<std::fs::File>> {
+    /// Creates (or truncates) a times file sink at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(TimesSink::new(LineWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: Write> RecordSink for TimesSink<W> {
+    fn write(&mut self, record: &SweepRecord) -> io::Result<()> {
+        self.write_timed(record, 0)
+    }
+
+    fn write_timed(&mut self, r: &SweepRecord, nanos: u64) -> io::Result<()> {
+        if !self.header_written {
+            writeln!(
+                self.w,
+                "{{\"schema\":\"{}\",\"seed\":{}}}",
+                crate::plan::TIMES_SCHEMA,
+                r.base_seed
+            )?;
+            self.header_written = true;
+        }
+        writeln!(
+            self.w,
+            "{{\"index\":{},\"shots\":{},\"nanos\":{nanos}}}",
+            r.index, r.shots
+        )
+    }
+
+    fn wants_timing(&self) -> bool {
+        true
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +427,24 @@ mod tests {
         assert!(line.contains("\"setup\":\"compact-int\""));
         assert!(line.contains("\"knob\":null"));
         assert!(line.contains("\"rate\":0.025"));
+    }
+
+    #[test]
+    fn times_sink_emits_header_then_rows() {
+        let mut sink = TimesSink::new(Vec::new());
+        assert!(sink.wants_timing());
+        sink.write_timed(&record(), 12345).unwrap();
+        let mut r2 = record();
+        r2.index = 4;
+        sink.write_timed(&r2, 67).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"schema\":\"vlq-sweep-times-v1\",\"seed\":2020}"
+        );
+        assert_eq!(lines[1], "{\"index\":3,\"shots\":1000,\"nanos\":12345}");
+        assert_eq!(lines[2], "{\"index\":4,\"shots\":1000,\"nanos\":67}");
     }
 
     #[test]

@@ -82,6 +82,7 @@ fn run_shard(
             &RunOptions {
                 shard,
                 index_offset: 0,
+                plan: None,
             },
         )
         .unwrap()
@@ -144,6 +145,7 @@ fn shard_artifacts_merge_byte_identically_for_random_specs() {
             spec_fingerprint: vlq_sweep::combine_fingerprints(0, spec.fingerprint()),
             points: spec.len() as u64,
             shard,
+            plan: None,
         };
         let reference = base.join(format!("t{trial}-reference"));
         write_artifact(&reference, "scan", &full, meta_of(ShardSpec::FULL));
@@ -212,6 +214,7 @@ fn shard_composes_with_resume() {
                         &RunOptions {
                             shard,
                             index_offset: 0,
+                            plan: None,
                         },
                     )
                     .unwrap();
@@ -244,6 +247,7 @@ fn shard_composes_with_resume() {
                 &RunOptions {
                     shard,
                     index_offset: 0,
+                    plan: None,
                 },
             )
             .unwrap();

@@ -197,9 +197,22 @@ metrics! {
     SweepWallNanos => ("sweep.wall_nanos", Counter, Runtime),
     PoolSteals => ("pool.steals", Counter, Runtime),
     PoolBusyNanos => ("pool.worker_busy_nanos", Counter, Runtime),
+    // -- fleet supervisor (process scheduling; stderr summary only) ----
+    FleetProcs => ("fleet.procs", GaugeMax, Runtime),
+    FleetPolls => ("fleet.polls", Counter, Runtime),
+    FleetRestarts => ("fleet.restarts", Counter, Runtime),
+    FleetStalls => ("fleet.stalls", Counter, Runtime),
+    FleetBackoffNanos => ("fleet.backoff_nanos", Counter, Runtime),
+    FleetShardWallNanos => ("fleet.shard_wall_nanos", Histogram, Runtime),
 }
 
 impl Metric {
+    /// Looks a metric up by its stable dotted name (report-row inverse
+    /// of [`Metric::name`]).
+    pub fn parse(name: &str) -> Option<Metric> {
+        Metric::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
     /// Dense histogram-storage slot of a `Histogram` metric.
     fn hist_slot(self) -> Option<usize> {
         let mut slot = 0;
@@ -558,6 +571,195 @@ impl Drop for Span {
     }
 }
 
+/// Everything [`merge_deterministic_jsonl`] can reject, typed so fleet
+/// failures name the offending document and line.
+#[derive(Debug)]
+pub enum SidecarMergeError {
+    /// No documents to merge.
+    Empty,
+    /// A document's header disagrees with the first document's (merging
+    /// only makes sense for sidecars of the same binary and seed).
+    HeaderMismatch {
+        /// Zero-based index of the offending document.
+        doc: usize,
+    },
+    /// A row names a metric this build does not register.
+    UnknownMetric {
+        /// Zero-based index of the offending document.
+        doc: usize,
+        /// The unregistered metric name.
+        name: String,
+    },
+    /// A line does not parse as a sidecar header or metric row.
+    Malformed {
+        /// Zero-based index of the offending document.
+        doc: usize,
+        /// Zero-based line number within the document.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SidecarMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SidecarMergeError::Empty => write!(f, "no telemetry sidecars to merge"),
+            SidecarMergeError::HeaderMismatch { doc } => write!(
+                f,
+                "sidecar {doc} header disagrees with sidecar 0 (schema, bin, or seed)"
+            ),
+            SidecarMergeError::UnknownMetric { doc, name } => {
+                write!(f, "sidecar {doc} row names unregistered metric {name:?}")
+            }
+            SidecarMergeError::Malformed { doc, line, reason } => {
+                write!(f, "sidecar {doc} line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SidecarMergeError {}
+
+/// The `"key": "str"` field of a sidecar line (the exact spacing
+/// [`Recorder::deterministic_jsonl`] writes).
+fn sidecar_str_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let at = line.find(&needle)? + needle.len();
+    let end = line[at..].find('"')?;
+    Some(line[at..at + end].to_string())
+}
+
+/// The `"key": N` field of a sidecar line.
+fn sidecar_u64_field(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Merges deterministic telemetry sidecars (one per shard process) into
+/// the single document one shared recorder would have produced: headers
+/// must agree byte-for-byte (same schema, binary, seed), counters and
+/// histogram contents are summed, max-gauges folded with `max` — the
+/// same commutative reductions [`Recorder::drain_into`] performs, just
+/// across process boundaries via the serialized report. Because every
+/// deterministic metric is schedule-independent, merging the sidecars
+/// of a clean sharded run reproduces the unsharded run's sidecar
+/// byte-for-byte.
+pub fn merge_deterministic_jsonl(docs: &[&str]) -> Result<String, SidecarMergeError> {
+    let header = docs
+        .first()
+        .ok_or(SidecarMergeError::Empty)?
+        .lines()
+        .next()
+        .ok_or(SidecarMergeError::Malformed {
+            doc: 0,
+            line: 0,
+            reason: "empty document".to_string(),
+        })?;
+    if !header.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(SidecarMergeError::Malformed {
+            doc: 0,
+            line: 0,
+            reason: format!("header is not {SCHEMA:?}"),
+        });
+    }
+    let bin = sidecar_str_field(header, "bin").ok_or(SidecarMergeError::Malformed {
+        doc: 0,
+        line: 0,
+        reason: "header has no \"bin\"".to_string(),
+    })?;
+    let seed = sidecar_u64_field(header, "seed").ok_or(SidecarMergeError::Malformed {
+        doc: 0,
+        line: 0,
+        reason: "header has no \"seed\"".to_string(),
+    })?;
+
+    let merged = Recorder::attached();
+    let inner = merged.inner.as_deref().expect("attached recorder");
+    for (doc_idx, doc) in docs.iter().enumerate() {
+        let mut lines = doc.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h == header => {}
+            _ => return Err(SidecarMergeError::HeaderMismatch { doc: doc_idx }),
+        }
+        for (line_idx, line) in lines {
+            let malformed = |reason: &str| SidecarMergeError::Malformed {
+                doc: doc_idx,
+                line: line_idx,
+                reason: reason.to_string(),
+            };
+            let name =
+                sidecar_str_field(line, "metric").ok_or_else(|| malformed("no \"metric\""))?;
+            let metric = Metric::parse(&name)
+                .ok_or(SidecarMergeError::UnknownMetric { doc: doc_idx, name })?;
+            let kind = sidecar_str_field(line, "kind").ok_or_else(|| malformed("no \"kind\""))?;
+            if kind != metric.kind().name() {
+                return Err(malformed(&format!(
+                    "kind {kind:?} contradicts registered {:?}",
+                    metric.kind().name()
+                )));
+            }
+            match metric.kind() {
+                MetricKind::Counter => {
+                    let v = sidecar_u64_field(line, "value")
+                        .ok_or_else(|| malformed("no \"value\""))?;
+                    merged.add(metric, v);
+                }
+                MetricKind::GaugeMax => {
+                    let v = sidecar_u64_field(line, "value")
+                        .ok_or_else(|| malformed("no \"value\""))?;
+                    merged.gauge_max(metric, v);
+                }
+                MetricKind::Histogram => {
+                    let count = sidecar_u64_field(line, "count")
+                        .ok_or_else(|| malformed("no \"count\""))?;
+                    let sum =
+                        sidecar_u64_field(line, "sum").ok_or_else(|| malformed("no \"sum\""))?;
+                    let slot = metric.hist_slot().expect("histogram metric has a slot");
+                    let h = &inner.hists[slot];
+                    h.count.fetch_add(count, Ordering::Relaxed);
+                    h.sum.fetch_add(sum, Ordering::Relaxed);
+                    let open = line
+                        .find("\"buckets\": [")
+                        .ok_or_else(|| malformed("no \"buckets\""))?
+                        + "\"buckets\": [".len();
+                    let close = line
+                        .rfind(']')
+                        .ok_or_else(|| malformed("unclosed buckets"))?;
+                    let body = &line[open..close];
+                    for pair in body.split("],") {
+                        let pair = pair.trim().trim_start_matches('[').trim_end_matches(']');
+                        if pair.is_empty() {
+                            continue;
+                        }
+                        let (i, c) = pair
+                            .split_once(',')
+                            .ok_or_else(|| malformed("bucket pair is not [index, count]"))?;
+                        let i: usize = i
+                            .trim()
+                            .parse()
+                            .map_err(|_| malformed("bucket index is not an integer"))?;
+                        let c: u64 = c
+                            .trim()
+                            .parse()
+                            .map_err(|_| malformed("bucket count is not an integer"))?;
+                        if i >= NUM_BUCKETS {
+                            return Err(malformed(&format!("bucket index {i} out of range")));
+                        }
+                        h.buckets[i].fetch_add(c, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+    Ok(merged.deterministic_jsonl(&bin, seed))
+}
+
 /// Rate-limited stderr progress reporter for long sweeps.
 ///
 /// Replaces the sweep engine's hand-rolled `Progress` struct. The rate
@@ -812,6 +1014,69 @@ mod tests {
         assert_eq!(rec.value(Metric::SweepShots), 5);
         assert_eq!(rec.value(Metric::UfOddClusterPeak), 3);
         assert_eq!(rec.hist(Metric::DefectsPerLane).unwrap().count, 1);
+    }
+
+    #[test]
+    fn sidecar_merge_matches_shared_recording() {
+        // Shared-storage reference: one recorder sees all the work.
+        let shared = Recorder::attached();
+        shared.add(Metric::SweepShots, 100);
+        shared.add(Metric::SweepShots, 23);
+        shared.gauge_max(Metric::UfOddClusterPeak, 9);
+        shared.gauge_max(Metric::UfOddClusterPeak, 4);
+        shared.observe(Metric::DefectsPerLane, 3);
+        shared.observe(Metric::DefectsPerLane, 0);
+        shared.observe(Metric::DefectsPerLane, 1 << 40);
+
+        // Two "shard processes" each serialize their own sidecar.
+        let (a, b) = (Recorder::attached(), Recorder::attached());
+        a.add(Metric::SweepShots, 100);
+        b.add(Metric::SweepShots, 23);
+        a.gauge_max(Metric::UfOddClusterPeak, 9);
+        b.gauge_max(Metric::UfOddClusterPeak, 4);
+        a.observe(Metric::DefectsPerLane, 3);
+        b.observe(Metric::DefectsPerLane, 0);
+        b.observe(Metric::DefectsPerLane, 1 << 40);
+        let (doc_a, doc_b) = (
+            a.deterministic_jsonl("fig11", 2020),
+            b.deterministic_jsonl("fig11", 2020),
+        );
+
+        let merged = merge_deterministic_jsonl(&[&doc_a, &doc_b]).unwrap();
+        assert_eq!(merged, shared.deterministic_jsonl("fig11", 2020));
+        // Merging one document is the identity.
+        assert_eq!(merge_deterministic_jsonl(&[&doc_a]).unwrap(), doc_a);
+    }
+
+    #[test]
+    fn sidecar_merge_rejects_bad_inputs() {
+        assert!(matches!(
+            merge_deterministic_jsonl(&[]),
+            Err(SidecarMergeError::Empty)
+        ));
+        let rec = Recorder::attached();
+        let doc = rec.deterministic_jsonl("fig11", 1);
+        let other_seed = rec.deterministic_jsonl("fig11", 2);
+        assert!(matches!(
+            merge_deterministic_jsonl(&[&doc, &other_seed]),
+            Err(SidecarMergeError::HeaderMismatch { doc: 1 })
+        ));
+        let unknown = format!(
+            "{}{{\"metric\": \"no.such_metric\", \"kind\": \"counter\", \"value\": 1}}\n",
+            doc.lines().next().unwrap().to_owned() + "\n"
+        );
+        assert!(matches!(
+            merge_deterministic_jsonl(&[&unknown]),
+            Err(SidecarMergeError::UnknownMetric { doc: 0, .. })
+        ));
+        assert!(matches!(
+            merge_deterministic_jsonl(&["not a header\n"]),
+            Err(SidecarMergeError::Malformed {
+                doc: 0,
+                line: 0,
+                ..
+            })
+        ));
     }
 
     #[test]

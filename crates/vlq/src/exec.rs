@@ -60,7 +60,7 @@ use std::collections::BTreeMap;
 
 use vlq_decoder::DecoderKind;
 use vlq_math::stats::BinomialEstimate;
-use vlq_qec::{BlockConfig, BlockSampler, BlockSpec, Parallelism, PreparedBlock};
+use vlq_qec::{BlockConfig, BlockScratch, BlockSpec, Parallelism, PreparedBlock};
 use vlq_sim::{CliffordGate, FrameBatch};
 use vlq_surface::schedule::{Basis, Boundary, MemorySpec, Setup};
 use vlq_surgery::LogicalOp;
@@ -556,6 +556,60 @@ pub struct FramePrepared {
     /// replay loops and the block registry can never disagree. Empty
     /// in legacy [`Boundary::Full`] mode.
     exposure_boundaries: BTreeMap<(u64, u64), Boundary>,
+    /// Process-unique id (never reused); a persistent [`FrameScratch`]
+    /// keys its per-block decode scratch to it so worker scratch can
+    /// never be reused against a different preparation's graphs.
+    identity: u64,
+}
+
+/// Per-block sample→decode scratch of one [`FrameScratch`], keyed like
+/// [`FramePrepared::blocks`] plus the guard sector (0 = Z, 1 = X). One
+/// [`BlockScratch`] per prepared block, because decoder scratch may
+/// carry graph-keyed memoisation (see
+/// [`PreparedBlock::sample_failure_words_reusing`]).
+type BlockScratchMap = BTreeMap<(usize, Boundary, u8), BlockScratch>;
+
+/// Reusable working set for [`FramePrepared`]'s batch replay: the
+/// logical Pauli frames, the per-lane failure accumulator, the
+/// measured-slot flags, the measurement read-out buffer, and one
+/// [`BlockScratch`] per sampled block. Holding one scratch across
+/// batches — per worker, on the pooled path — makes the steady state
+/// allocation-free (with the Union-Find decoder; MWPM's blossom matcher
+/// allocates internally by design), where the frame replay previously
+/// rebuilt its whole working set on every exposure of every batch.
+///
+/// A scratch automatically re-keys itself when it is handed to a
+/// different [`FramePrepared`] (block scratch is dropped, frame buffers
+/// are reshaped), so persistent per-worker scratch is safe across
+/// sweeps over many prepared schedules.
+#[derive(Default)]
+pub struct FrameScratch {
+    /// Identity of the [`FramePrepared`] the block scratch is keyed to.
+    owner: u64,
+    frames: FrameBatch,
+    /// Per-lane program-failure accumulator.
+    failed: Vec<u64>,
+    /// Per-slot measured flags (a dense stand-in for the previous
+    /// per-batch `BTreeSet<LogicalId>`, whose node churn allocated).
+    measured: Vec<bool>,
+    /// Measurement outcome-flip read-out buffer.
+    outcome: Vec<u64>,
+    blocks: BlockScratchMap,
+}
+
+impl FrameScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops block scratch built against a different preparation.
+    fn rekey(&mut self, owner: u64) {
+        if self.owner != owner {
+            self.owner = owner;
+            self.blocks.clear();
+        }
+    }
 }
 
 /// Domain separator of the mid-circuit block-seed derivation.
@@ -684,12 +738,14 @@ impl FramePrepared {
             .into_iter()
             .map(|(r, b)| ((r, b), (prepare(r, Basis::Z, b), prepare(r, Basis::X, b))))
             .collect();
+        static NEXT_IDENTITY: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         FramePrepared {
             schedule,
             boundary,
             slots,
             blocks,
             exposure_boundaries,
+            identity: NEXT_IDENTITY.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -712,6 +768,16 @@ impl FramePrepared {
     /// Runs `shots` seeded shots and returns the number of corrupted
     /// programs. Deterministic given `seed`, independent of batching.
     pub fn run_failures(&self, shots: u64, seed: u64) -> u64 {
+        self.run_failures_scratch(shots, seed, &mut FrameScratch::new())
+    }
+
+    /// [`FramePrepared::run_failures`] against caller-owned scratch:
+    /// identical failure counts, with the replay's whole working set
+    /// (frames, accumulators, per-block decode scratch) reused across
+    /// batches *and* across calls — zero steady-state allocation with
+    /// the Union-Find decoder
+    /// (`crates/vlq/tests/frame_alloc_probe.rs` pins this).
+    pub fn run_failures_scratch(&self, shots: u64, seed: u64, scratch: &mut FrameScratch) -> u64 {
         const LANES_PER_BATCH: usize = 1024;
         let mut failures = 0u64;
         let mut remaining = shots;
@@ -720,9 +786,9 @@ impl FramePrepared {
             let lanes = (remaining as usize).min(LANES_PER_BATCH);
             let batch_seed = splitmix64(seed ^ splitmix64(batch_idx));
             failures += if self.boundary == Boundary::Full {
-                self.run_batch_legacy(lanes, batch_seed)
+                self.run_batch_legacy(lanes, batch_seed, scratch)
             } else {
-                self.run_batch(lanes, batch_seed)
+                self.run_batch(lanes, batch_seed, scratch)
             };
             remaining -= lanes as u64;
             batch_idx += 1;
@@ -735,9 +801,10 @@ impl FramePrepared {
     /// `splitmix64(seed ^ splitmix64(batch_idx))` schedule) are claimed
     /// work-stealing-style by the pool's workers, and the per-batch
     /// failure counts reduce in batch order — bit-identical to the
-    /// serial loop at any worker count. Unlike the `vlq-qec` block path
-    /// the frame replay builds its working set per batch, so this path
-    /// trades allocation-freedom for cross-core scaling.
+    /// serial loop at any worker count. Each worker replays its batches
+    /// against a persistent [`FrameScratch`] held in the pool's typed
+    /// worker-state slots, so — like the `vlq-qec` block path — the
+    /// steady state allocates nothing.
     pub fn run_failures_par(&self, shots: u64, seed: u64, par: &Parallelism) -> u64 {
         const LANES_PER_BATCH: u64 = 1024;
         let Some(pool) = par.pool() else {
@@ -745,14 +812,16 @@ impl FramePrepared {
         };
         let tasks = shots.div_ceil(LANES_PER_BATCH);
         let mut out = [0u64];
-        pool.run_tasks(tasks, 1, &mut out, &|batch_idx, _worker, slots| {
+        pool.run_tasks(tasks, 1, &mut out, &|batch_idx, worker, slots| {
             let lanes = (shots - batch_idx * LANES_PER_BATCH).min(LANES_PER_BATCH) as usize;
             let batch_seed = splitmix64(seed ^ splitmix64(batch_idx));
-            let failures = if self.boundary == Boundary::Full {
-                self.run_batch_legacy(lanes, batch_seed)
-            } else {
-                self.run_batch(lanes, batch_seed)
-            };
+            let failures = pool.worker_state(worker, FrameScratch::new, |scratch| {
+                if self.boundary == Boundary::Full {
+                    self.run_batch_legacy(lanes, batch_seed, scratch)
+                } else {
+                    self.run_batch(lanes, batch_seed, scratch)
+                }
+            });
             slots[0].store(failures, std::sync::atomic::Ordering::Relaxed);
         });
         out[0]
@@ -828,6 +897,7 @@ impl FramePrepared {
     fn expose_block(
         &self,
         frames: &mut FrameBatch,
+        blocks: &mut BlockScratchMap,
         slot: usize,
         rounds: usize,
         lanes: usize,
@@ -838,22 +908,42 @@ impl FramePrepared {
         let boundary = self.exposure_boundaries[&(instr, offset)];
         let (z_block, x_block) = &self.blocks[&(rounds, boundary)];
         // Z-basis guard failure = residual logical X error.
-        let x_flips = z_block.sample_failure_words(lanes, block_seed(batch_seed, instr, 0, offset));
-        frames.xor_x_words(slot, &x_flips);
-        let z_flips = x_block.sample_failure_words(lanes, block_seed(batch_seed, instr, 1, offset));
-        frames.xor_z_words(slot, &z_flips);
+        let zs = blocks.entry((rounds, boundary, 0)).or_default();
+        let x_flips = z_block.sample_failure_words_reusing(
+            lanes,
+            block_seed(batch_seed, instr, 0, offset),
+            zs,
+        );
+        frames.xor_x_words(slot, x_flips);
+        let xs = blocks.entry((rounds, boundary, 1)).or_default();
+        let z_flips = x_block.sample_failure_words_reusing(
+            lanes,
+            block_seed(batch_seed, instr, 1, offset),
+            xs,
+        );
+        frames.xor_z_words(slot, z_flips);
     }
 
     /// The boundary-aware replay: every instruction exposes each
     /// participant to one block sized to its actual round span.
-    fn run_batch(&self, lanes: usize, batch_seed: u64) -> u64 {
+    fn run_batch(&self, lanes: usize, batch_seed: u64, scratch: &mut FrameScratch) -> u64 {
         let words = lanes.div_ceil(64).max(1);
         let n_slots = self.slots.len().max(1);
         let d = self.schedule.config().d;
-        let mut frames = FrameBatch::new(n_slots, lanes);
-        // Per-lane program-failure accumulator.
-        let mut failed = vec![0u64; words];
-        let mut measured: std::collections::BTreeSet<LogicalId> = std::collections::BTreeSet::new();
+        scratch.rekey(self.identity);
+        let FrameScratch {
+            frames,
+            failed,
+            measured,
+            outcome,
+            blocks,
+            ..
+        } = scratch;
+        frames.reset(n_slots, lanes);
+        failed.clear();
+        failed.resize(words, 0);
+        measured.clear();
+        measured.resize(n_slots, false);
         let slot = |q: LogicalId| self.slots[&q];
         for (idx, instr) in self.schedule.instrs().iter().enumerate() {
             let idx = idx as u64;
@@ -863,13 +953,31 @@ impl FramePrepared {
                 Instr::PageOut { qubit, .. } => frames.reset_qubit(slot(qubit)),
                 Instr::Correction { .. } => {}
                 Instr::RefreshRound { qubit, rounds, .. } => {
-                    self.expose_block(&mut frames, slot(qubit), rounds, lanes, batch_seed, idx, 0);
+                    self.expose_block(
+                        frames,
+                        blocks,
+                        slot(qubit),
+                        rounds,
+                        lanes,
+                        batch_seed,
+                        idx,
+                        0,
+                    );
                 }
                 Instr::Logical1Q { qubit, gate, .. } => {
                     if gate == LogicalGate1Q::H {
                         frames.apply(CliffordGate::H(slot(qubit)));
                     }
-                    self.expose_block(&mut frames, slot(qubit), window, lanes, batch_seed, idx, 0);
+                    self.expose_block(
+                        frames,
+                        blocks,
+                        slot(qubit),
+                        window,
+                        lanes,
+                        batch_seed,
+                        idx,
+                        0,
+                    );
                 }
                 Instr::TransversalCnot {
                     control, target, ..
@@ -879,7 +987,8 @@ impl FramePrepared {
                 } => {
                     frames.apply(CliffordGate::Cnot(slot(control), slot(target)));
                     self.expose_block(
-                        &mut frames,
+                        frames,
+                        blocks,
                         slot(control),
                         window,
                         lanes,
@@ -887,36 +996,63 @@ impl FramePrepared {
                         idx,
                         0,
                     );
-                    self.expose_block(&mut frames, slot(target), window, lanes, batch_seed, idx, 1);
+                    self.expose_block(
+                        frames,
+                        blocks,
+                        slot(target),
+                        window,
+                        lanes,
+                        batch_seed,
+                        idx,
+                        1,
+                    );
                 }
                 Instr::SurgeryMerge { a, b, .. } => {
                     // A merge's joint parity measurement spreads errors
                     // between the fused patches; the logical-level view
                     // of that spread is CNOT propagation.
                     frames.apply(CliffordGate::Cnot(slot(a), slot(b)));
-                    self.expose_block(&mut frames, slot(a), window, lanes, batch_seed, idx, 0);
-                    self.expose_block(&mut frames, slot(b), window, lanes, batch_seed, idx, 1);
+                    self.expose_block(frames, blocks, slot(a), window, lanes, batch_seed, idx, 0);
+                    self.expose_block(frames, blocks, slot(b), window, lanes, batch_seed, idx, 1);
                 }
                 Instr::SurgerySplit { a, b, .. } => {
-                    self.expose_block(&mut frames, slot(a), window, lanes, batch_seed, idx, 0);
-                    self.expose_block(&mut frames, slot(b), window, lanes, batch_seed, idx, 1);
+                    self.expose_block(frames, blocks, slot(a), window, lanes, batch_seed, idx, 0);
+                    self.expose_block(frames, blocks, slot(b), window, lanes, batch_seed, idx, 1);
                 }
                 Instr::Move { qubit, .. } | Instr::ConsumeMagic { qubit, .. } => {
-                    self.expose_block(&mut frames, slot(qubit), window, lanes, batch_seed, idx, 0);
+                    self.expose_block(
+                        frames,
+                        blocks,
+                        slot(qubit),
+                        window,
+                        lanes,
+                        batch_seed,
+                        idx,
+                        0,
+                    );
                 }
                 Instr::MeasureLogical { qubit, .. } => {
-                    self.expose_block(&mut frames, slot(qubit), window, lanes, batch_seed, idx, 0);
+                    self.expose_block(
+                        frames,
+                        blocks,
+                        slot(qubit),
+                        window,
+                        lanes,
+                        batch_seed,
+                        idx,
+                        0,
+                    );
                     // A destructive Z readout is corrupted by the
                     // frame's X component; Z errors are harmless here.
-                    let outcome_flips = frames.measure_z(slot(qubit));
-                    for (f, o) in failed.iter_mut().zip(&outcome_flips) {
+                    frames.measure_z_into(slot(qubit), outcome);
+                    for (f, o) in failed.iter_mut().zip(outcome.iter()) {
                         *f |= o;
                     }
-                    measured.insert(qubit);
+                    measured[slot(qubit)] = true;
                 }
             }
         }
-        self.close_batch(&frames, &measured, &mut failed);
+        self.close_batch(frames, measured, failed);
         failed.iter().map(|w| w.count_ones() as u64).sum()
     }
 
@@ -926,6 +1062,7 @@ impl FramePrepared {
     fn expose_legacy(
         &self,
         frames: &mut FrameBatch,
+        blocks: &mut BlockScratchMap,
         slot: usize,
         rounds: usize,
         reps: u64,
@@ -936,22 +1073,35 @@ impl FramePrepared {
         for rep in 0..reps {
             let rep_seed = splitmix64(instr_seed ^ splitmix64(0x5851_f42d ^ rep));
             // Z-basis guard failure = residual logical X error.
-            let x_flips = z_block.sample_failure_words(lanes, rep_seed);
-            frames.xor_x_words(slot, &x_flips);
-            let z_flips = x_block.sample_failure_words(lanes, splitmix64(rep_seed ^ 0x9e37));
-            frames.xor_z_words(slot, &z_flips);
+            let zs = blocks.entry((rounds, Boundary::Full, 0)).or_default();
+            let x_flips = z_block.sample_failure_words_reusing(lanes, rep_seed, zs);
+            frames.xor_x_words(slot, x_flips);
+            let xs = blocks.entry((rounds, Boundary::Full, 1)).or_default();
+            let z_flips =
+                x_block.sample_failure_words_reusing(lanes, splitmix64(rep_seed ^ 0x9e37), xs);
+            frames.xor_z_words(slot, z_flips);
         }
     }
 
     /// The legacy [`Boundary::Full`] replay: every timestep of every
     /// operation resamples a whole `d`-round memory experiment.
-    fn run_batch_legacy(&self, lanes: usize, batch_seed: u64) -> u64 {
+    fn run_batch_legacy(&self, lanes: usize, batch_seed: u64, scratch: &mut FrameScratch) -> u64 {
         let words = lanes.div_ceil(64).max(1);
         let n_slots = self.slots.len().max(1);
-        let mut frames = FrameBatch::new(n_slots, lanes);
-        // Per-lane program-failure accumulator.
-        let mut failed = vec![0u64; words];
-        let mut measured: std::collections::BTreeSet<LogicalId> = std::collections::BTreeSet::new();
+        scratch.rekey(self.identity);
+        let FrameScratch {
+            frames,
+            failed,
+            measured,
+            outcome,
+            blocks,
+            ..
+        } = scratch;
+        frames.reset(n_slots, lanes);
+        failed.clear();
+        failed.resize(words, 0);
+        measured.clear();
+        measured.resize(n_slots, false);
         let slot = |q: LogicalId| self.slots[&q];
         for (idx, instr) in self.schedule.instrs().iter().enumerate() {
             let instr_seed = splitmix64(batch_seed ^ splitmix64(idx as u64));
@@ -962,13 +1112,13 @@ impl FramePrepared {
                 Instr::PageOut { qubit, .. } => frames.reset_qubit(slot(qubit)),
                 Instr::Correction { .. } => {}
                 Instr::RefreshRound { qubit, rounds, .. } => {
-                    self.expose_legacy(&mut frames, slot(qubit), rounds, 1, lanes, instr_seed);
+                    self.expose_legacy(frames, blocks, slot(qubit), rounds, 1, lanes, instr_seed);
                 }
                 Instr::Logical1Q { qubit, gate, .. } => {
                     if gate == LogicalGate1Q::H {
                         frames.apply(CliffordGate::H(slot(qubit)));
                     }
-                    self.expose_legacy(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                    self.expose_legacy(frames, blocks, slot(qubit), d, span, lanes, instr_seed);
                 }
                 Instr::TransversalCnot {
                     control, target, ..
@@ -977,9 +1127,10 @@ impl FramePrepared {
                     control, target, ..
                 } => {
                     frames.apply(CliffordGate::Cnot(slot(control), slot(target)));
-                    self.expose_legacy(&mut frames, slot(control), d, span, lanes, instr_seed);
+                    self.expose_legacy(frames, blocks, slot(control), d, span, lanes, instr_seed);
                     self.expose_legacy(
-                        &mut frames,
+                        frames,
+                        blocks,
                         slot(target),
                         d,
                         span,
@@ -989,9 +1140,10 @@ impl FramePrepared {
                 }
                 Instr::SurgeryMerge { a, b, .. } => {
                     frames.apply(CliffordGate::Cnot(slot(a), slot(b)));
-                    self.expose_legacy(&mut frames, slot(a), d, span, lanes, instr_seed);
+                    self.expose_legacy(frames, blocks, slot(a), d, span, lanes, instr_seed);
                     self.expose_legacy(
-                        &mut frames,
+                        frames,
+                        blocks,
                         slot(b),
                         d,
                         span,
@@ -1000,9 +1152,10 @@ impl FramePrepared {
                     );
                 }
                 Instr::SurgerySplit { a, b, .. } => {
-                    self.expose_legacy(&mut frames, slot(a), d, span, lanes, instr_seed);
+                    self.expose_legacy(frames, blocks, slot(a), d, span, lanes, instr_seed);
                     self.expose_legacy(
-                        &mut frames,
+                        frames,
+                        blocks,
                         slot(b),
                         d,
                         span,
@@ -1011,34 +1164,29 @@ impl FramePrepared {
                     );
                 }
                 Instr::Move { qubit, .. } | Instr::ConsumeMagic { qubit, .. } => {
-                    self.expose_legacy(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                    self.expose_legacy(frames, blocks, slot(qubit), d, span, lanes, instr_seed);
                 }
                 Instr::MeasureLogical { qubit, .. } => {
-                    self.expose_legacy(&mut frames, slot(qubit), d, span, lanes, instr_seed);
+                    self.expose_legacy(frames, blocks, slot(qubit), d, span, lanes, instr_seed);
                     // A destructive Z readout is corrupted by the
                     // frame's X component; Z errors are harmless here.
-                    let outcome_flips = frames.measure_z(slot(qubit));
-                    for (f, o) in failed.iter_mut().zip(&outcome_flips) {
+                    frames.measure_z_into(slot(qubit), outcome);
+                    for (f, o) in failed.iter_mut().zip(outcome.iter()) {
                         *f |= o;
                     }
-                    measured.insert(qubit);
+                    measured[slot(qubit)] = true;
                 }
             }
         }
-        self.close_batch(&frames, &measured, &mut failed);
+        self.close_batch(frames, measured, failed);
         failed.iter().map(|w| w.count_ones() as u64).sum()
     }
 
     /// Qubits still live at the end of the program must carry the
     /// identity frame, else the prepared logical state is corrupted.
-    fn close_batch(
-        &self,
-        frames: &FrameBatch,
-        measured: &std::collections::BTreeSet<LogicalId>,
-        failed: &mut [u64],
-    ) {
-        for (&qubit, &s) in &self.slots {
-            if measured.contains(&qubit) {
+    fn close_batch(&self, frames: &FrameBatch, measured: &[bool], failed: &mut [u64]) {
+        for &s in self.slots.values() {
+            if measured[s] {
                 continue;
             }
             for (w, f) in failed.iter_mut().enumerate() {

@@ -59,7 +59,10 @@ pub mod isa;
 pub mod machine;
 pub mod program;
 
-pub use exec::{CostExecutor, Executor, FrameExecutor, ProgramReport, TraceExecutor};
+pub use exec::{
+    CostExecutor, Executor, FrameExecutor, FramePrepared, FrameScratch, ProgramReport,
+    TraceExecutor,
+};
 pub use isa::{Instr, Schedule};
 pub use machine::{MachineConfig, MachineReport, RefreshPolicy, VlqMachine};
 pub use program::{compile, CompiledProgram, LogicalCircuit, ProgOp};

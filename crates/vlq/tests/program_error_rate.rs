@@ -188,6 +188,7 @@ fn program_sweep_shards_recompose_the_full_run() {
                     &vlq_sweep::RunOptions {
                         shard,
                         index_offset: 0,
+                        plan: None,
                     },
                 )
                 .expect("no sinks, no io errors");
